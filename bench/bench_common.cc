@@ -1,0 +1,58 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tvarak::bench {
+
+SimConfig
+evalConfig()
+{
+    SimConfig cfg;  // Table III defaults
+    cfg.nvm.dimmBytes = 96ull << 20;  // 4 x 96 MB: fits every bench
+    cfg.dram.sizeBytes = 128ull << 20;
+    return cfg;
+}
+
+std::size_t
+parseScale(int argc, char **argv, const char *what)
+{
+    std::size_t scale = 1;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            scale = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+            if (scale == 0)
+                scale = 1;
+            i++;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("%s\nusage: %s [--scale N]\n", what, argv[0]);
+            std::exit(0);
+        }
+    }
+    return scale;
+}
+
+FigureRow
+sweepDesigns(const std::string &workloadName, const SimConfig &cfg,
+             const WorkloadFactory &make,
+             const std::vector<DesignKind> &designs)
+{
+    FigureRow row;
+    row.workload = workloadName;
+    for (DesignKind d : designs) {
+        std::fprintf(stderr, "  running %-24s under %s...\n",
+                     workloadName.c_str(), designName(d));
+        row.results[d] = runExperiment(cfg, d, make);
+    }
+    return row;
+}
+
+FigureRow
+sweepDesigns(const std::string &workloadName, const SimConfig &cfg,
+             const WorkloadFactory &make)
+{
+    return sweepDesigns(workloadName, cfg, make, allDesigns());
+}
+
+}  // namespace tvarak::bench

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared plumbing for the figure benches: the evaluation machine
+ * configuration (Table III scaled to tractable workload sizes) and a
+ * design-sweep helper.
+ *
+ * Every bench accepts an optional `--scale N` argument (default 1)
+ * multiplying the workload size, so the tables can be regenerated at
+ * larger fixed-work sizes when more time is available.
+ */
+
+#ifndef TVARAK_BENCH_BENCH_COMMON_HH
+#define TVARAK_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "redundancy/scheme.hh"
+
+namespace tvarak::bench {
+
+/** Table III machine; NVM DIMM capacity sized for the bench suite. */
+SimConfig evalConfig();
+
+/** Parse `--scale N` (and `--help`). Returns the scale factor. */
+std::size_t parseScale(int argc, char **argv, const char *what);
+
+/** Run @p make under all four designs and collect a figure row. */
+FigureRow sweepDesigns(const std::string &workloadName,
+                       const SimConfig &cfg, const WorkloadFactory &make);
+
+/** Run @p make under a subset of designs. */
+FigureRow sweepDesigns(const std::string &workloadName,
+                       const SimConfig &cfg, const WorkloadFactory &make,
+                       const std::vector<DesignKind> &designs);
+
+}  // namespace tvarak::bench
+
+#endif  // TVARAK_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 10: sensitivity to the LLC way-partition sizes.
+ *
+ * (a) ways (out of 16) reserved for caching redundancy information;
+ * (b) ways reserved for storing data diffs.
+ *
+ * Expected shape (paper Section IV-H): Redis and C-Tree largely flat;
+ * stream and fio improve with more redundancy-cache ways; N-Store is
+ * cache-sensitive and degrades as ways are taken from application
+ * data; the data-diff sweep is non-monotone for stream/fio (fewer
+ * diff evictions vs. less application cache).
+ */
+
+#include "bench_workloads.hh"
+
+using namespace tvarak;
+using namespace tvarak::bench;
+
+namespace {
+
+void
+sweep(const char *caption, const char *csvId,
+      const std::vector<std::size_t> &ways, bool sweepDiff,
+      std::size_t scale)
+{
+    std::vector<std::string> row_names;
+    std::vector<std::vector<double>> table;
+
+    for (auto &w : fig9Workloads(scale)) {
+        SimConfig cfg = evalConfig();
+        cfg.nvm.dimmBytes = w.dimmBytes;
+        std::fprintf(stderr, "  %s: baseline...\n", w.name);
+        RunResult base =
+            runExperiment(cfg, DesignKind::Baseline, w.factory);
+
+        std::vector<double> row;
+        for (std::size_t n : ways) {
+            SimConfig vcfg = cfg;
+            if (sweepDiff)
+                vcfg.tvarak.diffWays = n;
+            else
+                vcfg.tvarak.redundancyWays = n;
+            std::fprintf(stderr, "  %s: %zu ways...\n", w.name, n);
+            RunResult r =
+                runExperiment(vcfg, DesignKind::Tvarak, w.factory);
+            row.push_back(static_cast<double>(r.runtimeCycles) /
+                          static_cast<double>(base.runtimeCycles));
+        }
+        row_names.emplace_back(w.name);
+        table.push_back(row);
+    }
+
+    std::vector<std::string> columns;
+    for (std::size_t n : ways)
+        columns.push_back(std::to_string(n) + " ways");
+    printRuntimeTable(caption, columns, row_names, table);
+
+    std::printf("\ncsv,%s,workload", csvId);
+    for (std::size_t n : ways)
+        std::printf(",%zu", n);
+    std::printf("\n");
+    for (std::size_t i = 0; i < row_names.size(); i++) {
+        std::printf("csv,%s,%s", csvId, row_names[i].c_str());
+        for (double v : table[i])
+            std::printf(",%.4f", v);
+        std::printf("\n");
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t scale = parseScale(
+        argc, argv, "Fig 10: LLC partition sensitivity sweeps");
+    const std::vector<std::size_t> ways = {1, 2, 4, 6, 8};
+    sweep("Figure 10(a): redundancy-cache ways (runtime / Baseline)",
+          "fig10a", ways, false, scale);
+    sweep("Figure 10(b): data-diff ways (runtime / Baseline)",
+          "fig10b", ways, true, scale);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 8(e)-(h): tree-based key-value stores (C-Tree, B-Tree,
+ * RB-Tree) with insert-only and balanced (50:50 updates:reads)
+ * workloads, 12 independent single-threaded instances.
+ *
+ * Expected shape (paper Section IV-C): TVARAK within ~1.5% of
+ * Baseline for insert-only and ~5% for balanced; TxB-Object-Csums
+ * ~+43% (insert) / ~+20% (balanced); TxB-Page-Csums ~+171% / worse.
+ */
+
+#include <memory>
+
+#include "apps/trees/tree_workload.hh"
+#include "bench_common.hh"
+
+using namespace tvarak;
+using namespace tvarak::bench;
+
+namespace {
+
+WorkloadFactory
+treeFactory(MapKind kind, TreeWorkload::Mix mix, std::size_t scale)
+{
+    return [kind, mix, scale](MemorySystem &mem,
+                              DaxFs &fs) -> WorkloadSet {
+        auto scheme = makeScheme(mem.design(), mem);
+        WorkloadSet set;
+        TreeWorkload::Params p;
+        p.kind = kind;
+        p.mix = mix;
+        p.preload = 32768 * scale;
+        p.ops = 8192 * scale;
+        p.poolBytes = (16ull << 20) * scale;
+        for (int t = 0; t < 12; t++) {
+            set.workloads.push_back(std::make_unique<TreeWorkload>(
+                mem, fs, t, scheme.get(), p));
+        }
+        set.shared = std::shared_ptr<void>(
+            scheme.release(),
+            [](void *q) { delete static_cast<RedundancyScheme *>(q); });
+        return set;
+    };
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t scale = parseScale(
+        argc, argv, "Fig 8(e-h): C/B/RB-Tree key-value structures");
+    SimConfig cfg = evalConfig();
+
+    std::vector<FigureRow> rows;
+    for (MapKind kind :
+         {MapKind::CTree, MapKind::BTree, MapKind::RBTree}) {
+        for (TreeWorkload::Mix mix :
+             {TreeWorkload::Mix::InsertOnly,
+              TreeWorkload::Mix::Balanced}) {
+            std::string label = std::string(mapKindName(kind)) + "-" +
+                TreeWorkload::mixName(mix);
+            rows.push_back(sweepDesigns(label, cfg,
+                                        treeFactory(kind, mix, scale)));
+        }
+    }
+    printFigureGroup(
+        "Figure 8(e-h): key-value structures, 12 instances", rows);
+    printFigureCsv("fig8-kvstructs", rows);
+    return 0;
+}

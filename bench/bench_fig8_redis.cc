@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 8(a)-(d): Redis set-only and get-only workloads with 6
+ * independent instances (the paper shows 1-6; trends are identical).
+ *
+ * Expected shape (paper Section IV-B): TVARAK ~+3% on both workloads;
+ * TxB-Object-Csums ~+50% (set) / <=+5% (get); TxB-Page-Csums ~+200%
+ * (set) / <=+28% (get). Gets cost the software schemes because Redis
+ * runs transactions (with metadata writes) even for gets.
+ */
+
+#include <memory>
+
+#include "apps/redis/redis.hh"
+#include "bench_common.hh"
+
+using namespace tvarak;
+using namespace tvarak::bench;
+
+namespace {
+
+WorkloadFactory
+redisFactory(RedisWorkload::Mode mode, std::size_t scale,
+             int instances)
+{
+    return [mode, scale, instances](MemorySystem &mem,
+                                    DaxFs &fs) -> WorkloadSet {
+        auto scheme = makeScheme(mem.design(), mem);
+        WorkloadSet set;
+        RedisWorkload::Params p;
+        p.mode = mode;
+        p.requests = 65536 * scale;
+        p.keyspace = 65536 * scale;
+        for (int t = 0; t < instances; t++) {
+            set.workloads.push_back(std::make_unique<RedisWorkload>(
+                mem, fs, t, scheme.get(), p));
+        }
+        set.shared = std::shared_ptr<void>(
+            scheme.release(),
+            [](void *q) { delete static_cast<RedundancyScheme *>(q); });
+        return set;
+    };
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t scale =
+        parseScale(argc, argv, "Fig 8(a-d): Redis set/get, 6 instances");
+    SimConfig cfg = evalConfig();
+
+    std::vector<FigureRow> rows;
+    rows.push_back(sweepDesigns(
+        "redis-set-only", cfg,
+        redisFactory(RedisWorkload::Mode::SetOnly, scale, 6)));
+    rows.push_back(sweepDesigns(
+        "redis-get-only", cfg,
+        redisFactory(RedisWorkload::Mode::GetOnly, scale, 6)));
+
+    printFigureGroup("Figure 8(a-d): Redis, 6 instances", rows);
+    printFigureCsv("fig8-redis", rows);
+    return 0;
+}

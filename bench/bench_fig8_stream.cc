@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 8(q)-(t): stream copy/scale/add/triad kernels with 12
+ * threads on persistent arrays.
+ *
+ * Expected shape (paper Section IV-F): all designs show their largest
+ * relative overheads here (simple kernels, no reuse); overheads
+ * decrease from copy (simplest) to triad (most compute); TVARAK stays
+ * within a few tens of percent while TxB-Object-Csums and
+ * TxB-Page-Csums are ~8-13x and ~19-33x slower.
+ */
+
+#include <memory>
+
+#include "apps/stream/stream.hh"
+#include "bench_common.hh"
+
+using namespace tvarak;
+using namespace tvarak::bench;
+
+namespace {
+
+WorkloadFactory
+streamFactory(StreamWorkload::Kernel kernel, std::size_t chunkBytes)
+{
+    return [kernel, chunkBytes](MemorySystem &mem,
+                                DaxFs &fs) -> WorkloadSet {
+        auto scheme = makeScheme(mem.design(), mem);
+        WorkloadSet set;
+        StreamWorkload::Params p;
+        p.kernel = kernel;
+        p.chunkBytes = chunkBytes;
+        for (int t = 0; t < 12; t++) {
+            set.workloads.push_back(std::make_unique<StreamWorkload>(
+                mem, fs, t, scheme.get(), p));
+        }
+        set.shared = std::shared_ptr<void>(
+            scheme.release(),
+            [](void *q) { delete static_cast<RedundancyScheme *>(q); });
+        set.beforeMeasure = [](MemorySystem &m) { m.dropCaches(); };
+        return set;
+    };
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t scale =
+        parseScale(argc, argv, "Fig 8(q-t): stream kernels");
+    SimConfig cfg = evalConfig();
+    std::size_t chunk = scale * (2ull << 20);
+
+    std::vector<FigureRow> rows;
+    for (auto kernel :
+         {StreamWorkload::Kernel::Copy, StreamWorkload::Kernel::Scale,
+          StreamWorkload::Kernel::Add, StreamWorkload::Kernel::Triad}) {
+        rows.push_back(sweepDesigns(StreamWorkload::kernelName(kernel),
+                                    cfg, streamFactory(kernel, chunk)));
+    }
+    printFigureGroup("Figure 8(q-t): stream, 12 threads", rows);
+    printFigureCsv("fig8-stream", rows);
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 9: impact of TVARAK's design choices. Starting from the
+ * naive redundancy controller (page-granular checksums recomputed by
+ * reading whole pages, no redundancy caching, old-data reads instead
+ * of diffs), the optimizations are enabled cumulatively:
+ *
+ *   naive -> +DAX-CL-checksums -> +redundancy caching -> +data diffs
+ *
+ * The last configuration is full TVARAK; the one before it (diffs
+ * off) is also the recommended configuration for exclusive-LLC
+ * systems (paper Section IV-G).
+ *
+ * Expected shape: every step helps Redis, C-Tree and stream-triad;
+ * redundancy caching and data diffs *hurt* N-Store and fio random
+ * writes (taking LLC space from application data buys nothing when
+ * redundancy lines have no reuse).
+ */
+
+#include "bench_workloads.hh"
+
+using namespace tvarak;
+using namespace tvarak::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t scale =
+        parseScale(argc, argv, "Fig 9: TVARAK design-choice ablation");
+
+    struct Config {
+        const char *name;
+        bool daxCl, redCache, diffs;
+    };
+    const std::vector<Config> configs = {
+        {"naive", false, false, false},
+        {"+dax-cl-csums", true, false, false},
+        {"+red-caching", true, true, false},
+        {"+data-diffs (TVARAK)", true, true, true},
+    };
+
+    std::vector<std::string> row_names;
+    std::vector<std::vector<double>> table;
+    std::vector<FigureRow> csv_rows;
+
+    for (auto &w : fig9Workloads(scale)) {
+        SimConfig cfg = evalConfig();
+        cfg.nvm.dimmBytes = w.dimmBytes;
+        std::fprintf(stderr, "  %s: baseline...\n", w.name);
+        RunResult base =
+            runExperiment(cfg, DesignKind::Baseline, w.factory);
+
+        std::vector<double> row;
+        FigureRow csv_row;
+        csv_row.workload = w.name;
+        csv_row.results[DesignKind::Baseline] = base;
+        for (const Config &c : configs) {
+            SimConfig vcfg = cfg;
+            vcfg.tvarak.useDaxClChecksums = c.daxCl;
+            vcfg.tvarak.useRedundancyCaching = c.redCache;
+            vcfg.tvarak.useDataDiffs = c.diffs;
+            std::fprintf(stderr, "  %s: %s...\n", w.name, c.name);
+            RunResult r =
+                runExperiment(vcfg, DesignKind::Tvarak, w.factory);
+            row.push_back(static_cast<double>(r.runtimeCycles) /
+                          static_cast<double>(base.runtimeCycles));
+        }
+        row_names.emplace_back(w.name);
+        table.push_back(row);
+        csv_rows.push_back(csv_row);
+    }
+
+    std::vector<std::string> columns;
+    for (const Config &c : configs)
+        columns.emplace_back(c.name);
+    printRuntimeTable(
+        "Figure 9: design ablation (runtime / Baseline)", columns,
+        row_names, table);
+
+    std::printf("\ncsv,fig9,workload");
+    for (const Config &c : configs)
+        std::printf(",%s", c.name);
+    std::printf("\n");
+    for (std::size_t i = 0; i < row_names.size(); i++) {
+        std::printf("csv,fig9,%s", row_names[i].c_str());
+        for (double v : table[i])
+            std::printf(",%.4f", v);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * google-benchmark microbenches for the checksum/parity kernels that
+ * both TVARAK's functional model and the software schemes rely on.
+ * These measure *host* throughput of the kernels (they justify the
+ * swChecksumBytesPerCycle compute model used for the TxB schemes).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "checksum/checksum.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace {
+
+using namespace tvarak;
+
+std::vector<std::uint8_t>
+randomBuf(std::size_t n)
+{
+    Rng rng(99);
+    std::vector<std::uint8_t> buf(n);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next());
+    return buf;
+}
+
+void
+BM_Crc32cLine(benchmark::State &state)
+{
+    auto buf = randomBuf(kLineBytes);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lineChecksum(buf.data()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * kLineBytes));
+}
+BENCHMARK(BM_Crc32cLine);
+
+void
+BM_Crc32cPage(benchmark::State &state)
+{
+    auto buf = randomBuf(kPageBytes);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pageChecksum(buf.data()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * kPageBytes));
+}
+BENCHMARK(BM_Crc32cPage);
+
+void
+BM_Fletcher64Page(benchmark::State &state)
+{
+    auto buf = randomBuf(kPageBytes);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fletcher64(buf.data(), buf.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * kPageBytes));
+}
+BENCHMARK(BM_Fletcher64Page);
+
+void
+BM_XorLine(benchmark::State &state)
+{
+    auto a = randomBuf(kLineBytes);
+    auto b = randomBuf(kLineBytes);
+    for (auto _ : state) {
+        xorLine(a.data(), b.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * kLineBytes));
+}
+BENCHMARK(BM_XorLine);
+
+void
+BM_ZipfDraw(benchmark::State &state)
+{
+    ZipfGenerator zipf(1u << 20, 0.99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.next());
+}
+BENCHMARK(BM_ZipfDraw);
+
+}  // namespace
+
+BENCHMARK_MAIN();

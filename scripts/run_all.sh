@@ -1,0 +1,9 @@
+#!/bin/bash
+# Build, test, and regenerate every paper table/figure.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt
+scripts/plot_results.py bench_output.txt || true

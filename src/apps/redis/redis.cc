@@ -1,0 +1,367 @@
+#include "apps/redis/redis.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+/** Root object field offsets. */
+constexpr std::size_t kTable0 = 0, kSize0 = 8, kTable1 = 16, kSize1 = 24,
+                      kRehashIdx = 32, kUsed = 40;
+constexpr std::uint64_t kNoRehash = ~std::uint64_t{0};
+
+/** Entry field offsets. */
+constexpr std::size_t kNext = 0, kHash = 8, kKey = 16;
+
+}  // namespace
+
+RedisStore::RedisStore(MemorySystem &mem, PmemPool &pool,
+                       std::size_t valueBytes,
+                       std::size_t initialBuckets)
+    : mem_(mem), pool_(pool), valueBytes_(valueBytes)
+{
+    root_ = pool_.getRoot(0);
+    if (root_ == 0) {
+        root_ = pool_.alloc(0, 48);
+        pool_.txBegin(0);
+        Addr table = pool_.alloc(0, initialBuckets * 8);
+        std::uint64_t init[6] = {table, initialBuckets, 0, 0, kNoRehash,
+                                 0};
+        pool_.txWrite(0, root_, init, sizeof(init));
+        // Fresh tables are zero-filled by construction (new pool
+        // memory is zero), but write the buckets explicitly the way
+        // Redis's calloc-backed dict does.
+        std::vector<std::uint64_t> zeros(initialBuckets, 0);
+        pool_.txWrite(0, table, zeros.data(), initialBuckets * 8);
+        pool_.setRoot(0, root_);
+        pool_.txCommit(0);
+    } else {
+        used_ = static_cast<std::size_t>(mem_.read64(0, root_ + kUsed));
+    }
+}
+
+std::uint64_t
+RedisStore::hashKey(int tid, const void *key)
+{
+    const auto *p = static_cast<const std::uint8_t *>(key);
+    std::uint64_t h = 5381;
+    for (std::size_t i = 0; i < kKeyBytes; i++)
+        h = h * 33 + p[i];
+    mem_.compute(tid, kKeyBytes);  // ~1 cycle per byte, dict-style
+    return h;
+}
+
+bool
+RedisStore::rehashing() const
+{
+    std::uint8_t buf[8];
+    mem_.peek(root_ + kRehashIdx, buf, 8);
+    std::uint64_t idx;
+    std::memcpy(&idx, buf, 8);
+    return idx != kNoRehash;
+}
+
+void
+RedisStore::rehashStep(int tid)
+{
+    std::uint64_t idx = mem_.read64(tid, root_ + kRehashIdx);
+    if (idx == kNoRehash)
+        return;
+    Addr t0 = mem_.read64(tid, root_ + kTable0);
+    std::uint64_t size0 = mem_.read64(tid, root_ + kSize0);
+    Addr t1 = mem_.read64(tid, root_ + kTable1);
+    std::uint64_t size1 = mem_.read64(tid, root_ + kSize1);
+
+    // Move every entry in bucket `idx` to table 1.
+    Addr entry = mem_.read64(tid, t0 + idx * 8);
+    while (entry != 0) {
+        Addr next = mem_.read64(tid, entry + kNext);
+        std::uint64_t h = mem_.read64(tid, entry + kHash);
+        Addr slot = t1 + (h & (size1 - 1)) * 8;
+        Addr head = mem_.read64(tid, slot);
+        pool_.txWrite(tid, entry + kNext, &head, 8);
+        pool_.txWrite(tid, slot, &entry, 8);
+        entry = next;
+    }
+    std::uint64_t zero = 0;
+    pool_.txWrite(tid, t0 + idx * 8, &zero, 8);
+
+    idx++;
+    if (idx >= size0) {
+        // Rehash complete: table1 becomes the primary.
+        pool_.free(tid, t0);
+        std::uint64_t fields[4] = {t1, size1, 0, 0};
+        pool_.txWrite(tid, root_ + kTable0, fields, 32);
+        idx = kNoRehash;
+    }
+    pool_.txWrite(tid, root_ + kRehashIdx, &idx, 8);
+}
+
+void
+RedisStore::maybeStartRehash(int tid)
+{
+    if (mem_.read64(tid, root_ + kRehashIdx) != kNoRehash)
+        return;
+    std::uint64_t size0 = mem_.read64(tid, root_ + kSize0);
+    if (used_ < size0)  // load factor < 1
+        return;
+    std::uint64_t size1 = size0 * 2;
+    Addr t1 = pool_.alloc(tid, size1 * 8);
+    // Fresh table: no undo snapshot needed (its old content is
+    // garbage), exactly how Redis's calloc'd dict tables behave.
+    std::vector<std::uint64_t> zeros(size1, 0);
+    pool_.txWriteNoUndo(tid, t1, zeros.data(), size1 * 8);
+    std::uint64_t fields[2] = {t1, size1};
+    pool_.txWrite(tid, root_ + kTable1, fields, 16);
+    std::uint64_t zero = 0;
+    pool_.txWrite(tid, root_ + kRehashIdx, &zero, 8);
+}
+
+Addr
+RedisStore::findInTable(int tid, Addr table, std::size_t buckets,
+                        std::uint64_t hash, const void *key)
+{
+    if (table == 0 || buckets == 0)
+        return 0;
+    Addr entry = mem_.read64(tid, table + (hash & (buckets - 1)) * 8);
+    std::uint8_t kbuf[kKeyBytes];
+    while (entry != 0) {
+        if (mem_.read64(tid, entry + kHash) == hash) {
+            mem_.read(tid, entry + kKey, kbuf, kKeyBytes);
+            mem_.compute(tid, 4);  // memcmp
+            if (std::memcmp(kbuf, key, kKeyBytes) == 0)
+                return entry;
+        }
+        entry = mem_.read64(tid, entry + kNext);
+    }
+    return 0;
+}
+
+void
+RedisStore::set(int tid, const void *key, const void *value)
+{
+    pool_.txBegin(tid);
+    rehashStep(tid);
+    std::uint64_t hash = hashKey(tid, key);
+
+    Addr t0 = mem_.read64(tid, root_ + kTable0);
+    std::uint64_t size0 = mem_.read64(tid, root_ + kSize0);
+    Addr t1 = mem_.read64(tid, root_ + kTable1);
+    std::uint64_t size1 = mem_.read64(tid, root_ + kSize1);
+    bool rehash = mem_.read64(tid, root_ + kRehashIdx) != kNoRehash;
+
+    Addr entry = findInTable(tid, t0, size0, hash, key);
+    if (entry == 0 && rehash)
+        entry = findInTable(tid, t1, size1, hash, key);
+
+    if (entry != 0) {
+        pool_.txWrite(tid, entry + kKey + kKeyBytes, value, valueBytes_);
+        pool_.txCommit(tid);
+        return;
+    }
+
+    entry = pool_.alloc(tid, kKey + kKeyBytes + valueBytes_);
+    // New entries go to the rehash target table, as in Redis.
+    Addr table = rehash ? t1 : t0;
+    std::uint64_t buckets = rehash ? size1 : size0;
+    Addr slot = table + (hash & (buckets - 1)) * 8;
+    Addr head = mem_.read64(tid, slot);
+    std::uint64_t hdr[2] = {head, hash};
+    pool_.txWrite(tid, entry, hdr, 16);
+    pool_.txWrite(tid, entry + kKey, key, kKeyBytes);
+    pool_.txWrite(tid, entry + kKey + kKeyBytes, value, valueBytes_);
+    pool_.txWrite(tid, slot, &entry, 8);
+    used_++;
+    std::uint64_t used64 = used_;
+    pool_.txWrite(tid, root_ + kUsed, &used64, 8);
+    maybeStartRehash(tid);
+    pool_.txCommit(tid);
+}
+
+bool
+RedisStore::get(int tid, const void *key, void *value)
+{
+    // Redis wraps gets in transactions too (incremental rehashing may
+    // write); the resulting metadata writes are what the software
+    // schemes pay for on get-only workloads.
+    pool_.txBegin(tid);
+    rehashStep(tid);
+    std::uint64_t hash = hashKey(tid, key);
+    Addr t0 = mem_.read64(tid, root_ + kTable0);
+    std::uint64_t size0 = mem_.read64(tid, root_ + kSize0);
+    Addr entry = findInTable(tid, t0, size0, hash, key);
+    if (entry == 0 &&
+        mem_.read64(tid, root_ + kRehashIdx) != kNoRehash) {
+        Addr t1 = mem_.read64(tid, root_ + kTable1);
+        std::uint64_t size1 = mem_.read64(tid, root_ + kSize1);
+        entry = findInTable(tid, t1, size1, hash, key);
+    }
+    if (entry != 0)
+        mem_.read(tid, entry + kKey + kKeyBytes, value, valueBytes_);
+    pool_.txCommit(tid);
+    return entry != 0;
+}
+
+bool
+RedisStore::del(int tid, const void *key)
+{
+    pool_.txBegin(tid);
+    rehashStep(tid);
+    std::uint64_t hash = hashKey(tid, key);
+
+    // Unlink from whichever table holds the entry.
+    Addr tables[2] = {mem_.read64(tid, root_ + kTable0),
+                      mem_.read64(tid, root_ + kTable1)};
+    std::uint64_t sizes[2] = {mem_.read64(tid, root_ + kSize0),
+                              mem_.read64(tid, root_ + kSize1)};
+    std::uint8_t kbuf[kKeyBytes];
+    for (int t = 0; t < 2; t++) {
+        if (tables[t] == 0 || sizes[t] == 0)
+            continue;
+        Addr slot = tables[t] + (hash & (sizes[t] - 1)) * 8;
+        Addr entry = mem_.read64(tid, slot);
+        while (entry != 0) {
+            bool match = false;
+            if (mem_.read64(tid, entry + kHash) == hash) {
+                mem_.read(tid, entry + kKey, kbuf, kKeyBytes);
+                mem_.compute(tid, 4);
+                match = std::memcmp(kbuf, key, kKeyBytes) == 0;
+            }
+            if (match) {
+                Addr next = mem_.read64(tid, entry + kNext);
+                pool_.txWrite(tid, slot, &next, 8);
+                pool_.free(tid, entry);
+                used_--;
+                std::uint64_t used64 = used_;
+                pool_.txWrite(tid, root_ + kUsed, &used64, 8);
+                pool_.txCommit(tid);
+                return true;
+            }
+            slot = entry + kNext;
+            entry = mem_.read64(tid, slot);
+        }
+    }
+    pool_.txCommit(tid);
+    return false;
+}
+
+std::int64_t
+RedisStore::incr(int tid, const void *key, std::int64_t delta)
+{
+    panic_if(valueBytes_ < 8, "INCR needs >= 8-byte values");
+    pool_.txBegin(tid);
+    rehashStep(tid);
+    std::uint64_t hash = hashKey(tid, key);
+    Addr t0 = mem_.read64(tid, root_ + kTable0);
+    std::uint64_t size0 = mem_.read64(tid, root_ + kSize0);
+    Addr entry = findInTable(tid, t0, size0, hash, key);
+    if (entry == 0 &&
+        mem_.read64(tid, root_ + kRehashIdx) != kNoRehash) {
+        entry = findInTable(tid, mem_.read64(tid, root_ + kTable1),
+                            mem_.read64(tid, root_ + kSize1), hash,
+                            key);
+    }
+    pool_.txCommit(tid);
+    if (entry == 0) {
+        // Upsert: SET key = delta (its own transaction, as in Redis).
+        std::vector<std::uint8_t> value(valueBytes_, 0);
+        std::memcpy(value.data(), &delta, 8);
+        set(tid, key, value.data());
+        return delta;
+    }
+    pool_.txBegin(tid);
+    std::int64_t cur;
+    Addr vaddr = entry + kKey + kKeyBytes;
+    cur = static_cast<std::int64_t>(mem_.read64(tid, vaddr));
+    cur += delta;
+    pool_.txWrite(tid, vaddr, &cur, 8);
+    pool_.txCommit(tid);
+    return cur;
+}
+
+//
+// Driver
+//
+
+RedisWorkload::RedisWorkload(MemorySystem &mem, DaxFs &fs, int tid,
+                             RedundancyScheme *scheme, Params params)
+    : mem_(mem),
+      fs_(fs),
+      tid_(tid),
+      scheme_(scheme),
+      params_(params),
+      rng_(0xbeef + static_cast<std::uint64_t>(tid))
+{}
+
+RedisWorkload::~RedisWorkload() = default;
+
+const char *
+RedisWorkload::modeName(Mode mode)
+{
+    return mode == Mode::SetOnly ? "set-only" : "get-only";
+}
+
+std::string
+RedisWorkload::name() const
+{
+    return std::string("redis-") + modeName(params_.mode) + "-" +
+        std::to_string(tid_);
+}
+
+void
+RedisWorkload::makeKey(std::uint64_t id, char *out) const
+{
+    std::snprintf(out, RedisStore::kKeyBytes, "key:%011llu",
+                  static_cast<unsigned long long>(id));
+}
+
+void
+RedisWorkload::setup()
+{
+    pool_ = std::make_unique<PmemPool>(
+        mem_, fs_, "redis-" + std::to_string(tid_), params_.poolBytes,
+        scheme_, 1);
+    store_ =
+        std::make_unique<RedisStore>(mem_, *pool_, params_.valueBytes);
+
+    if (params_.mode == Mode::GetOnly) {
+        // Populate the keyspace so gets hit (redis-benchmark preload);
+        // the unmeasured load phase runs without software redundancy,
+        // like restoring from a snapshot.
+        pool_->setSchemeEnabled(false);
+        char key[RedisStore::kKeyBytes];
+        std::vector<std::uint8_t> value(params_.valueBytes, 0x42);
+        for (std::uint64_t id = 0; id < params_.keyspace; id++) {
+            makeKey(id, key);
+            store_->set(tid_, key, value.data());
+        }
+        pool_->setSchemeEnabled(true);
+    }
+}
+
+bool
+RedisWorkload::step()
+{
+    char key[RedisStore::kKeyBytes];
+    std::vector<std::uint8_t> value(params_.valueBytes, 0);
+    std::size_t end = std::min(done_ + params_.sliceOps,
+                               params_.requests);
+    for (; done_ < end; done_++) {
+        std::uint64_t id = rng_.nextBounded(params_.keyspace);
+        makeKey(id, key);
+        if (params_.mode == Mode::SetOnly) {
+            std::memset(value.data(), static_cast<int>(done_ & 0xff),
+                        value.size());
+            store_->set(tid_, key, value.data());
+        } else {
+            (void)store_->get(tid_, key, value.data());
+        }
+    }
+    return done_ < params_.requests;
+}
+
+}  // namespace tvarak

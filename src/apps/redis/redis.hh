@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Redis-equivalent persistent key-value store (paper Section IV-B).
+ *
+ * Reproduces the paper-relevant aspects of Redis v3.1 on libpmemobj:
+ *
+ *  - a chained hashtable as the primary structure;
+ *  - *incremental rehashing*: every request moves one bucket from the
+ *    old table to the new one while a resize is in flight;
+ *  - every request — including GET — runs inside a pmem transaction,
+ *    whose lane-state metadata writes are precisely why the software
+ *    TxB schemes pay even on read-only workloads (Section IV-B);
+ *  - redis-benchmark-style drivers: N independent single-threaded
+ *    instances, 16-byte keys drawn uniformly from a keyspace.
+ *
+ * Persistent layout: root object holds {table0, size0, table1, size1,
+ * rehashIdx, used}; tables are arrays of entry pointers; entries are
+ * {next, hash, key[16], value[valueBytes]}.
+ */
+
+#ifndef TVARAK_APPS_REDIS_REDIS_HH
+#define TVARAK_APPS_REDIS_REDIS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "harness/workload.hh"
+#include "pmemlib/pmem_pool.hh"
+#include "sim/rng.hh"
+
+namespace tvarak {
+
+class RedisStore
+{
+  public:
+    static constexpr std::size_t kKeyBytes = 16;
+
+    RedisStore(MemorySystem &mem, PmemPool &pool,
+               std::size_t valueBytes = 8,
+               std::size_t initialBuckets = 64);
+
+    /** SET key -> value (transactional; performs one rehash step). */
+    void set(int tid, const void *key, const void *value);
+    /** GET key (transactional, as in Redis; one rehash step too). */
+    bool get(int tid, const void *key, void *value);
+    /** DEL key (transactional). @return found. */
+    bool del(int tid, const void *key);
+    /** INCR: interpret the first 8 value bytes as an integer counter,
+     *  add @p delta (creating the key at @p delta if absent), and
+     *  return the new value — Redis's INCR/INCRBY. */
+    std::int64_t incr(int tid, const void *key, std::int64_t delta);
+
+    std::size_t used() const { return used_; }
+    bool rehashing() const;
+    std::size_t valueBytes() const { return valueBytes_; }
+
+  private:
+    /** djb2-style hash of a key, with a compute charge. */
+    std::uint64_t hashKey(int tid, const void *key);
+    /** Move one bucket from table0 to table1 if a rehash is active. */
+    void rehashStep(int tid);
+    void maybeStartRehash(int tid);
+    /** Search one table's chain. @return entry address or 0. */
+    Addr findInTable(int tid, Addr table, std::size_t buckets,
+                     std::uint64_t hash, const void *key);
+
+    MemorySystem &mem_;
+    PmemPool &pool_;
+    std::size_t valueBytes_;
+    Addr root_;       //!< root object: 6 x u64 fields
+    std::size_t used_ = 0;
+};
+
+/** redis-benchmark equivalent driver. */
+class RedisWorkload final : public Workload
+{
+  public:
+    enum class Mode { SetOnly, GetOnly };
+
+    struct Params {
+        Mode mode = Mode::SetOnly;
+        std::size_t requests = 65536;  //!< per instance (scaled)
+        std::size_t keyspace = 65536;
+        std::size_t valueBytes = 8;
+        std::size_t sliceOps = 512;
+        std::size_t poolBytes = 24ull << 20;
+    };
+
+    RedisWorkload(MemorySystem &mem, DaxFs &fs, int tid,
+                  RedundancyScheme *scheme, Params params);
+    ~RedisWorkload() override;
+
+    void setup() override;
+    bool step() override;
+    int tid() const override { return tid_; }
+    std::string name() const override;
+
+    static const char *modeName(Mode mode);
+    RedisStore &store() { return *store_; }
+
+  private:
+    void makeKey(std::uint64_t id, char *out) const;
+
+    MemorySystem &mem_;
+    DaxFs &fs_;
+    int tid_;
+    RedundancyScheme *scheme_;
+    Params params_;
+    Rng rng_;
+    std::unique_ptr<PmemPool> pool_;
+    std::unique_ptr<RedisStore> store_;
+    std::size_t done_ = 0;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_APPS_REDIS_REDIS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * STREAM memory-bandwidth kernels on persistent arrays (paper
+ * Section IV-F): Copy, Scale, Add, Triad. Each of 12 threads owns a
+ * non-overlapping chunk of the a/b/c arrays; the baseline saturates
+ * NVM bandwidth, which is why all redundancy designs show their
+ * largest relative overheads here.
+ */
+
+#ifndef TVARAK_APPS_STREAM_STREAM_HH
+#define TVARAK_APPS_STREAM_STREAM_HH
+
+#include <memory>
+
+#include "harness/workload.hh"
+#include "redundancy/raw_coverage.hh"
+
+namespace tvarak {
+
+class StreamWorkload final : public Workload
+{
+  public:
+    enum class Kernel { Copy, Scale, Add, Triad };
+
+    struct Params {
+        Kernel kernel = Kernel::Copy;
+        std::size_t chunkBytes = 2ull << 20;  //!< per array per thread
+        std::size_t sliceLines = 2048;
+    };
+
+    StreamWorkload(MemorySystem &mem, DaxFs &fs, int tid,
+                   RedundancyScheme *scheme, Params params);
+
+    void setup() override;
+    bool step() override;
+    int tid() const override { return tid_; }
+    std::string name() const override;
+
+    static const char *kernelName(Kernel k);
+
+  private:
+    MemorySystem &mem_;
+    DaxFs &fs_;
+    int tid_;
+    RedundancyScheme *scheme_;
+    Params params_;
+    Addr a_ = 0, b_ = 0, c_ = 0;
+    std::size_t lines_ = 0;
+    std::size_t next_ = 0;
+    std::unique_ptr<RawCoverage> coverage_;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_APPS_STREAM_STREAM_HH

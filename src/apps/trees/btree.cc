@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Order-8 B-tree (PMDK btree_map equivalent) with preemptive splits.
+ *
+ * Persistent node layout (16-byte header + arrays):
+ *   [0]  u32 n            item count
+ *   [4]  u32 leaf         1 if leaf
+ *   [8]  u64 reserved
+ *   [16] items: kOrder x {u64 key, u64 valueAddr}
+ *   [16 + 16*kOrder] children: (kOrder+1) x u64
+ *
+ * Splits happen on the way down (split-full-child-before-descending),
+ * so an insert never propagates upward — the classic preemptive
+ * B-tree insertion, which keeps each transaction small.
+ */
+
+#include <cstring>
+
+#include "apps/trees/trees_impl.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+constexpr std::size_t kItemsOff = 16;
+constexpr std::size_t kChildrenOff =
+    kItemsOff + 16 * BTreeMap::kOrder;
+constexpr std::size_t kNodeBytes =
+    kChildrenOff + 8 * (BTreeMap::kOrder + 1);
+
+Addr itemAddr(Addr node, std::size_t i) { return node + kItemsOff + 16 * i; }
+Addr childAddr(Addr node, std::size_t i)
+{
+    return node + kChildrenOff + 8 * i;
+}
+
+}  // namespace
+
+BTreeMap::BTreeMap(MemorySystem &mem, PmemPool &pool,
+                   std::size_t valueBytes)
+    : PmemMap(mem, pool, valueBytes)
+{
+    Addr root = pool_.getRoot(0);
+    if (root == 0) {
+        root = pool_.alloc(0, 8);
+        pool_.txBegin(0);
+        Addr node = allocNode(0, true);
+        pool_.txWrite(0, root, &node, 8);
+        pool_.setRoot(0, root);
+        pool_.txCommit(0);
+    }
+    rootSlot_ = root;
+}
+
+Addr
+BTreeMap::allocNode(int tid, bool leaf)
+{
+    Addr node = pool_.alloc(tid, kNodeBytes);
+    std::uint32_t hdr[2] = {0, leaf ? 1u : 0u};
+    pool_.txWrite(tid, node, hdr, sizeof(hdr));
+    return node;
+}
+
+/** Volatile snapshot of a node header. */
+struct BTreeMap::NodeView {
+    std::uint32_t n;
+    std::uint32_t leaf;
+
+    static NodeView
+    read(MemorySystem &mem, int tid, Addr node)
+    {
+        std::uint32_t hdr[2];
+        mem.read(tid, node, hdr, sizeof(hdr));
+        return {hdr[0], hdr[1]};
+    }
+};
+
+void
+BTreeMap::splitChild(int tid, Addr parent, std::size_t childIdx)
+{
+    Addr child = mem_.read64(tid, childAddr(parent, childIdx));
+    NodeView cv = NodeView::read(mem_, tid, child);
+    panic_if(cv.n != kOrder, "splitting a non-full child");
+    std::size_t mid = kOrder / 2;
+
+    Addr right = allocNode(tid, cv.leaf != 0);
+    // Move the upper half of child's items (and children) right.
+    std::uint8_t items[16 * kOrder];
+    mem_.read(tid, itemAddr(child, 0), items, sizeof(items));
+    std::size_t moved = kOrder - mid - 1;
+    pool_.txWrite(tid, itemAddr(right, 0), items + 16 * (mid + 1),
+                  16 * moved);
+    if (cv.leaf == 0) {
+        std::uint8_t kids[8 * (kOrder + 1)];
+        mem_.read(tid, childAddr(child, 0), kids, sizeof(kids));
+        pool_.txWrite(tid, childAddr(right, 0), kids + 8 * (mid + 1),
+                      8 * (moved + 1));
+    }
+    std::uint32_t rn = static_cast<std::uint32_t>(moved);
+    pool_.txWrite(tid, right, &rn, 4);
+    std::uint32_t cn = static_cast<std::uint32_t>(mid);
+    pool_.txWrite(tid, child, &cn, 4);
+
+    // Shift the parent's items/children to make room at childIdx.
+    NodeView pv = NodeView::read(mem_, tid, parent);
+    std::uint8_t pitems[16 * kOrder];
+    mem_.read(tid, itemAddr(parent, 0), pitems, 16 * pv.n);
+    std::uint8_t pkids[8 * (kOrder + 1)];
+    mem_.read(tid, childAddr(parent, 0), pkids, 8 * (pv.n + 1));
+    if (pv.n > childIdx) {
+        pool_.txWrite(tid, itemAddr(parent, childIdx + 1),
+                      pitems + 16 * childIdx, 16 * (pv.n - childIdx));
+        pool_.txWrite(tid, childAddr(parent, childIdx + 2),
+                      pkids + 8 * (childIdx + 1),
+                      8 * (pv.n - childIdx));
+    }
+    // Promote the median item.
+    pool_.txWrite(tid, itemAddr(parent, childIdx), items + 16 * mid, 16);
+    pool_.txWrite(tid, childAddr(parent, childIdx + 1), &right, 8);
+    std::uint32_t pn = pv.n + 1;
+    pool_.txWrite(tid, parent, &pn, 4);
+}
+
+void
+BTreeMap::insertNonFull(int tid, Addr node, std::uint64_t key, Addr val)
+{
+    while (true) {
+        NodeView v = NodeView::read(mem_, tid, node);
+        // Locate position (linear scan; order 8 keeps this short).
+        std::size_t i = 0;
+        std::uint64_t k = 0;
+        for (; i < v.n; i++) {
+            k = mem_.read64(tid, itemAddr(node, i));
+            if (k >= key)
+                break;
+        }
+        if (i < v.n && k == key) {
+            // Replace existing value.
+            Addr old = mem_.read64(tid, itemAddr(node, i) + 8);
+            pool_.txWrite(tid, itemAddr(node, i) + 8, &val, 8);
+            pool_.free(tid, old);
+            return;
+        }
+        if (v.leaf != 0) {
+            std::uint8_t items[16 * kOrder];
+            if (v.n > i) {
+                mem_.read(tid, itemAddr(node, i), items,
+                          16 * (v.n - i));
+                pool_.txWrite(tid, itemAddr(node, i + 1), items,
+                              16 * (v.n - i));
+            }
+            std::uint64_t item[2] = {key, val};
+            pool_.txWrite(tid, itemAddr(node, i), item, 16);
+            std::uint32_t n = v.n + 1;
+            pool_.txWrite(tid, node, &n, 4);
+            return;
+        }
+        Addr child = mem_.read64(tid, childAddr(node, i));
+        if (NodeView::read(mem_, tid, child).n == kOrder) {
+            splitChild(tid, node, i);
+            // The promoted median may redirect us.
+            std::uint64_t med = mem_.read64(tid, itemAddr(node, i));
+            if (key == med) {
+                Addr old = mem_.read64(tid, itemAddr(node, i) + 8);
+                pool_.txWrite(tid, itemAddr(node, i) + 8, &val, 8);
+                pool_.free(tid, old);
+                return;
+            }
+            if (key > med)
+                child = mem_.read64(tid, childAddr(node, i + 1));
+            else
+                child = mem_.read64(tid, childAddr(node, i));
+        }
+        node = child;
+    }
+}
+
+void
+BTreeMap::insert(int tid, std::uint64_t key, const void *value)
+{
+    pool_.txBegin(tid);
+    Addr val = makeValue(tid, value);
+    Addr root = mem_.read64(tid, rootSlot_);
+    if (NodeView::read(mem_, tid, root).n == kOrder) {
+        Addr nroot = allocNode(tid, false);
+        pool_.txWrite(tid, childAddr(nroot, 0), &root, 8);
+        pool_.txWrite(tid, rootSlot_, &nroot, 8);
+        splitChild(tid, nroot, 0);
+        root = nroot;
+    }
+    insertNonFull(tid, root, key, val);
+    pool_.txCommit(tid);
+}
+
+
+namespace {
+
+constexpr std::size_t kMinItems = BTreeMap::kOrder / 2;
+
+}  // namespace
+
+Addr
+BTreeMap::fixChildForDelete(int tid, Addr parent, std::size_t childIdx)
+{
+    Addr child = mem_.read64(tid, childAddr(parent, childIdx));
+    NodeView cv = NodeView::read(mem_, tid, child);
+    if (cv.n > kMinItems - 1)
+        return child;
+
+    NodeView pv = NodeView::read(mem_, tid, parent);
+    // Try borrowing from the left sibling.
+    if (childIdx > 0) {
+        Addr left = mem_.read64(tid, childAddr(parent, childIdx - 1));
+        NodeView lv = NodeView::read(mem_, tid, left);
+        if (lv.n > kMinItems - 1) {
+            // Rotate right through the parent separator.
+            std::uint8_t items[16 * kOrder];
+            mem_.read(tid, itemAddr(child, 0), items, 16 * cv.n);
+            pool_.txWrite(tid, itemAddr(child, 1), items, 16 * cv.n);
+            std::uint8_t sep[16];
+            mem_.read(tid, itemAddr(parent, childIdx - 1), sep, 16);
+            pool_.txWrite(tid, itemAddr(child, 0), sep, 16);
+            std::uint8_t moved[16];
+            mem_.read(tid, itemAddr(left, lv.n - 1), moved, 16);
+            pool_.txWrite(tid, itemAddr(parent, childIdx - 1), moved,
+                          16);
+            if (cv.leaf == 0) {
+                std::uint8_t kids[8 * (kOrder + 1)];
+                mem_.read(tid, childAddr(child, 0), kids,
+                          8 * (cv.n + 1));
+                pool_.txWrite(tid, childAddr(child, 1), kids,
+                              8 * (cv.n + 1));
+                Addr k = mem_.read64(tid, childAddr(left, lv.n));
+                pool_.txWrite(tid, childAddr(child, 0), &k, 8);
+            }
+            std::uint32_t cn = cv.n + 1, ln = lv.n - 1;
+            pool_.txWrite(tid, child, &cn, 4);
+            pool_.txWrite(tid, left, &ln, 4);
+            return child;
+        }
+    }
+    // Try borrowing from the right sibling.
+    if (childIdx < pv.n) {
+        Addr right = mem_.read64(tid, childAddr(parent, childIdx + 1));
+        NodeView rv = NodeView::read(mem_, tid, right);
+        if (rv.n > kMinItems - 1) {
+            // Rotate left through the parent separator.
+            std::uint8_t sep[16];
+            mem_.read(tid, itemAddr(parent, childIdx), sep, 16);
+            pool_.txWrite(tid, itemAddr(child, cv.n), sep, 16);
+            std::uint8_t moved[16];
+            mem_.read(tid, itemAddr(right, 0), moved, 16);
+            pool_.txWrite(tid, itemAddr(parent, childIdx), moved, 16);
+            std::uint8_t items[16 * kOrder];
+            mem_.read(tid, itemAddr(right, 1), items, 16 * (rv.n - 1));
+            pool_.txWrite(tid, itemAddr(right, 0), items,
+                          16 * (rv.n - 1));
+            if (cv.leaf == 0) {
+                Addr k = mem_.read64(tid, childAddr(right, 0));
+                pool_.txWrite(tid, childAddr(child, cv.n + 1), &k, 8);
+                std::uint8_t kids[8 * (kOrder + 1)];
+                mem_.read(tid, childAddr(right, 1), kids, 8 * rv.n);
+                pool_.txWrite(tid, childAddr(right, 0), kids, 8 * rv.n);
+            }
+            std::uint32_t cn = cv.n + 1, rn = rv.n - 1;
+            pool_.txWrite(tid, child, &cn, 4);
+            pool_.txWrite(tid, right, &rn, 4);
+            return child;
+        }
+    }
+    // Merge with a sibling (both at minimum): child absorbs the
+    // separator and the right node of the pair.
+    std::size_t left_idx = childIdx > 0 ? childIdx - 1 : childIdx;
+    Addr left = mem_.read64(tid, childAddr(parent, left_idx));
+    Addr right = mem_.read64(tid, childAddr(parent, left_idx + 1));
+    NodeView lv = NodeView::read(mem_, tid, left);
+    NodeView rv = NodeView::read(mem_, tid, right);
+
+    std::uint8_t sep[16];
+    mem_.read(tid, itemAddr(parent, left_idx), sep, 16);
+    pool_.txWrite(tid, itemAddr(left, lv.n), sep, 16);
+    std::uint8_t items[16 * kOrder];
+    mem_.read(tid, itemAddr(right, 0), items, 16 * rv.n);
+    pool_.txWrite(tid, itemAddr(left, lv.n + 1), items, 16 * rv.n);
+    if (lv.leaf == 0) {
+        std::uint8_t kids[8 * (kOrder + 1)];
+        mem_.read(tid, childAddr(right, 0), kids, 8 * (rv.n + 1));
+        pool_.txWrite(tid, childAddr(left, lv.n + 1), kids,
+                      8 * (rv.n + 1));
+    }
+    std::uint32_t ln = lv.n + 1 + rv.n;
+    pool_.txWrite(tid, left, &ln, 4);
+
+    // Remove the separator and right pointer from the parent.
+    NodeView pv2 = NodeView::read(mem_, tid, parent);
+    if (pv2.n > left_idx + 1) {
+        std::uint8_t pitems[16 * kOrder];
+        mem_.read(tid, itemAddr(parent, left_idx + 1), pitems,
+                  16 * (pv2.n - left_idx - 1));
+        pool_.txWrite(tid, itemAddr(parent, left_idx), pitems,
+                      16 * (pv2.n - left_idx - 1));
+        std::uint8_t pkids[8 * (kOrder + 1)];
+        mem_.read(tid, childAddr(parent, left_idx + 2), pkids,
+                  8 * (pv2.n - left_idx - 1));
+        pool_.txWrite(tid, childAddr(parent, left_idx + 1), pkids,
+                      8 * (pv2.n - left_idx - 1));
+    }
+    std::uint32_t pn = pv2.n - 1;
+    pool_.txWrite(tid, parent, &pn, 4);
+    pool_.free(tid, right);
+    return left;
+}
+
+bool
+BTreeMap::eraseFrom(int tid, Addr node, std::uint64_t key)
+{
+    while (true) {
+        NodeView v = NodeView::read(mem_, tid, node);
+        std::size_t i = 0;
+        std::uint64_t k = 0;
+        for (; i < v.n; i++) {
+            k = mem_.read64(tid, itemAddr(node, i));
+            if (k >= key)
+                break;
+        }
+        bool found = i < v.n && k == key;
+
+        if (v.leaf != 0) {
+            if (!found)
+                return false;
+            Addr value = mem_.read64(tid, itemAddr(node, i) + 8);
+            if (v.n > i + 1) {
+                std::uint8_t items[16 * kOrder];
+                mem_.read(tid, itemAddr(node, i + 1), items,
+                          16 * (v.n - i - 1));
+                pool_.txWrite(tid, itemAddr(node, i), items,
+                              16 * (v.n - i - 1));
+            }
+            std::uint32_t n = v.n - 1;
+            pool_.txWrite(tid, node, &n, 4);
+            pool_.free(tid, value);
+            return true;
+        }
+        if (found) {
+            // Replace with the predecessor (rightmost item of the
+            // left child), then delete that item below. Ensure the
+            // left child is non-minimal first.
+            Addr child = fixChildForDelete(tid, node, i);
+            // The fix may have moved/merged items; retry from here.
+            NodeView v2 = NodeView::read(mem_, tid, node);
+            std::size_t j = 0;
+            std::uint64_t k2 = 0;
+            for (; j < v2.n; j++) {
+                k2 = mem_.read64(tid, itemAddr(node, j));
+                if (k2 >= key)
+                    break;
+            }
+            if (j >= v2.n || k2 != key) {
+                // The key moved down during the merge; keep walking.
+                node = child;
+                continue;
+            }
+            // Find the predecessor in the left subtree.
+            Addr pred = mem_.read64(tid, childAddr(node, j));
+            while (true) {
+                NodeView pv = NodeView::read(mem_, tid, pred);
+                if (pv.leaf != 0)
+                    break;
+                pred = fixChildForDelete(tid, pred, pv.n);
+                NodeView check = NodeView::read(mem_, tid, pred);
+                if (check.leaf != 0)
+                    break;
+                pred = mem_.read64(tid, childAddr(pred, check.n));
+            }
+            NodeView lv = NodeView::read(mem_, tid, pred);
+            std::uint8_t item[16];
+            mem_.read(tid, itemAddr(pred, lv.n - 1), item, 16);
+            std::uint64_t pred_key;
+            std::memcpy(&pred_key, item, 8);
+            // Free the victim's value, move the predecessor item up.
+            Addr victim_value =
+                mem_.read64(tid, itemAddr(node, j) + 8);
+            pool_.txWrite(tid, itemAddr(node, j), item, 16);
+            pool_.free(tid, victim_value);
+            // Delete the predecessor item (not its value) below.
+            key = pred_key;
+            node = mem_.read64(tid, childAddr(node, j));
+            // Remove pred item when we reach it: it is now a
+            // duplicate; the loop handles it, but its value must NOT
+            // be freed twice — null it first.
+            (void)lv;
+            // Walk down deleting pred_key; since the leaf copy's
+            // value pointer was moved up, overwrite it with 0 so the
+            // leaf delete frees nothing.
+            // (Handled by eraseDupLeafCopy below.)
+            eraseDupLeafCopy(tid, node, pred_key);
+            return true;
+        }
+        node = fixChildForDelete(tid, node, i);
+    }
+}
+
+void
+BTreeMap::eraseDupLeafCopy(int tid, Addr node, std::uint64_t key)
+{
+    // Delete the (duplicate) predecessor item whose value pointer was
+    // promoted: descend non-minimally and drop the item without
+    // freeing the value.
+    while (true) {
+        NodeView v = NodeView::read(mem_, tid, node);
+        std::size_t i = 0;
+        std::uint64_t k = 0;
+        for (; i < v.n; i++) {
+            k = mem_.read64(tid, itemAddr(node, i));
+            if (k >= key)
+                break;
+        }
+        if (v.leaf != 0) {
+            panic_if(i >= v.n || k != key,
+                     "predecessor copy vanished");
+            if (v.n > i + 1) {
+                std::uint8_t items[16 * kOrder];
+                mem_.read(tid, itemAddr(node, i + 1), items,
+                          16 * (v.n - i - 1));
+                pool_.txWrite(tid, itemAddr(node, i), items,
+                              16 * (v.n - i - 1));
+            }
+            std::uint32_t n = v.n - 1;
+            pool_.txWrite(tid, node, &n, 4);
+            return;
+        }
+        panic_if(i < v.n && k == key,
+                 "predecessor must sit in the rightmost leaf");
+        node = fixChildForDelete(tid, node, i);
+    }
+}
+
+bool
+BTreeMap::erase(int tid, std::uint64_t key)
+{
+    pool_.txBegin(tid);
+    Addr root = mem_.read64(tid, rootSlot_);
+    bool found = eraseFrom(tid, root, key);
+    // Shrink the tree if the root emptied out.
+    NodeView rv = NodeView::read(mem_, tid, root);
+    if (rv.n == 0 && rv.leaf == 0) {
+        Addr child = mem_.read64(tid, childAddr(root, 0));
+        pool_.txWrite(tid, rootSlot_, &child, 8);
+        pool_.free(tid, root);
+    }
+    pool_.txCommit(tid);
+    return found;
+}
+
+Addr
+BTreeMap::findValueSlot(int tid, std::uint64_t key)
+{
+    Addr node = mem_.read64(tid, rootSlot_);
+    while (node != 0) {
+        NodeView v = NodeView::read(mem_, tid, node);
+        std::size_t i = 0;
+        for (; i < v.n; i++) {
+            std::uint64_t k = mem_.read64(tid, itemAddr(node, i));
+            if (k == key)
+                return itemAddr(node, i) + 8;
+            if (k > key)
+                break;
+        }
+        if (v.leaf != 0)
+            return 0;
+        node = mem_.read64(tid, childAddr(node, i));
+    }
+    return 0;
+}
+
+bool
+BTreeMap::update(int tid, std::uint64_t key, const void *value)
+{
+    Addr slot = findValueSlot(tid, key);
+    if (slot == 0)
+        return false;
+    Addr val = mem_.read64(tid, slot);
+    pool_.txBegin(tid);
+    pool_.txWrite(tid, val, value, valueBytes_);
+    pool_.txCommit(tid);
+    return true;
+}
+
+Addr
+BTreeMap::valueAddr(int tid, std::uint64_t key)
+{
+    Addr slot = findValueSlot(tid, key);
+    return slot == 0 ? 0 : mem_.read64(tid, slot);
+}
+
+bool
+BTreeMap::get(int tid, std::uint64_t key, void *value)
+{
+    Addr slot = findValueSlot(tid, key);
+    if (slot == 0)
+        return false;
+    mem_.read(tid, mem_.read64(tid, slot), value, valueBytes_);
+    return true;
+}
+
+}  // namespace tvarak

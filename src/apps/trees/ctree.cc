@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Crit-bit tree implementation (PMDK ctree_map equivalent).
+ *
+ * Persistent layout:
+ *   root slot (pool root object, 8 B): tagged pointer to the root.
+ *   leaf (16 B):      [0] key        [8] value-object address
+ *   internal (24 B):  [0] diff bit   [8] child0   [16] child1
+ * Internal-node pointers carry tag bit 0 (allocations are 16-byte
+ * aligned). The invariant is MSB-first: a node's diff bit is larger
+ * than every diff bit below it.
+ */
+
+#include <bit>
+
+#include "apps/trees/trees_impl.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+constexpr Addr kInternalTag = 1;
+
+bool isInternal(Addr p) { return (p & kInternalTag) != 0; }
+Addr untag(Addr p) { return p & ~kInternalTag; }
+
+}  // namespace
+
+CTreeMap::CTreeMap(MemorySystem &mem, PmemPool &pool,
+                   std::size_t valueBytes)
+    : PmemMap(mem, pool, valueBytes)
+{
+    // The root pointer lives in a dedicated 8 B root object.
+    Addr root = pool_.getRoot(0);
+    if (root == 0) {
+        root = pool_.alloc(0, 8);
+        std::uint64_t zero = 0;
+        pool_.txBegin(0);
+        pool_.txWrite(0, root, &zero, 8);
+        pool_.setRoot(0, root);
+        pool_.txCommit(0);
+    }
+    rootSlot_ = root;
+}
+
+Addr
+CTreeMap::findLeaf(int tid, std::uint64_t key)
+{
+    Addr node = mem_.read64(tid, rootSlot_);
+    if (node == 0)
+        return 0;
+    while (isInternal(node)) {
+        Addr n = untag(node);
+        std::uint64_t diff = mem_.read64(tid, n);
+        std::size_t side = (key >> diff) & 1;
+        node = mem_.read64(tid, n + 8 + 8 * side);
+    }
+    return node;
+}
+
+void
+CTreeMap::insert(int tid, std::uint64_t key, const void *value)
+{
+    pool_.txBegin(tid);
+    Addr val = makeValue(tid, value);
+
+    Addr leaf = findLeaf(tid, key);
+    if (leaf == 0) {
+        Addr nleaf = pool_.alloc(tid, 16);
+        pool_.txWrite(tid, nleaf, &key, 8);
+        pool_.txWrite(tid, nleaf + 8, &val, 8);
+        pool_.txWrite(tid, rootSlot_, &nleaf, 8);
+        pool_.txCommit(tid);
+        return;
+    }
+
+    std::uint64_t leaf_key = mem_.read64(tid, leaf);
+    if (leaf_key == key) {
+        // Replace: swing the value pointer, free the old value.
+        Addr old = mem_.read64(tid, leaf + 8);
+        pool_.txWrite(tid, leaf + 8, &val, 8);
+        pool_.free(tid, old);
+        pool_.txCommit(tid);
+        return;
+    }
+
+    auto diff = static_cast<std::uint64_t>(
+        63 - std::countl_zero(key ^ leaf_key));
+    std::size_t side = (key >> diff) & 1;
+
+    Addr nleaf = pool_.alloc(tid, 16);
+    pool_.txWrite(tid, nleaf, &key, 8);
+    pool_.txWrite(tid, nleaf + 8, &val, 8);
+
+    // Descend to the edge where the new internal node belongs:
+    // stop at the first node whose diff bit is below ours.
+    Addr slot = rootSlot_;
+    Addr node = mem_.read64(tid, slot);
+    while (isInternal(node)) {
+        Addr n = untag(node);
+        std::uint64_t ndiff = mem_.read64(tid, n);
+        if (ndiff < diff)
+            break;
+        slot = n + 8 + 8 * ((key >> ndiff) & 1);
+        node = mem_.read64(tid, slot);
+    }
+
+    Addr internal = pool_.alloc(tid, 24);
+    pool_.txWrite(tid, internal, &diff, 8);
+    Addr kids[2];
+    kids[side] = nleaf;
+    kids[1 - side] = node;
+    pool_.txWrite(tid, internal + 8, kids, 16);
+    Addr tagged = internal | kInternalTag;
+    pool_.txWrite(tid, slot, &tagged, 8);
+    pool_.txCommit(tid);
+}
+
+bool
+CTreeMap::update(int tid, std::uint64_t key, const void *value)
+{
+    Addr leaf = findLeaf(tid, key);
+    if (leaf == 0 || mem_.read64(tid, leaf) != key)
+        return false;
+    Addr val = mem_.read64(tid, leaf + 8);
+    pool_.txBegin(tid);
+    pool_.txWrite(tid, val, value, valueBytes_);
+    pool_.txCommit(tid);
+    return true;
+}
+
+Addr
+CTreeMap::valueAddr(int tid, std::uint64_t key)
+{
+    Addr leaf = findLeaf(tid, key);
+    if (leaf == 0 || mem_.read64(tid, leaf) != key)
+        return 0;
+    return mem_.read64(tid, leaf + 8);
+}
+
+bool
+CTreeMap::erase(int tid, std::uint64_t key)
+{
+    // Walk with one level of look-behind: the slot holding the leaf
+    // and the internal node (plus its slot) above it.
+    Addr node = mem_.read64(tid, rootSlot_);
+    if (node == 0)
+        return false;
+
+    Addr leaf_slot = rootSlot_;
+    Addr internal = 0;       //!< internal node above the leaf
+    Addr internal_slot = 0;  //!< slot that points at that internal
+    std::size_t sibling_side = 0;
+    while (isInternal(node)) {
+        Addr n = untag(node);
+        std::uint64_t diff = mem_.read64(tid, n);
+        std::size_t side = (key >> diff) & 1;
+        internal = n;
+        internal_slot = leaf_slot;
+        sibling_side = 1 - side;
+        leaf_slot = n + 8 + 8 * side;
+        node = mem_.read64(tid, leaf_slot);
+    }
+    if (mem_.read64(tid, node) != key)
+        return false;
+
+    pool_.txBegin(tid);
+    Addr value = mem_.read64(tid, node + 8);
+    if (internal == 0) {
+        // The leaf was the whole tree.
+        std::uint64_t zero = 0;
+        pool_.txWrite(tid, rootSlot_, &zero, 8);
+    } else {
+        // The sibling subtree replaces the internal node (crit-bit
+        // collapse).
+        Addr sibling =
+            mem_.read64(tid, internal + 8 + 8 * sibling_side);
+        pool_.txWrite(tid, internal_slot, &sibling, 8);
+        pool_.free(tid, internal);
+    }
+    pool_.free(tid, node);
+    pool_.free(tid, value);
+    pool_.txCommit(tid);
+    return true;
+}
+
+bool
+CTreeMap::get(int tid, std::uint64_t key, void *value)
+{
+    Addr leaf = findLeaf(tid, key);
+    if (leaf == 0 || mem_.read64(tid, leaf) != key)
+        return false;
+    Addr val = mem_.read64(tid, leaf + 8);
+    mem_.read(tid, val, value, valueBytes_);
+    return true;
+}
+
+}  // namespace tvarak

@@ -1,0 +1,42 @@
+#include "apps/trees/pmem_map.hh"
+
+#include "apps/trees/trees_impl.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+Addr
+PmemMap::makeValue(int tid, const void *value)
+{
+    Addr v = pool_.alloc(tid, valueBytes_);
+    pool_.txWrite(tid, v, value, valueBytes_);
+    return v;
+}
+
+const char *
+mapKindName(MapKind kind)
+{
+    switch (kind) {
+      case MapKind::CTree:  return "ctree";
+      case MapKind::BTree:  return "btree";
+      case MapKind::RBTree: return "rbtree";
+    }
+    return "?";
+}
+
+std::unique_ptr<PmemMap>
+makeMap(MapKind kind, MemorySystem &mem, PmemPool &pool,
+        std::size_t valueBytes)
+{
+    switch (kind) {
+      case MapKind::CTree:
+        return std::make_unique<CTreeMap>(mem, pool, valueBytes);
+      case MapKind::BTree:
+        return std::make_unique<BTreeMap>(mem, pool, valueBytes);
+      case MapKind::RBTree:
+        return std::make_unique<RBTreeMap>(mem, pool, valueBytes);
+    }
+    panic("unknown map kind");
+}
+
+}  // namespace tvarak

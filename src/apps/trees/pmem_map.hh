@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Persistent key-value map interface over PmemPool, with the three
+ * PMDK-style implementations the paper evaluates (Table II):
+ *
+ *  - CTree:  crit-bit binary tree (PMDK's ctree_map);
+ *  - BTree:  order-8 B+-tree with in-node arrays (btree_map);
+ *  - RBTree: red-black tree with parent pointers (rbtree_map).
+ *
+ * Keys are 64-bit integers; values are fixed-size byte blobs stored
+ * in separate pool objects. Mutations run inside pool transactions
+ * (undo-logged); lookups are transaction-free reads, as in PMDK's
+ * examples. All persistent loads/stores go through the simulated
+ * memory system, so every design's redundancy machinery sees exactly
+ * the traffic a real PMDK workload would generate.
+ */
+
+#ifndef TVARAK_APPS_TREES_PMEM_MAP_HH
+#define TVARAK_APPS_TREES_PMEM_MAP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pmemlib/pmem_pool.hh"
+
+namespace tvarak {
+
+class PmemMap
+{
+  public:
+    virtual ~PmemMap() = default;
+
+    /** Insert @p key -> value (overwrites an existing key). */
+    virtual void insert(int tid, std::uint64_t key, const void *value) = 0;
+    /** Overwrite the value of @p key in place. @return found. */
+    virtual bool update(int tid, std::uint64_t key, const void *value) = 0;
+    /** Read the value of @p key. @return found. */
+    virtual bool get(int tid, std::uint64_t key, void *value) = 0;
+    /** Remove @p key, freeing its value and structure nodes.
+     *  @return found. */
+    virtual bool erase(int tid, std::uint64_t key) = 0;
+    /** Virtual address of @p key's value payload (0 if absent);
+     *  for diagnostics and fault-injection tooling. */
+    virtual Addr valueAddr(int tid, std::uint64_t key) = 0;
+
+    std::size_t valueBytes() const { return valueBytes_; }
+    virtual const char *kindName() const = 0;
+
+  protected:
+    PmemMap(MemorySystem &mem, PmemPool &pool, std::size_t valueBytes)
+        : mem_(mem), pool_(pool), valueBytes_(valueBytes)
+    {}
+
+    /** Allocate + fill a value object; returns its address. */
+    Addr makeValue(int tid, const void *value);
+
+    MemorySystem &mem_;
+    PmemPool &pool_;
+    std::size_t valueBytes_;
+};
+
+enum class MapKind { CTree, BTree, RBTree };
+
+const char *mapKindName(MapKind kind);
+
+/** Construct a map of @p kind rooted in @p pool. */
+std::unique_ptr<PmemMap> makeMap(MapKind kind, MemorySystem &mem,
+                                 PmemPool &pool,
+                                 std::size_t valueBytes = 64);
+
+}  // namespace tvarak
+
+#endif  // TVARAK_APPS_TREES_PMEM_MAP_HH

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Red-black tree (PMDK rbtree_map equivalent).
+ *
+ * Persistent node layout (48 B):
+ *   [0] key  [8] valueAddr  [16] left  [24] right  [32] parent
+ *   [40] color (0 = black, 1 = red)
+ * Address 0 is the NIL sentinel (black, never dereferenced for
+ * children). The root slot object holds the tree root pointer.
+ */
+
+#include "apps/trees/trees_impl.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+constexpr std::size_t kKey = 0, kVal = 8, kLeft = 16, kRight = 24,
+                      kParent = 32, kColor = 40;
+constexpr std::uint64_t kBlack = 0, kRed = 1;
+constexpr std::size_t kNodeBytes = 48;
+
+}  // namespace
+
+RBTreeMap::RBTreeMap(MemorySystem &mem, PmemPool &pool,
+                     std::size_t valueBytes)
+    : PmemMap(mem, pool, valueBytes)
+{
+    Addr root = pool_.getRoot(0);
+    if (root == 0) {
+        root = pool_.alloc(0, 8);
+        std::uint64_t zero = 0;
+        pool_.txBegin(0);
+        pool_.txWrite(0, root, &zero, 8);
+        pool_.setRoot(0, root);
+        pool_.txCommit(0);
+    }
+    rootSlot_ = root;
+}
+
+Addr
+RBTreeMap::findNode(int tid, std::uint64_t key)
+{
+    Addr node = mem_.read64(tid, rootSlot_);
+    while (node != 0) {
+        std::uint64_t k = mem_.read64(tid, node + kKey);
+        if (k == key)
+            return node;
+        node = mem_.read64(tid, node + (key < k ? kLeft : kRight));
+    }
+    return 0;
+}
+
+void
+RBTreeMap::rotate(int tid, Addr x, bool left)
+{
+    std::size_t toward = left ? kRight : kLeft;
+    std::size_t away = left ? kLeft : kRight;
+    Addr y = mem_.read64(tid, x + toward);
+    Addr y_away = mem_.read64(tid, y + away);
+
+    pool_.txWrite(tid, x + toward, &y_away, 8);
+    if (y_away != 0)
+        pool_.txWrite(tid, y_away + kParent, &x, 8);
+
+    Addr xp = mem_.read64(tid, x + kParent);
+    pool_.txWrite(tid, y + kParent, &xp, 8);
+    if (xp == 0) {
+        pool_.txWrite(tid, rootSlot_, &y, 8);
+    } else {
+        std::size_t side =
+            mem_.read64(tid, xp + kLeft) == x ? kLeft : kRight;
+        pool_.txWrite(tid, xp + side, &y, 8);
+    }
+    pool_.txWrite(tid, y + away, &x, 8);
+    pool_.txWrite(tid, x + kParent, &y, 8);
+}
+
+void
+RBTreeMap::insertFixup(int tid, Addr z)
+{
+    while (true) {
+        Addr zp = mem_.read64(tid, z + kParent);
+        if (zp == 0 || mem_.read64(tid, zp + kColor) == kBlack)
+            break;
+        Addr zpp = mem_.read64(tid, zp + kParent);
+        bool parent_is_left = mem_.read64(tid, zpp + kLeft) == zp;
+        Addr uncle =
+            mem_.read64(tid, zpp + (parent_is_left ? kRight : kLeft));
+        if (uncle != 0 && mem_.read64(tid, uncle + kColor) == kRed) {
+            pool_.txWrite(tid, zp + kColor, &kBlack, 8);
+            pool_.txWrite(tid, uncle + kColor, &kBlack, 8);
+            pool_.txWrite(tid, zpp + kColor, &kRed, 8);
+            z = zpp;
+            continue;
+        }
+        bool z_is_inner =
+            mem_.read64(tid, zp + (parent_is_left ? kRight : kLeft)) == z;
+        if (z_is_inner) {
+            rotate(tid, zp, parent_is_left);
+            z = zp;
+            zp = mem_.read64(tid, z + kParent);
+            zpp = mem_.read64(tid, zp + kParent);
+        }
+        pool_.txWrite(tid, zp + kColor, &kBlack, 8);
+        pool_.txWrite(tid, zpp + kColor, &kRed, 8);
+        rotate(tid, zpp, !parent_is_left);
+        break;
+    }
+    Addr root = mem_.read64(tid, rootSlot_);
+    if (mem_.read64(tid, root + kColor) != kBlack)
+        pool_.txWrite(tid, root + kColor, &kBlack, 8);
+}
+
+void
+RBTreeMap::insert(int tid, std::uint64_t key, const void *value)
+{
+    pool_.txBegin(tid);
+    Addr val = makeValue(tid, value);
+
+    // Standard BST descent, remembering the parent.
+    Addr parent = 0;
+    Addr node = mem_.read64(tid, rootSlot_);
+    bool went_left = false;
+    while (node != 0) {
+        std::uint64_t k = mem_.read64(tid, node + kKey);
+        if (k == key) {
+            Addr old = mem_.read64(tid, node + kVal);
+            pool_.txWrite(tid, node + kVal, &val, 8);
+            pool_.free(tid, old);
+            pool_.txCommit(tid);
+            return;
+        }
+        parent = node;
+        went_left = key < k;
+        node = mem_.read64(tid, node + (went_left ? kLeft : kRight));
+    }
+
+    Addr z = pool_.alloc(tid, kNodeBytes);
+    std::uint64_t init[6] = {key, val, 0, 0, parent, kRed};
+    pool_.txWrite(tid, z, init, sizeof(init));
+    if (parent == 0)
+        pool_.txWrite(tid, rootSlot_, &z, 8);
+    else
+        pool_.txWrite(tid, parent + (went_left ? kLeft : kRight), &z, 8);
+    insertFixup(tid, z);
+    pool_.txCommit(tid);
+}
+
+bool
+RBTreeMap::update(int tid, std::uint64_t key, const void *value)
+{
+    Addr node = findNode(tid, key);
+    if (node == 0)
+        return false;
+    Addr val = mem_.read64(tid, node + kVal);
+    pool_.txBegin(tid);
+    pool_.txWrite(tid, val, value, valueBytes_);
+    pool_.txCommit(tid);
+    return true;
+}
+
+
+void
+RBTreeMap::transplant(int tid, Addr u, Addr v)
+{
+    Addr up = mem_.read64(tid, u + kParent);
+    if (up == 0) {
+        pool_.txWrite(tid, rootSlot_, &v, 8);
+    } else {
+        std::size_t side =
+            mem_.read64(tid, up + kLeft) == u ? kLeft : kRight;
+        pool_.txWrite(tid, up + side, &v, 8);
+    }
+    if (v != 0)
+        pool_.txWrite(tid, v + kParent, &up, 8);
+}
+
+void
+RBTreeMap::eraseFixup(int tid, Addr x, Addr xParent)
+{
+    auto color_of = [&](Addr n) {
+        return n == 0 ? kBlack : mem_.read64(tid, n + kColor);
+    };
+    while (true) {
+        Addr root = mem_.read64(tid, rootSlot_);
+        if (x == root || color_of(x) == kRed)
+            break;
+        bool x_is_left = mem_.read64(tid, xParent + kLeft) == x;
+        std::size_t near = x_is_left ? kLeft : kRight;
+        std::size_t far = x_is_left ? kRight : kLeft;
+        Addr w = mem_.read64(tid, xParent + far);
+        if (color_of(w) == kRed) {
+            pool_.txWrite(tid, w + kColor, &kBlack, 8);
+            pool_.txWrite(tid, xParent + kColor, &kRed, 8);
+            rotate(tid, xParent, x_is_left);
+            w = mem_.read64(tid, xParent + far);
+        }
+        if (color_of(mem_.read64(tid, w + kLeft)) == kBlack &&
+            color_of(mem_.read64(tid, w + kRight)) == kBlack) {
+            pool_.txWrite(tid, w + kColor, &kRed, 8);
+            x = xParent;
+            xParent = mem_.read64(tid, x + kParent);
+            continue;
+        }
+        if (color_of(mem_.read64(tid, w + far)) == kBlack) {
+            Addr w_near = mem_.read64(tid, w + near);
+            if (w_near != 0)
+                pool_.txWrite(tid, w_near + kColor, &kBlack, 8);
+            pool_.txWrite(tid, w + kColor, &kRed, 8);
+            rotate(tid, w, !x_is_left);
+            w = mem_.read64(tid, xParent + far);
+        }
+        std::uint64_t pcolor = mem_.read64(tid, xParent + kColor);
+        pool_.txWrite(tid, w + kColor, &pcolor, 8);
+        pool_.txWrite(tid, xParent + kColor, &kBlack, 8);
+        Addr w_far = mem_.read64(tid, w + far);
+        if (w_far != 0)
+            pool_.txWrite(tid, w_far + kColor, &kBlack, 8);
+        rotate(tid, xParent, x_is_left);
+        break;
+    }
+    if (x != 0)
+        pool_.txWrite(tid, x + kColor, &kBlack, 8);
+}
+
+bool
+RBTreeMap::erase(int tid, std::uint64_t key)
+{
+    Addr z = findNode(tid, key);
+    if (z == 0)
+        return false;
+    pool_.txBegin(tid);
+    Addr value = mem_.read64(tid, z + kVal);
+
+    Addr y = z;
+    std::uint64_t y_color = mem_.read64(tid, y + kColor);
+    Addr x = 0, x_parent = 0;
+    Addr z_left = mem_.read64(tid, z + kLeft);
+    Addr z_right = mem_.read64(tid, z + kRight);
+    if (z_left == 0) {
+        x = z_right;
+        x_parent = mem_.read64(tid, z + kParent);
+        transplant(tid, z, z_right);
+    } else if (z_right == 0) {
+        x = z_left;
+        x_parent = mem_.read64(tid, z + kParent);
+        transplant(tid, z, z_left);
+    } else {
+        // Successor: minimum of the right subtree.
+        y = z_right;
+        for (Addr l = mem_.read64(tid, y + kLeft); l != 0;
+             l = mem_.read64(tid, y + kLeft)) {
+            y = l;
+        }
+        y_color = mem_.read64(tid, y + kColor);
+        x = mem_.read64(tid, y + kRight);
+        if (mem_.read64(tid, y + kParent) == z) {
+            x_parent = y;
+        } else {
+            x_parent = mem_.read64(tid, y + kParent);
+            transplant(tid, y, x);
+            Addr zr = mem_.read64(tid, z + kRight);
+            pool_.txWrite(tid, y + kRight, &zr, 8);
+            pool_.txWrite(tid, zr + kParent, &y, 8);
+        }
+        transplant(tid, z, y);
+        Addr zl = mem_.read64(tid, z + kLeft);
+        pool_.txWrite(tid, y + kLeft, &zl, 8);
+        pool_.txWrite(tid, zl + kParent, &y, 8);
+        std::uint64_t zc = mem_.read64(tid, z + kColor);
+        pool_.txWrite(tid, y + kColor, &zc, 8);
+    }
+    pool_.free(tid, z);
+    pool_.free(tid, value);
+    if (y_color == kBlack)
+        eraseFixup(tid, x, x_parent);
+    pool_.txCommit(tid);
+    return true;
+}
+
+Addr
+RBTreeMap::valueAddr(int tid, std::uint64_t key)
+{
+    Addr node = findNode(tid, key);
+    return node == 0 ? 0 : mem_.read64(tid, node + kVal);
+}
+
+bool
+RBTreeMap::get(int tid, std::uint64_t key, void *value)
+{
+    Addr node = findNode(tid, key);
+    if (node == 0)
+        return false;
+    mem_.read(tid, mem_.read64(tid, node + kVal), value, valueBytes_);
+    return true;
+}
+
+int
+RBTreeMap::checkInvariants(int tid)
+{
+    // Iterative check via recursion on a helper lambda.
+    struct Checker {
+        RBTreeMap &t;
+        int tid;
+        bool ok = true;
+
+        int visit(Addr node)
+        {
+            if (node == 0)
+                return 1;  // NIL is black
+            std::uint64_t color = t.mem_.read64(tid, node + kColor);
+            Addr l = t.mem_.read64(tid, node + kLeft);
+            Addr r = t.mem_.read64(tid, node + kRight);
+            if (color == kRed) {
+                if ((l != 0 &&
+                     t.mem_.read64(tid, l + kColor) == kRed) ||
+                    (r != 0 &&
+                     t.mem_.read64(tid, r + kColor) == kRed)) {
+                    ok = false;  // red node with red child
+                }
+            }
+            std::uint64_t k = t.mem_.read64(tid, node + kKey);
+            if (l != 0 && t.mem_.read64(tid, l + kKey) >= k)
+                ok = false;
+            if (r != 0 && t.mem_.read64(tid, r + kKey) <= k)
+                ok = false;
+            int lh = visit(l);
+            int rh = visit(r);
+            if (lh != rh)
+                ok = false;
+            return lh + (color == kBlack ? 1 : 0);
+        }
+    };
+    Checker c{*this, tid};
+    Addr root = mem_.read64(tid, rootSlot_);
+    if (root != 0 && mem_.read64(tid, root + kColor) != kBlack)
+        return -1;
+    int h = c.visit(root);
+    return c.ok ? h : -1;
+}
+
+}  // namespace tvarak

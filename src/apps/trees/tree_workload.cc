@@ -1,0 +1,109 @@
+#include "apps/trees/tree_workload.hh"
+
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+TreeWorkload::TreeWorkload(MemorySystem &mem, DaxFs &fs, int tid,
+                           RedundancyScheme *scheme, Params params)
+    : mem_(mem),
+      fs_(fs),
+      tid_(tid),
+      scheme_(scheme),
+      params_(params),
+      rng_(0x1000 + static_cast<std::uint64_t>(tid))
+{}
+
+TreeWorkload::~TreeWorkload() = default;
+
+const char *
+TreeWorkload::mixName(Mix mix)
+{
+    switch (mix) {
+      case Mix::InsertOnly: return "insert-only";
+      case Mix::UpdateOnly: return "update-only";
+      case Mix::Balanced:   return "balanced";
+      case Mix::ReadOnly:   return "read-only";
+    }
+    return "?";
+}
+
+std::string
+TreeWorkload::name() const
+{
+    return std::string(mapKindName(params_.kind)) + "-" +
+        mixName(params_.mix) + "-" + std::to_string(tid_);
+}
+
+void
+TreeWorkload::setup()
+{
+    pool_ = std::make_unique<PmemPool>(
+        mem_, fs_, std::string(mapKindName(params_.kind)) + "-pool-" +
+            std::to_string(tid_),
+        params_.poolBytes, scheme_, 1);
+    map_ = makeMap(params_.kind, mem_, *pool_, params_.valueBytes);
+    value_.resize(params_.valueBytes);
+
+    // The benchmark driver (like pmembench) knows its key set; the
+    // index is volatile driver state, not simulated data.
+    std::size_t preload = params_.mix == Mix::InsertOnly
+        ? params_.preload / 8  // inserts build most of their own tree
+        : params_.preload;
+    keys_.reserve(preload);
+    pool_->setSchemeEnabled(false);  // unmeasured load phase
+    for (std::size_t i = 0; i < preload; i++) {
+        std::uint64_t key = rng_.next();
+        std::memset(value_.data(), static_cast<int>(key & 0xff),
+                    value_.size());
+        map_->insert(tid_, key, value_.data());
+        keys_.push_back(key);
+    }
+    pool_->setSchemeEnabled(true);
+}
+
+void
+TreeWorkload::doOp()
+{
+    std::uint64_t existing =
+        keys_[rng_.nextBounded(keys_.size())];
+
+    switch (params_.mix) {
+      case Mix::InsertOnly:
+        std::memset(value_.data(), static_cast<int>(done_ & 0xff),
+                    value_.size());
+        map_->insert(tid_, rng_.next(), value_.data());
+        break;
+      case Mix::UpdateOnly:
+        std::memset(value_.data(), static_cast<int>(done_ & 0xff),
+                    value_.size());
+        (void)map_->update(tid_, existing, value_.data());
+        break;
+      case Mix::Balanced:
+        if (rng_.nextBool(0.5)) {
+            std::memset(value_.data(), static_cast<int>(done_ & 0xff),
+                        value_.size());
+            (void)map_->update(tid_, existing, value_.data());
+        } else {
+            (void)map_->get(tid_, existing, value_.data());
+        }
+        break;
+      case Mix::ReadOnly:
+        (void)map_->get(tid_, existing, value_.data());
+        break;
+    }
+    done_++;
+}
+
+bool
+TreeWorkload::step()
+{
+    std::size_t end = std::min(done_ + params_.sliceOps, params_.ops);
+    while (done_ < end)
+        doOp();
+    return done_ < params_.ops;
+}
+
+}  // namespace tvarak

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Driver for the tree key-value stores (paper Table II): insert-only,
+ * update-only, balanced (50:50 updates:reads) and read-only workloads
+ * against C-Tree / B-Tree / RB-Tree, 12 independent single-threaded
+ * instances (pmembench style; locks removed because instances do not
+ * share state).
+ */
+
+#ifndef TVARAK_APPS_TREES_TREE_WORKLOAD_HH
+#define TVARAK_APPS_TREES_TREE_WORKLOAD_HH
+
+#include <memory>
+
+#include "apps/trees/pmem_map.hh"
+#include "harness/workload.hh"
+#include "sim/rng.hh"
+
+namespace tvarak {
+
+class TreeWorkload final : public Workload
+{
+  public:
+    enum class Mix { InsertOnly, UpdateOnly, Balanced, ReadOnly };
+
+    struct Params {
+        MapKind kind = MapKind::CTree;
+        Mix mix = Mix::InsertOnly;
+        std::size_t preload = 8192;   //!< keys loaded before measuring
+        std::size_t ops = 16384;      //!< measured operations
+        std::size_t valueBytes = 64;
+        std::size_t sliceOps = 512;
+        std::size_t poolBytes = 8ull << 20;
+    };
+
+    TreeWorkload(MemorySystem &mem, DaxFs &fs, int tid,
+                 RedundancyScheme *scheme, Params params);
+    ~TreeWorkload() override;
+
+    void setup() override;
+    bool step() override;
+    int tid() const override { return tid_; }
+    std::string name() const override;
+
+    static const char *mixName(Mix mix);
+
+    PmemMap &map() { return *map_; }
+    PmemPool &pool() { return *pool_; }
+
+  private:
+    void doOp();
+
+    MemorySystem &mem_;
+    DaxFs &fs_;
+    int tid_;
+    RedundancyScheme *scheme_;
+    Params params_;
+    Rng rng_;
+    std::unique_ptr<PmemPool> pool_;
+    std::unique_ptr<PmemMap> map_;
+    std::size_t done_ = 0;
+    std::vector<std::uint64_t> keys_;   //!< driver's key index
+    std::vector<std::uint8_t> value_;   //!< reusable value buffer
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_APPS_TREES_TREE_WORKLOAD_HH

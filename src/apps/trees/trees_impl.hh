@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Internal declarations of the three persistent map implementations.
+ * Applications use makeMap(); this header exists for the factory and
+ * for white-box tests.
+ */
+
+#ifndef TVARAK_APPS_TREES_TREES_IMPL_HH
+#define TVARAK_APPS_TREES_TREES_IMPL_HH
+
+#include "apps/trees/pmem_map.hh"
+
+namespace tvarak {
+
+/** Crit-bit tree (PMDK ctree_map): internal nodes hold the index of
+ *  the most significant differing bit; leaves hold (key, valuePtr). */
+class CTreeMap final : public PmemMap
+{
+  public:
+    CTreeMap(MemorySystem &mem, PmemPool &pool, std::size_t valueBytes);
+    void insert(int tid, std::uint64_t key, const void *value) override;
+    bool update(int tid, std::uint64_t key, const void *value) override;
+    bool get(int tid, std::uint64_t key, void *value) override;
+    bool erase(int tid, std::uint64_t key) override;
+    Addr valueAddr(int tid, std::uint64_t key) override;
+    const char *kindName() const override { return "ctree"; }
+
+  private:
+    /** Find the leaf a key would reach (0 if the tree is empty). */
+    Addr findLeaf(int tid, std::uint64_t key);
+
+    Addr rootSlot_ = 0;  //!< pool address of the root pointer
+};
+
+/** Order-8 B-tree (PMDK btree_map) with preemptive splits. */
+class BTreeMap final : public PmemMap
+{
+  public:
+    static constexpr std::size_t kOrder = 8;  //!< max items per node
+
+    BTreeMap(MemorySystem &mem, PmemPool &pool, std::size_t valueBytes);
+    void insert(int tid, std::uint64_t key, const void *value) override;
+    bool update(int tid, std::uint64_t key, const void *value) override;
+    bool get(int tid, std::uint64_t key, void *value) override;
+    bool erase(int tid, std::uint64_t key) override;
+    Addr valueAddr(int tid, std::uint64_t key) override;
+    const char *kindName() const override { return "btree"; }
+
+  private:
+    struct NodeView;
+    Addr allocNode(int tid, bool leaf);
+    /** Ensure child @p childIdx of @p parent has > minimum items,
+     *  borrowing from a sibling or merging (tx caller-held).
+     *  @return the (possibly moved) child to descend into. */
+    Addr fixChildForDelete(int tid, Addr parent, std::size_t childIdx);
+    /** Delete @p key from the subtree at @p node (non-minimal). */
+    bool eraseFrom(int tid, Addr node, std::uint64_t key);
+    /** Drop the promoted predecessor's leaf copy without freeing its
+     *  (now shared) value object. */
+    void eraseDupLeafCopy(int tid, Addr node, std::uint64_t key);
+    /** Split full child @p childIdx of @p parent (tx caller-held). */
+    void splitChild(int tid, Addr parent, std::size_t childIdx);
+    /** Insert into a guaranteed-non-full subtree. */
+    void insertNonFull(int tid, Addr node, std::uint64_t key, Addr val);
+    /** Find the value slot address for @p key (0 if absent). */
+    Addr findValueSlot(int tid, std::uint64_t key);
+
+    Addr rootSlot_ = 0;
+};
+
+/** Red-black tree (PMDK rbtree_map) with parent pointers. */
+class RBTreeMap final : public PmemMap
+{
+  public:
+    RBTreeMap(MemorySystem &mem, PmemPool &pool, std::size_t valueBytes);
+    void insert(int tid, std::uint64_t key, const void *value) override;
+    bool update(int tid, std::uint64_t key, const void *value) override;
+    bool get(int tid, std::uint64_t key, void *value) override;
+    bool erase(int tid, std::uint64_t key) override;
+    Addr valueAddr(int tid, std::uint64_t key) override;
+    const char *kindName() const override { return "rbtree"; }
+
+    /** Validate red-black invariants (tests); returns black height,
+     *  or -1 on violation. */
+    int checkInvariants(int tid);
+
+  private:
+    Addr findNode(int tid, std::uint64_t key);
+    void rotate(int tid, Addr x, bool left);
+    void insertFixup(int tid, Addr z);
+    /** Replace subtree rooted at @p u with @p v (parents fixed). */
+    void transplant(int tid, Addr u, Addr v);
+    /** Restore red-black invariants after deleting a black node;
+     *  @p x may be NIL(0), in which case @p xParent locates it. */
+    void eraseFixup(int tid, Addr x, Addr xParent);
+
+    Addr rootSlot_ = 0;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_APPS_TREES_TREES_IMPL_HH

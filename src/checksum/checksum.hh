@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Checksum and parity kernels.
+ *
+ * All redundancy information in the system is *real*: DAX-CL-checksums
+ * are CRC-32C values of actual 64-byte lines, page system-checksums are
+ * CRC-32C over 4 KB, and cross-DIMM parity is the actual XOR of the
+ * data pages in a RAID-5 stripe. Fault-injection tests rely on this:
+ * a corrupted line really fails verification and is really rebuilt.
+ *
+ * CRC-32C (Castagnoli) is implemented with slicing-by-eight; this is
+ * both the functional checksum and the model behind the software
+ * schemes' compute-cost (SimConfig::swChecksumBytesPerCycle).
+ */
+
+#ifndef TVARAK_CHECKSUM_CHECKSUM_HH
+#define TVARAK_CHECKSUM_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tvarak {
+
+/** CRC-32C of @p len bytes at @p data, seeded with @p crc (0 start). */
+std::uint32_t crc32c(const void *data, std::size_t len,
+                     std::uint32_t crc = 0);
+
+/** Checksum of one 64 B cache line, widened to the packed 8 B format. */
+std::uint64_t lineChecksum(const void *line);
+
+/** Page (4 KB) system-checksum. */
+std::uint64_t pageChecksum(const void *page);
+
+/** dst[i] ^= src[i] over one cache line. */
+void xorLine(void *dst, const void *src);
+
+/** dst[i] = a[i] ^ b[i] over one cache line. */
+void xorLineInto(void *dst, const void *a, const void *b);
+
+/** True iff the 64 B line is all zero. */
+bool lineIsZero(const void *line);
+
+/**
+ * Fletcher-64 checksum; kept as an alternative kernel (PMDK uses a
+ * Fletcher variant for its metadata) and exercised by the kernel
+ * micro-benchmarks.
+ */
+std::uint64_t fletcher64(const void *data, std::size_t len);
+
+}  // namespace tvarak
+
+#endif  // TVARAK_CHECKSUM_CHECKSUM_HH

@@ -1,0 +1,637 @@
+#include "core/tvarak.hh"
+
+#include <cstring>
+
+#include "checksum/checksum.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+std::uint64_t
+load64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+void
+store64(std::uint8_t *p, std::uint64_t v)
+{
+    std::memcpy(p, &v, 8);
+}
+
+}  // namespace
+
+TvarakEngine::TvarakEngine(const SimConfig &cfg, Layout &layout,
+                           NvmArray &nvm, Stats &stats)
+    : cfg_(cfg),
+      params_(cfg.tvarak),
+      layout_(layout),
+      nvm_(nvm),
+      stats_(stats),
+      banks_(cfg.llcBanks),
+      daxPages_(layout.dataPages(), false)
+{
+    std::size_t llc_sets =
+        cfg.llcBank.sizeBytes / (cfg.llcBank.ways * kLineBytes);
+    for (std::size_t b = 0; b < banks_; b++) {
+        ctrlCaches_.push_back(Cache::fromSize(
+            "tvarak-ctrl" + std::to_string(b), params_.cacheBytes,
+            params_.cacheWays, 1, true));
+        llcRedPartitions_.emplace_back(
+            "llc-red" + std::to_string(b), llc_sets,
+            params_.redundancyWays, banks_, true);
+        diffPartitions_.emplace_back("llc-diff" + std::to_string(b),
+                                     llc_sets, params_.diffWays,
+                                     banks_);
+    }
+}
+
+std::size_t
+TvarakEngine::dedicatedBytesPerController() const
+{
+    // Only the on-controller cache occupies dedicated SRAM; the LLC
+    // partitions are borrowed ways (paper Section III-E: 4 KB per 2 MB
+    // bank = 0.2% dedicated area).
+    return params_.cacheBytes;
+}
+
+void
+TvarakEngine::registerDaxPage(Addr nvmPage)
+{
+    panic_if(!layout_.isDataAddr(nvmPage) || pageOffset(nvmPage) != 0,
+             "bad DAX page registration");
+    daxPages_[pageNumber(nvmPage - layout_.dataBase())] = true;
+}
+
+void
+TvarakEngine::unregisterDaxPage(Addr nvmPage)
+{
+    daxPages_[pageNumber(nvmPage - layout_.dataBase())] = false;
+}
+
+bool
+TvarakEngine::isDaxData(Addr nvmAddr) const
+{
+    if (!layout_.isDataAddr(nvmAddr))
+        return false;
+    return daxPages_[pageNumber(nvmAddr - layout_.dataBase())];
+}
+
+std::size_t
+TvarakEngine::homeBank(Addr raddr) const
+{
+    return static_cast<std::size_t>(lineNumber(raddr)) % banks_;
+}
+
+//
+// Redundancy-line access path
+//
+
+void
+TvarakEngine::classifyRedNvmAccess(Addr raddr)
+{
+    if (layout_.isMetaAddr(raddr))
+        stats_.nvmCsumLineAccesses++;
+    else
+        stats_.nvmParityLineAccesses++;
+}
+
+Cycles
+TvarakEngine::redLineAccessUncached(Addr raddr, bool write,
+                                    std::uint8_t *buf, bool demand)
+{
+    classifyRedNvmAccess(raddr);
+    Cycles lat = write ? nvm_.access(raddr, true, buf, true)
+                       : nvm_.access(raddr, false, buf, true);
+    return demand ? lat : 0;
+}
+
+void
+TvarakEngine::recallOwner(Addr raddr, std::size_t exceptCtrl)
+{
+    auto it = directory_.find(raddr);
+    if (it == directory_.end() || it->second.owner < 0)
+        return;
+    auto owner = static_cast<std::size_t>(it->second.owner);
+    if (owner == exceptCtrl)
+        return;
+    Cache::Line *line = ctrlCaches_[owner].probe(raddr);
+    panic_if(line == nullptr, "directory owner lost the line");
+    // M -> S: push the dirty data down to the (inclusive) LLC copy.
+    Cache &home_cache = llcRedPartitions_[homeBank(raddr)];
+    Cache::Line *home = home_cache.probe(raddr);
+    panic_if(home == nullptr, "inclusion violated for redundancy line");
+    std::memcpy(home_cache.dataOf(*home),
+                ctrlCaches_[owner].dataOf(*line), kLineBytes);
+    home->dirty = home->dirty || line->dirty;
+    line->dirty = false;
+    it->second.owner = -1;
+    stats_.redundancyInvalidations++;
+}
+
+void
+TvarakEngine::invalidateOtherSharers(std::size_t ctrl, Addr raddr)
+{
+    DirEntry &e = directory_[raddr];
+    for (std::size_t c = 0; c < banks_; c++) {
+        if (c == ctrl || !(e.sharers & (1u << c)))
+            continue;
+        // Owned copies were recalled before we got here.
+        ctrlCaches_[c].invalidate(raddr);
+        stats_.redundancyInvalidations++;
+    }
+    e.sharers = 1u << ctrl;
+    e.owner = static_cast<std::int8_t>(ctrl);
+}
+
+void
+TvarakEngine::handleCtrlVictim(std::size_t ctrl, const Cache::Victim &victim)
+{
+    if (!victim.valid)
+        return;
+    auto it = directory_.find(victim.addr);
+    if (it != directory_.end()) {
+        it->second.sharers &= ~(1u << ctrl);
+        if (it->second.owner == static_cast<std::int8_t>(ctrl))
+            it->second.owner = -1;
+        if (it->second.sharers == 0)
+            directory_.erase(it);
+    }
+    if (victim.dirty) {
+        Cache &home_cache = llcRedPartitions_[homeBank(victim.addr)];
+        Cache::Line *home = home_cache.probe(victim.addr);
+        panic_if(home == nullptr,
+                 "inclusion violated on controller eviction");
+        std::memcpy(home_cache.dataOf(*home), victim.data.data(),
+                    kLineBytes);
+        home->dirty = true;
+    }
+}
+
+void
+TvarakEngine::handleLlcRedVictim(const Cache::Victim &victim)
+{
+    if (!victim.valid)
+        return;
+    auto data = victim.data;
+    bool dirty = victim.dirty;
+    // Back-invalidate controller copies (inclusive hierarchy); a dirty
+    // owner copy supersedes the LLC data.
+    auto it = directory_.find(victim.addr);
+    if (it != directory_.end()) {
+        if (it->second.owner >= 0) {
+            auto owner = static_cast<std::size_t>(it->second.owner);
+            Cache::Line *line = ctrlCaches_[owner].probe(victim.addr);
+            panic_if(line == nullptr, "directory owner lost the line");
+            std::memcpy(data.data(), ctrlCaches_[owner].dataOf(*line),
+                        kLineBytes);
+            dirty = dirty || line->dirty;
+        }
+        for (std::size_t c = 0; c < banks_; c++) {
+            if (it->second.sharers & (1u << c)) {
+                ctrlCaches_[c].invalidate(victim.addr);
+                stats_.redundancyInvalidations++;
+            }
+        }
+        directory_.erase(it);
+    }
+    if (dirty) {
+        classifyRedNvmAccess(victim.addr);
+        nvm_.access(victim.addr, true, data.data(), true);
+    }
+}
+
+Cache::Line *
+TvarakEngine::fillRedLine(std::size_t ctrl, Addr raddr,
+                          const std::uint8_t *data)
+{
+    // Fill the LLC partition first (inclusive backing)...
+    Cache &home = llcRedPartitions_[homeBank(raddr)];
+    if (home.probe(raddr) == nullptr) {
+        Cache::Victim victim;
+        Cache::Line &l = home.insert(raddr, victim);
+        handleLlcRedVictim(victim);
+        std::memcpy(home.dataOf(l), data, kLineBytes);
+    }
+    // ...then the on-controller cache.
+    Cache::Victim victim;
+    Cache::Line &line = ctrlCaches_[ctrl].insert(raddr, victim);
+    handleCtrlVictim(ctrl, victim);
+    std::memcpy(ctrlCaches_[ctrl].dataOf(line), data, kLineBytes);
+    DirEntry &e = directory_[raddr];
+    e.sharers |= 1u << ctrl;
+    return &line;
+}
+
+Cycles
+TvarakEngine::redLineAccess(std::size_t ctrl, Addr raddr, bool write,
+                            std::uint8_t *buf, bool demand)
+{
+    if (!params_.useRedundancyCaching)
+        return redLineAccessUncached(raddr, write, buf, demand);
+
+    Cycles cycles = params_.cacheLatency;
+    stats_.tvarakCacheAccesses++;
+    Cache::Line *line = ctrlCaches_[ctrl].probe(raddr);
+    if (line != nullptr) {
+        stats_.tvarakEnergy += params_.cacheHitEnergy;
+    } else {
+        stats_.tvarakEnergy += params_.cacheMissEnergy;
+        stats_.tvarakCacheMisses++;
+
+        // Probe the (inclusive) LLC way-partition at the home bank,
+        // recalling any dirty copy from another controller first.
+        recallOwner(raddr, ctrl);
+        stats_.llcAccesses++;
+        cycles += cfg_.llcBank.latency;
+        Cache &home = llcRedPartitions_[homeBank(raddr)];
+        Cache::Line *home_line = home.probe(raddr);
+        std::uint8_t fill[kLineBytes];
+        if (home_line != nullptr) {
+            stats_.llcEnergy += cfg_.llcBank.hitEnergy;
+            home.touch(*home_line);
+            std::memcpy(fill, home.dataOf(*home_line), kLineBytes);
+        } else {
+            stats_.llcEnergy += cfg_.llcBank.missEnergy;
+            stats_.llcMisses++;
+            classifyRedNvmAccess(raddr);
+            Cycles lat = nvm_.access(raddr, false, fill, true);
+            cycles += lat;
+        }
+        line = fillRedLine(ctrl, raddr, fill);
+    }
+    ctrlCaches_[ctrl].touch(*line);
+
+    if (write) {
+        recallOwner(raddr, ctrl);
+        invalidateOtherSharers(ctrl, raddr);
+        std::memcpy(ctrlCaches_[ctrl].dataOf(*line), buf, kLineBytes);
+        line->dirty = true;
+    } else {
+        std::memcpy(buf, ctrlCaches_[ctrl].dataOf(*line), kLineBytes);
+    }
+    return demand ? cycles : 0;
+}
+
+void
+TvarakEngine::peekRedLine(Addr raddr, std::uint8_t *out)
+{
+    if (params_.useRedundancyCaching) {
+        auto it = directory_.find(raddr);
+        if (it != directory_.end() && it->second.owner >= 0) {
+            auto owner = static_cast<std::size_t>(it->second.owner);
+            Cache::Line *line = ctrlCaches_[owner].probe(raddr);
+            panic_if(line == nullptr, "directory owner lost the line");
+            std::memcpy(out, ctrlCaches_[owner].dataOf(*line),
+                        kLineBytes);
+            return;
+        }
+        Cache &home_cache = llcRedPartitions_[homeBank(raddr)];
+        if (Cache::Line *home = home_cache.probe(raddr)) {
+            std::memcpy(out, home_cache.dataOf(*home), kLineBytes);
+            return;
+        }
+    }
+    nvm_.rawRead(raddr, out, kLineBytes);
+}
+
+//
+// Verification (NVM -> LLC fills)
+//
+
+Cycles
+TvarakEngine::verifyFill(std::size_t bank, Addr nvmAddr,
+                         std::uint8_t *lineData)
+{
+    Cycles cycles = params_.rangeMatchLatency;
+    stats_.readVerifications++;
+
+    if (!params_.useDaxClChecksums)
+        return cycles + naivePageChecksumVerify(bank, nvmAddr, lineData);
+
+    Addr csum_line = layout_.daxClCsumLine(nvmAddr);
+    std::uint8_t buf[kLineBytes];
+    cycles += redLineAccess(bank, csum_line, false, buf, true);
+    std::size_t idx = static_cast<std::size_t>(
+        layout_.daxClCsumAddr(nvmAddr) - csum_line);
+    std::uint64_t expected = load64(buf + idx);
+    cycles += params_.computeLatency;
+
+    if (lineChecksum(lineData) != expected) {
+        stats_.corruptionsDetected++;
+        auto corrected = recoverLine(nvmAddr);
+        std::memcpy(lineData, corrected.data(), kLineBytes);
+        if (onRecovery)
+            onRecovery(nvmAddr);
+    }
+    return cycles;
+}
+
+std::uint64_t
+TvarakEngine::pageChecksumWith(Addr nvmAddr, const std::uint8_t *newData,
+                               bool chargeAccesses)
+{
+    Addr page = pageBase(nvmAddr);
+    std::uint8_t content[kPageBytes];
+    nvm_.rawRead(page, content, kPageBytes);
+    std::memcpy(content + lineInPage(nvmAddr) * kLineBytes, newData,
+                kLineBytes);
+    if (chargeAccesses) {
+        // The accessed line itself is already at hand; the other 63
+        // lines are real NVM reads (the naive controller's burden).
+        for (std::size_t l = 0; l < kLinesPerPage; l++) {
+            if (l == lineInPage(nvmAddr))
+                continue;
+            nvm_.charge(page + l * kLineBytes, false, true);
+        }
+    }
+    return pageChecksum(content);
+}
+
+Cycles
+TvarakEngine::naivePageChecksumVerify(std::size_t bank, Addr nvmAddr,
+                                      std::uint8_t *lineData)
+{
+    // The 63 sibling-line reads pipeline behind the demand read: charge
+    // one extra device latency on the demand path, full occupancy.
+    Cycles cycles = nvm_.readLatency();
+    std::uint64_t actual = pageChecksumWith(nvmAddr, lineData, true);
+    cycles += kLinesPerPage * params_.computeLatency;
+
+    Addr entry = layout_.pageCsumAddr(nvmAddr);
+    Addr csum_line = lineBase(entry);
+    std::uint8_t buf[kLineBytes];
+    cycles += redLineAccess(bank, csum_line, false, buf, true);
+    std::uint64_t expected =
+        load64(buf + static_cast<std::size_t>(entry - csum_line));
+
+    if (actual != expected) {
+        stats_.corruptionsDetected++;
+        auto corrected = recoverLine(nvmAddr);
+        std::memcpy(lineData, corrected.data(), kLineBytes);
+        if (onRecovery)
+            onRecovery(nvmAddr);
+    }
+    return cycles;
+}
+
+//
+// Updates (LLC -> NVM writebacks)
+//
+
+std::optional<Addr>
+TvarakEngine::captureDiff(std::size_t bank, Addr nvmAddr)
+{
+    if (!params_.useDataDiffs)
+        return std::nullopt;
+
+    stats_.diffCaptures++;
+    // The diff partition is LLC ways: charge an LLC access.
+    stats_.llcAccesses++;
+    Cache &part = diffPartitions_[bank];
+    if (Cache::Line *line = part.probe(nvmAddr)) {
+        stats_.llcEnergy += cfg_.llcBank.hitEnergy;
+        part.touch(*line);
+        return std::nullopt;
+    }
+    stats_.llcEnergy += cfg_.llcBank.missEnergy;
+    Cache::Victim victim;
+    part.insert(nvmAddr, victim);
+    if (victim.valid) {
+        stats_.diffEvictions++;
+        return victim.addr;
+    }
+    return std::nullopt;
+}
+
+bool
+TvarakEngine::hasDiff(std::size_t bank, Addr nvmAddr) const
+{
+    return params_.useDataDiffs &&
+        diffPartitions_[bank].probe(nvmAddr) != nullptr;
+}
+
+void
+TvarakEngine::dropDiff(std::size_t bank, Addr nvmAddr)
+{
+    if (params_.useDataDiffs)
+        diffPartitions_[bank].invalidate(nvmAddr);
+}
+
+void
+TvarakEngine::updateRedundancy(std::size_t bank, Addr nvmAddr,
+                               const std::uint8_t *newData,
+                               DiffSource source)
+{
+    stats_.redundancyUpdates++;
+
+    // The diff value is always (old media content XOR new data); only
+    // *where it comes from* differs between configurations, and that
+    // is what the timing model charges for.
+    switch (source) {
+      case DiffSource::Stored: {
+        Cache &part = diffPartitions_[bank];
+        if (part.probe(nvmAddr) != nullptr) {
+            stats_.llcAccesses++;
+            stats_.llcEnergy += cfg_.llcBank.hitEnergy;
+            part.invalidate(nvmAddr);
+        } else {
+            // Diffs enabled but this line's diff is gone (races with
+            // map-time invalidation); model the old-data re-read.
+            nvm_.charge(nvmAddr, false, false);
+        }
+        break;
+      }
+      case DiffSource::EvictedDiff:
+        // Handed to us by captureDiff's eviction; already accounted.
+        break;
+      case DiffSource::None:
+        // No diff storage (diffs disabled / exclusive LLC): the old
+        // data must be re-read from NVM at writeback time.
+        nvm_.charge(nvmAddr, false, false);
+        break;
+    }
+    std::uint8_t old[kLineBytes];
+    nvm_.rawRead(nvmAddr, old, kLineBytes);
+    std::uint8_t diff[kLineBytes];
+    xorLineInto(diff, old, newData);
+
+    // Checksum update.
+    if (params_.useDaxClChecksums) {
+        Addr csum_line = layout_.daxClCsumLine(nvmAddr);
+        std::uint8_t buf[kLineBytes];
+        redLineAccess(bank, csum_line, false, buf, false);
+        std::size_t idx = static_cast<std::size_t>(
+            layout_.daxClCsumAddr(nvmAddr) - csum_line);
+        store64(buf + idx, lineChecksum(newData));
+        redLineAccess(bank, csum_line, true, buf, false);
+    } else {
+        naivePageChecksumUpdate(bank, nvmAddr, newData);
+    }
+
+    // Parity update: parity ^= diff preserves the stripe invariant
+    // (parity == XOR of the stripe's data pages at rest) across the
+    // caller's subsequent data write.
+    if (!lineIsZero(diff)) {
+        Addr parity_line = layout_.parityLineOf(nvmAddr);
+        std::uint8_t pbuf[kLineBytes];
+        redLineAccess(bank, parity_line, false, pbuf, false);
+        xorLine(pbuf, diff);
+        redLineAccess(bank, parity_line, true, pbuf, false);
+    }
+}
+
+void
+TvarakEngine::naivePageChecksumUpdate(std::size_t bank, Addr nvmAddr,
+                                      const std::uint8_t *newData)
+{
+    std::uint64_t csum = pageChecksumWith(nvmAddr, newData, true);
+    Addr entry = layout_.pageCsumAddr(nvmAddr);
+    Addr csum_line = lineBase(entry);
+    std::uint8_t buf[kLineBytes];
+    redLineAccess(bank, csum_line, false, buf, false);
+    store64(buf + static_cast<std::size_t>(entry - csum_line), csum);
+    redLineAccess(bank, csum_line, true, buf, false);
+}
+
+//
+// Recovery
+//
+
+std::array<std::uint8_t, kLineBytes>
+TvarakEngine::recoverLine(Addr nvmAddr, bool verifyChecksum)
+{
+    Addr line_addr = lineBase(nvmAddr);
+    stats_.recoveries++;
+
+    bool check = params_.useDaxClChecksums && verifyChecksum;
+    std::uint64_t expected = 0;
+    if (check) {
+        Addr csum_line = layout_.daxClCsumLine(line_addr);
+        std::uint8_t buf[kLineBytes];
+        peekRedLine(csum_line, buf);
+        expected = load64(buf + static_cast<std::size_t>(
+                              layout_.daxClCsumAddr(line_addr) - csum_line));
+    }
+
+    // First try a plain media re-read: a misdirected *read* leaves the
+    // media intact, so the retry already yields the correct line.
+    std::array<std::uint8_t, kLineBytes> candidate;
+    nvm_.rawRead(line_addr, candidate.data(), kLineBytes);
+    if (check && lineChecksum(candidate.data()) == expected)
+        return candidate;
+
+    // Rebuild from parity: the authoritative parity line (which may be
+    // dirty in the redundancy caches) XOR the sibling lines at rest.
+    std::uint8_t acc[kLineBytes];
+    peekRedLine(layout_.parityLineOf(line_addr), acc);
+    std::vector<Addr> pages;
+    layout_.stripeDataPages(line_addr, pages);
+    std::size_t offset = lineInPage(line_addr) * kLineBytes;
+    for (Addr page : pages) {
+        if (page == pageBase(line_addr))
+            continue;
+        std::uint8_t sib[kLineBytes];
+        nvm_.rawRead(page + offset, sib, kLineBytes);
+        xorLine(acc, sib);
+    }
+    std::memcpy(candidate.data(), acc, kLineBytes);
+    if (check) {
+        panic_if(lineChecksum(candidate.data()) != expected,
+                 "unrecoverable corruption at %llx (double fault?)",
+                 static_cast<unsigned long long>(line_addr));
+    }
+    // Repair the media so subsequent reads are clean.
+    nvm_.rawWrite(line_addr, candidate.data(), kLineBytes);
+    return candidate;
+}
+
+//
+// Maintenance
+//
+
+void
+TvarakEngine::flushRedundancy()
+{
+    // Recall every owned line, then write back dirty LLC-partition
+    // lines. Controller caches become clean copies.
+    for (std::size_t c = 0; c < banks_; c++) {
+        ctrlCaches_[c].forEachLine([&](Cache::Line &line) {
+            if (!line.dirty)
+                return;
+            Cache &home_cache = llcRedPartitions_[homeBank(line.addr)];
+            Cache::Line *home = home_cache.probe(line.addr);
+            panic_if(home == nullptr, "inclusion violated in flush");
+            std::memcpy(home_cache.dataOf(*home),
+                        ctrlCaches_[c].dataOf(line), kLineBytes);
+            home->dirty = true;
+            line.dirty = false;
+            auto it = directory_.find(line.addr);
+            if (it != directory_.end() &&
+                it->second.owner == static_cast<std::int8_t>(c)) {
+                it->second.owner = -1;
+            }
+        });
+    }
+    for (auto &part : llcRedPartitions_) {
+        part.forEachLine([&](Cache::Line &line) {
+            if (!line.dirty)
+                return;
+            classifyRedNvmAccess(line.addr);
+            nvm_.access(line.addr, true, part.dataOf(line), true);
+            line.dirty = false;
+        });
+    }
+}
+
+void
+TvarakEngine::dropCleanState()
+{
+    auto assert_clean = [](Cache::Line &line) {
+        panic_if(line.dirty, "dropCleanState with dirty redundancy");
+    };
+    for (auto &c : ctrlCaches_) {
+        c.forEachLine(assert_clean);
+        c.reset();
+    }
+    for (auto &p : llcRedPartitions_) {
+        p.forEachLine(assert_clean);
+        p.reset();
+    }
+    for (auto &p : diffPartitions_)
+        p.reset();
+    directory_.clear();
+}
+
+void
+TvarakEngine::initDaxClChecksums(Addr nvmPage)
+{
+    panic_if(pageOffset(nvmPage) != 0, "unaligned page");
+    // Software (the file system) writes these at dax-map time; the
+    // cost is part of mapping, not of steady-state execution, so the
+    // writes are untimed. Stale cached copies of the affected checksum
+    // lines must not survive.
+    std::uint8_t page[kPageBytes];
+    nvm_.rawRead(nvmPage, page, kPageBytes);
+    for (std::size_t l = 0; l < kLinesPerPage; l++) {
+        Addr data_line = nvmPage + l * kLineBytes;
+        Addr entry = layout_.daxClCsumAddr(data_line);
+        std::uint64_t csum = lineChecksum(page + l * kLineBytes);
+        std::uint8_t bytes[kChecksumBytes];
+        store64(bytes, csum);
+        nvm_.rawWrite(entry, bytes, kChecksumBytes);
+    }
+    for (std::size_t l = 0; l < kLinesPerPage; l += kChecksumsPerLine) {
+        Addr csum_line = layout_.daxClCsumLine(nvmPage + l * kLineBytes);
+        for (std::size_t c = 0; c < banks_; c++)
+            ctrlCaches_[c].invalidate(csum_line);
+        llcRedPartitions_[homeBank(csum_line)].invalidate(csum_line);
+        directory_.erase(csum_line);
+    }
+}
+
+}  // namespace tvarak

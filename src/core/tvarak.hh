@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The TVARAK redundancy engine (paper Section III).
+ *
+ * One TVARAK controller sits at each LLC bank. The engine bundles the
+ * per-bank controller state and the shared structures:
+ *
+ *  - a DAX page registry (the software-managed part: DaxFs registers
+ *    pages at dax-map time; the hardware's address-range comparators
+ *    are modelled by a 2-cycle range-match charge);
+ *  - per-bank 4 KB on-controller redundancy caches, kept coherent
+ *    between controllers with a MESI-style directory and backed
+ *    inclusively by per-bank LLC redundancy way-partitions;
+ *  - per-bank LLC data-diff way-partitions;
+ *  - the verification engine (every NVM->LLC fill of a DAX line) and
+ *    the update engine (every LLC->NVM writeback of a DAX line);
+ *  - line recovery from cross-DIMM parity on checksum mismatch.
+ *
+ * Design-ablation switches (TvarakParams::use*) reproduce Fig 9:
+ * with all three off this is the naive controller of Section III
+ * (page-granular checksums that read the whole page, no redundancy
+ * caching, old-data reads instead of diffs).
+ *
+ * Timing contract: verification work is on the demand path and its
+ * cycles are *returned* to the caller to charge to the loading thread;
+ * update work happens at writeback time, off the critical path — it
+ * contributes NVM occupancy and energy only.
+ */
+
+#ifndef TVARAK_CORE_TVARAK_HH
+#define TVARAK_CORE_TVARAK_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "layout/layout.hh"
+#include "mem/cache.hh"
+#include "nvm/nvm.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tvarak {
+
+class TvarakEngine
+{
+  public:
+    TvarakEngine(const SimConfig &cfg, Layout &layout, NvmArray &nvm,
+                 Stats &stats);
+
+    /** @name Software management interface (used by DaxFs). */
+    /**@{*/
+    /** Register @p nvmPage (global, page-aligned) as DAX mapped. */
+    void registerDaxPage(Addr nvmPage);
+    /** Unregister; caller must have flushed + downgraded checksums. */
+    void unregisterDaxPage(Addr nvmPage);
+    /** Is this NVM-global address inside a registered DAX page? */
+    bool isDaxData(Addr nvmAddr) const;
+    /**@}*/
+
+    /** @name Hooks called by MemorySystem at the LLC/NVM boundary. */
+    /**@{*/
+    /**
+     * A DAX line was just read from NVM into the LLC: verify it
+     * against its DAX-CL-checksum (or page checksum in naive mode).
+     * On mismatch the line is recovered in place (both @p lineData and
+     * the NVM media are repaired).
+     *
+     * @param bank      LLC bank of the data line (= controller index).
+     * @param nvmAddr   NVM-global line address.
+     * @param lineData  the 64 B just fetched; repaired on corruption.
+     * @return demand-path cycles consumed by verification.
+     */
+    Cycles verifyFill(std::size_t bank, Addr nvmAddr,
+                      std::uint8_t *lineData);
+
+    /**
+     * A DAX line in the LLC transitioned clean->dirty or received new
+     * dirty data: capture/refresh its diff in the bank's diff
+     * partition (paper Section III-D). No-op unless useDataDiffs.
+     *
+     * The diff's *value* is always (media XOR current-line), which the
+     * engine reconstructs at writeback time; the partition models the
+     * capacity/eviction behaviour. If inserting the diff evicts
+     * another line's diff, that line must be written back and marked
+     * clean by the caller (paper: "writes back the corresponding data
+     * without evicting it from the LLC"); its address is returned.
+     */
+    std::optional<Addr> captureDiff(std::size_t bank, Addr nvmAddr);
+
+    /** How the diff for a writeback was obtained (timing only). */
+    enum class DiffSource {
+        Stored,        //!< taken from the diff partition
+        EvictedDiff,   //!< handed over by a diff-partition eviction
+        None,          //!< not stored: old data re-read from NVM
+    };
+
+    /**
+     * A dirty DAX line is being written back from the LLC to NVM:
+     * update its DAX-CL-checksum (or page checksum) and the
+     * cross-DIMM parity. The caller writes @p newData to NVM
+     * immediately afterwards.
+     */
+    void updateRedundancy(std::size_t bank, Addr nvmAddr,
+                          const std::uint8_t *newData, DiffSource source);
+
+    /** Drop any stored diff for @p nvmAddr (line evicted/invalidated). */
+    void dropDiff(std::size_t bank, Addr nvmAddr);
+    /** True iff a diff is stored for @p nvmAddr. */
+    bool hasDiff(std::size_t bank, Addr nvmAddr) const;
+    /**@}*/
+
+    /**
+     * Rebuild one line from parity + stripe siblings (paper: the file
+     * system initiates recovery; the heavy lifting is here). Media is
+     * repaired in place.
+     *
+     * @param verifyChecksum  check the rebuilt line against its
+     *        DAX-CL-checksum (disabled by DaxFs for unmapped pages,
+     *        whose cache-line checksums are not maintained).
+     * @return the corrected 64 B.
+     */
+    std::array<std::uint8_t, kLineBytes> recoverLine(
+        Addr nvmAddr, bool verifyChecksum = true);
+
+    /** Write back all dirty redundancy state (battery-flush / unmap). */
+    void flushRedundancy();
+
+    /** Drop all (clean) cached redundancy state and stored diffs.
+     *  @pre flushRedundancy() has run; panics on dirty state. Used to
+     *  model a cold restart in tests and experiments. */
+    void dropCleanState();
+
+    /** Initialize the DAX-CL-checksums for a page from its current
+     *  media content (checksum "downgrade" at dax-map time; untimed,
+     *  performed by software per the paper). */
+    void initDaxClChecksums(Addr nvmPage);
+
+    /** Authoritative (cache-coherent) read of a redundancy line,
+     *  untimed; used by scrub/verification utilities. */
+    void peekRedLine(Addr raddr, std::uint8_t *out);
+
+    /** Hook invoked after a successful line recovery. */
+    std::function<void(Addr nvmAddr)> onRecovery;
+
+    /** Dedicated SRAM bytes per controller (area accounting). */
+    std::size_t dedicatedBytesPerController() const;
+
+    const TvarakParams &params() const { return params_; }
+
+  private:
+    /** Home LLC bank of a redundancy line. */
+    std::size_t homeBank(Addr raddr) const;
+
+    /**
+     * Access one redundancy line through the caching hierarchy
+     * (on-controller cache -> LLC partition -> NVM), honouring
+     * useRedundancyCaching.
+     *
+     * @param ctrl    controller performing the access.
+     * @param raddr   redundancy line address (checksum/parity line).
+     * @param write   if true @p buf is stored, else loaded.
+     * @param demand  if true, returned cycles model the demand path.
+     * @return demand-path cycles (0 when @p demand is false).
+     */
+    Cycles redLineAccess(std::size_t ctrl, Addr raddr, bool write,
+                         std::uint8_t *buf, bool demand);
+
+    /** Tally an NVM redundancy access as checksum- or parity-line. */
+    void classifyRedNvmAccess(Addr raddr);
+
+    /** Uncached variant (useRedundancyCaching == false). */
+    Cycles redLineAccessUncached(Addr raddr, bool write, std::uint8_t *buf,
+                                 bool demand);
+
+    /** Fill @p raddr into LLC partition + controller cache; returns
+     *  pointer to the controller-cache line. */
+    Cache::Line *fillRedLine(std::size_t ctrl, Addr raddr,
+                             const std::uint8_t *data);
+
+    /** Evict handling for controller-cache and LLC-partition victims. */
+    void handleCtrlVictim(std::size_t ctrl, const Cache::Victim &victim);
+    void handleLlcRedVictim(const Cache::Victim &victim);
+
+    /** MESI bookkeeping: make @p ctrl the exclusive owner of @p raddr. */
+    void invalidateOtherSharers(std::size_t ctrl, Addr raddr);
+    /** Pull a dirty copy (if any) down to the LLC partition. */
+    void recallOwner(Addr raddr, std::size_t exceptCtrl);
+
+    /** Compute + store the page-granular checksum (naive mode). */
+    void naivePageChecksumUpdate(std::size_t bank, Addr nvmAddr,
+                                 const std::uint8_t *newData);
+    /** Verify against the page checksum (naive mode). */
+    Cycles naivePageChecksumVerify(std::size_t bank, Addr nvmAddr,
+                                   std::uint8_t *lineData);
+
+    /** Read the current at-rest page content with @p nvmAddr's line
+     *  replaced by @p newData, charging @p chargeAccesses NVM reads. */
+    std::uint64_t pageChecksumWith(Addr nvmAddr,
+                                   const std::uint8_t *newData,
+                                   bool chargeAccesses);
+
+    const SimConfig &cfg_;
+    TvarakParams params_;
+    Layout &layout_;
+    NvmArray &nvm_;
+    Stats &stats_;
+    std::size_t banks_;
+
+    /** DAX registry: bit per data-region page. */
+    std::vector<bool> daxPages_;
+
+    /** Per-controller on-controller redundancy caches. */
+    std::vector<Cache> ctrlCaches_;
+    /** Per-bank LLC redundancy way-partitions. */
+    std::vector<Cache> llcRedPartitions_;
+    /** Per-bank LLC data-diff way-partitions. */
+    std::vector<Cache> diffPartitions_;
+
+    /** Directory over controller caches: sharer mask + owner. */
+    struct DirEntry {
+        std::uint32_t sharers = 0;
+        std::int8_t owner = -1;
+    };
+    std::unordered_map<Addr, DirEntry> directory_;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_CORE_TVARAK_HH

@@ -1,0 +1,518 @@
+#include "fs/dax_fs.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "checksum/checksum.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+/** On-media superblock layout (one page). */
+constexpr std::uint64_t kFsMagic = 0x7456'4152'414b'4653ull;
+constexpr std::size_t kSbMaxFiles = 50;
+constexpr std::size_t kSbNameBytes = 40;
+
+struct SbEntry {
+    char name[kSbNameBytes];
+    std::uint64_t firstVpage;
+    std::uint64_t pages;
+    std::uint64_t bytes;
+};
+
+struct Superblock {
+    std::uint64_t magic;
+    std::uint64_t fileCount;
+    std::uint64_t nextDataPage;
+    std::uint64_t pad;
+    SbEntry entries[kSbMaxFiles];
+};
+static_assert(sizeof(Superblock) <= kPageBytes);
+
+}  // namespace
+
+DaxFs::DaxFs(MemorySystem &mem) : mem_(mem)
+{
+    // vpage 0 is the superblock; file extents start at vpage 1.
+    nextDataPage_ = 1;
+    loadSuperblock();
+}
+
+void
+DaxFs::writeSuperblock()
+{
+    Superblock sb{};
+    sb.magic = kFsMagic;
+    sb.nextDataPage = nextDataPage_;
+    std::size_t n = 0;
+    for (const File &f : files_) {
+        if (f.name.empty())
+            continue;  // removed
+        fatal_if(n >= kSbMaxFiles, "superblock full");
+        fatal_if(f.name.size() >= kSbNameBytes, "file name too long");
+        std::strncpy(sb.entries[n].name, f.name.c_str(), kSbNameBytes);
+        sb.entries[n].firstVpage = f.firstVpage;
+        sb.entries[n].pages = f.pages;
+        sb.entries[n].bytes = f.bytes;
+        n++;
+    }
+    sb.fileCount = n;
+    Addr sb_page = pageOfVpage(0);
+    mem_.nvmArray().rawWrite(sb_page, &sb, sizeof(sb));
+    // The superblock lives in the RAID-covered data region: keep its
+    // stripe's parity consistent with the out-of-band write.
+    std::vector<Addr> pages;
+    mem_.layout().stripeDataPages(sb_page, pages);
+    std::vector<std::uint8_t> acc(kPageBytes, 0);
+    std::vector<std::uint8_t> buf(kPageBytes);
+    for (Addr p : pages) {
+        mem_.nvmArray().rawRead(p, buf.data(), kPageBytes);
+        for (std::size_t i = 0; i < kPageBytes; i++)
+            acc[i] ^= buf[i];
+    }
+    mem_.nvmArray().rawWrite(mem_.layout().parityPageOf(sb_page),
+                             acc.data(), kPageBytes);
+}
+
+void
+DaxFs::loadSuperblock()
+{
+    Superblock sb;
+    mem_.nvmArray().rawRead(pageOfVpage(0), &sb, sizeof(sb));
+    if (sb.magic != kFsMagic)
+        return;  // fresh device
+    nextDataPage_ = static_cast<std::size_t>(sb.nextDataPage);
+    for (std::size_t i = 0; i < sb.fileCount; i++) {
+        File f;
+        f.name.assign(sb.entries[i].name,
+                      strnlen(sb.entries[i].name, kSbNameBytes));
+        f.firstVpage = static_cast<std::size_t>(sb.entries[i].firstVpage);
+        f.pages = static_cast<std::size_t>(sb.entries[i].pages);
+        f.bytes = static_cast<std::size_t>(sb.entries[i].bytes);
+        f.mapped = false;  // reboots always come back unmapped
+        int fd = static_cast<int>(files_.size());
+        for (std::size_t p = 0; p < f.pages; p++)
+            mem_.mapDaxPage(f.firstVpage + p, pageOfVpage(f.firstVpage + p));
+        byName_[f.name] = fd;
+        files_.push_back(std::move(f));
+    }
+    // Rebuild the free list: everything not covered by a file or the
+    // bump cursor is free (derive from gaps between sorted extents).
+    std::vector<std::pair<std::size_t, std::size_t>> used;
+    used.emplace_back(0, 1);  // superblock
+    for (const File &f : files_) {
+        if (!f.name.empty())
+            used.emplace_back(f.firstVpage, f.pages);
+    }
+    std::sort(used.begin(), used.end());
+    std::size_t cursor = 0;
+    for (auto &[first, pages] : used) {
+        if (first > cursor)
+            freeExtents_.emplace_back(cursor, first - cursor);
+        cursor = first + pages;
+    }
+}
+
+const DaxFs::File &
+DaxFs::file(int fd) const
+{
+    panic_if(fd < 0 || static_cast<std::size_t>(fd) >= files_.size(),
+             "bad fd %d", fd);
+    return files_[static_cast<std::size_t>(fd)];
+}
+
+Addr
+DaxFs::pageOfVpage(std::size_t vpage) const
+{
+    return mem_.layout().nthDataPage(vpage);
+}
+
+Addr
+DaxFs::filePage(int fd, std::size_t pageIdx) const
+{
+    const File &f = file(fd);
+    panic_if(pageIdx >= f.pages, "page index out of file");
+    return pageOfVpage(f.firstVpage + pageIdx);
+}
+
+int
+DaxFs::create(const std::string &name, std::size_t bytes)
+{
+    fatal_if(byName_.count(name) != 0, "file %s exists", name.c_str());
+    std::size_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+    fatal_if(pages == 0, "empty file");
+
+    File f;
+    f.name = name;
+    f.bytes = pages * kPageBytes;
+    f.firstVpage = allocVpages(pages);
+    f.pages = pages;
+
+    // Install the (kernel-visible) mapping and the initial page
+    // checksums over the zeroed pages.
+    for (std::size_t p = 0; p < pages; p++) {
+        Addr nvm_page = pageOfVpage(f.firstVpage + p);
+        mem_.mapDaxPage(f.firstVpage + p, nvm_page);
+        writePageChecksumRaw(nvm_page);
+    }
+
+    int fd = static_cast<int>(files_.size());
+    files_.push_back(std::move(f));
+    byName_[name] = fd;
+    writeSuperblock();
+    return fd;
+}
+
+int
+DaxFs::open(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? -1 : it->second;
+}
+
+std::size_t
+DaxFs::allocVpages(std::size_t pages)
+{
+    // First-fit over recycled extents, then the bump cursor.
+    for (auto it = freeExtents_.begin(); it != freeExtents_.end();
+         ++it) {
+        if (it->second >= pages) {
+            std::size_t first = it->first;
+            it->first += pages;
+            it->second -= pages;
+            if (it->second == 0)
+                freeExtents_.erase(it);
+            return first;
+        }
+    }
+    fatal_if(nextDataPage_ + pages >
+                 mem_.layout().allocatableDataPages(),
+             "NVM full: need %zu more pages", pages);
+    std::size_t first = nextDataPage_;
+    nextDataPage_ += pages;
+    return first;
+}
+
+void
+DaxFs::remove(int fd)
+{
+    File &f = files_[static_cast<std::size_t>(fd)];
+    panic_if(f.name.empty(), "remove of a removed file");
+    if (f.mapped)
+        daxUnmap(fd);
+    // Zero the pages through the FS write path so parity and page
+    // checksums stay consistent for the next owner.
+    std::vector<std::uint8_t> zeros(kPageBytes, 0);
+    for (std::size_t p = 0; p < f.pages; p++)
+        pwrite(0, fd, p * kPageBytes, zeros.data(), zeros.size());
+    mem_.flushAll();
+    for (std::size_t p = 0; p < f.pages; p++)
+        mem_.unmapDaxPage(f.firstVpage + p);
+    byName_.erase(f.name);
+    freeExtents_.emplace_back(f.firstVpage, f.pages);
+    f.name.clear();
+    f.bytes = 0;
+    f.pages = 0;
+    writeSuperblock();
+}
+
+std::size_t
+DaxFs::fileBytes(int fd) const
+{
+    return file(fd).bytes;
+}
+
+std::size_t
+DaxFs::filePages(int fd) const
+{
+    return file(fd).pages;
+}
+
+bool
+DaxFs::isMapped(int fd) const
+{
+    return file(fd).mapped;
+}
+
+Addr
+DaxFs::vbase(int fd) const
+{
+    return MemorySystem::daxVaddr(file(fd).firstVpage);
+}
+
+void
+DaxFs::writePageChecksumRaw(Addr nvmPage)
+{
+    std::uint8_t page[kPageBytes];
+    mem_.nvmArray().rawRead(nvmPage, page, kPageBytes);
+    std::uint64_t csum = pageChecksum(page);
+    mem_.nvmArray().rawWrite(mem_.layout().pageCsumAddr(nvmPage), &csum,
+                             kChecksumBytes);
+}
+
+Addr
+DaxFs::daxMap(int fd)
+{
+    File &f = files_[static_cast<std::size_t>(fd)];
+    if (f.mapped)
+        return vbase(fd);
+    // Coverage hand-off: while unmapped, the FS I/O path caches
+    // checksum/parity lines in the *application* hierarchy; while
+    // mapped, TVARAK caches them in its own controllers. Drop all
+    // cached state at the boundary so neither domain can observe the
+    // other's writes stale (map/unmap is a rare, heavyweight event).
+    mem_.dropCaches();
+    for (std::size_t p = 0; p < f.pages; p++) {
+        Addr nvm_page = pageOfVpage(f.firstVpage + p);
+        mem_.tvarak().initDaxClChecksums(nvm_page);
+        mem_.tvarak().registerDaxPage(nvm_page);
+    }
+    f.mapped = true;
+    return vbase(fd);
+}
+
+void
+DaxFs::daxUnmap(int fd)
+{
+    File &f = files_[static_cast<std::size_t>(fd)];
+    panic_if(!f.mapped, "unmap of unmapped file");
+    // Push all dirty application data through TVARAK's update path and
+    // drop cached state (see daxMap), then convert coverage back to
+    // page-granular checksums.
+    mem_.dropCaches();
+    for (std::size_t p = 0; p < f.pages; p++) {
+        Addr nvm_page = pageOfVpage(f.firstVpage + p);
+        mem_.tvarak().unregisterDaxPage(nvm_page);
+        writePageChecksumRaw(nvm_page);
+    }
+    f.mapped = false;
+}
+
+//
+// Non-DAX I/O path (software redundancy, Nova-Fortis style)
+//
+
+void
+DaxFs::updatePageChecksum(int tid, Addr vpageBase, Addr nvmPage)
+{
+    // Read the page through the caches (hits for the just-written
+    // lines), checksum it in software, store the entry.
+    std::uint8_t page[kPageBytes];
+    mem_.read(tid, vpageBase, page, kPageBytes);
+    mem_.computeChecksum(tid, kPageBytes);
+    std::uint64_t csum = pageChecksum(page);
+    mem_.write64(tid, nvmDirectVaddr(mem_.layout().pageCsumAddr(nvmPage)),
+                 csum);
+}
+
+void
+DaxFs::pwrite(int tid, int fd, std::size_t offset, const void *buf,
+              std::size_t len)
+{
+    const File &f = file(fd);
+    panic_if(offset + len > f.bytes, "pwrite beyond EOF");
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    Addr base = vbase(fd);
+
+    while (len > 0) {
+        std::size_t page_idx = offset / kPageBytes;
+        Addr vpage_base = base + page_idx * kPageBytes;
+        Addr nvm_page = filePage(fd, page_idx);
+        std::size_t in_page =
+            std::min(len, kPageBytes - pageOffset(offset));
+
+        if (f.mapped) {
+            // TVARAK (or the cache hierarchy alone, for the other
+            // designs) covers mapped files; just write the data.
+            mem_.write(tid, base + offset, in, in_page);
+        } else {
+            // Software redundancy: per affected line, diff-update the
+            // parity, then write the data and refresh the checksum.
+            std::size_t done = 0;
+            while (done < in_page) {
+                Addr vaddr = base + offset + done;
+                std::size_t n =
+                    std::min(in_page - done, kLineBytes - lineOffset(vaddr));
+                std::uint8_t old_line[kLineBytes];
+                std::uint8_t new_line[kLineBytes];
+                Addr vline = lineBase(vaddr);
+                mem_.read(tid, vline, old_line, kLineBytes);
+                std::memcpy(new_line, old_line, kLineBytes);
+                std::memcpy(new_line + lineOffset(vaddr), in + done, n);
+
+                Addr nvm_line =
+                    nvm_page + lineInPage(vaddr) * kLineBytes;
+                Addr parity_v = nvmDirectVaddr(
+                    mem_.layout().parityLineOf(nvm_line));
+                std::uint8_t parity[kLineBytes];
+                mem_.read(tid, parity_v, parity, kLineBytes);
+                xorLine(parity, old_line);
+                xorLine(parity, new_line);
+                mem_.write(tid, parity_v, parity, kLineBytes);
+
+                mem_.write(tid, vaddr, in + done, n);
+                done += n;
+            }
+            updatePageChecksum(tid, vpage_base, nvm_page);
+        }
+        offset += in_page;
+        in += in_page;
+        len -= in_page;
+    }
+}
+
+bool
+DaxFs::pread(int tid, int fd, std::size_t offset, void *buf,
+             std::size_t len)
+{
+    const File &f = file(fd);
+    panic_if(offset + len > f.bytes, "pread beyond EOF");
+    auto *out = static_cast<std::uint8_t *>(buf);
+    Addr base = vbase(fd);
+    bool ok = true;
+
+    while (len > 0) {
+        std::size_t page_idx = offset / kPageBytes;
+        Addr vpage_base = base + page_idx * kPageBytes;
+        Addr nvm_page = filePage(fd, page_idx);
+        std::size_t in_page =
+            std::min(len, kPageBytes - pageOffset(offset));
+
+        mem_.read(tid, base + offset, out, in_page);
+
+        if (!f.mapped) {
+            // Verify the whole page against its system-checksum.
+            std::uint8_t page[kPageBytes];
+            mem_.read(tid, vpage_base, page, kPageBytes);
+            mem_.computeChecksum(tid, kPageBytes);
+            std::uint64_t expected = mem_.read64(
+                tid,
+                nvmDirectVaddr(mem_.layout().pageCsumAddr(nvm_page)));
+            if (pageChecksum(page) != expected) {
+                mem_.stats().corruptionsDetected++;
+                ok = recoverPage(fd, page_idx) && ok;
+                // Hand the repaired bytes to the caller.
+                mem_.read(tid, base + offset, out, in_page);
+            }
+        }
+        offset += in_page;
+        out += in_page;
+        len -= in_page;
+    }
+    return ok;
+}
+
+bool
+DaxFs::recoverPage(int fd, std::size_t pageIdx)
+{
+    Addr nvm_page = filePage(fd, pageIdx);
+    Addr vpage_base = vbase(fd) + pageIdx * kPageBytes;
+    for (std::size_t l = 0; l < kLinesPerPage; l++)
+        mem_.tvarak().recoverLine(nvm_page + l * kLineBytes, false);
+    mem_.refreshFromMedia(vpage_base, kPageBytes);
+
+    std::uint8_t page[kPageBytes];
+    mem_.nvmArray().rawRead(nvm_page, page, kPageBytes);
+    std::uint64_t expected;
+    mem_.nvmArray().rawRead(mem_.layout().pageCsumAddr(nvm_page),
+                            &expected, kChecksumBytes);
+    return pageChecksum(page) == expected;
+}
+
+//
+// Integrity utilities
+//
+
+std::size_t
+DaxFs::scrub(bool repair)
+{
+    std::size_t bad_lines = 0;
+    for (std::size_t fd = 0; fd < files_.size(); fd++) {
+        const File &f = files_[fd];
+        // Coverage of a *mapped* file depends on the active design:
+        // TVARAK maintains DAX-CL-checksums, TxB-Page-Csums maintains
+        // page checksums, TxB-Object-Csums is scrubbed via
+        // PmemPool::verifyObjects, and Baseline has no coverage
+        // (Table I).
+        DesignKind design = mem_.design();
+        if (f.mapped && design != DesignKind::Tvarak &&
+            design != DesignKind::TxBPageCsums) {
+            continue;
+        }
+        bool use_cl_csums = f.mapped && design == DesignKind::Tvarak;
+        for (std::size_t p = 0; p < f.pages; p++) {
+            Addr nvm_page = pageOfVpage(f.firstVpage + p);
+            if (use_cl_csums) {
+                for (std::size_t l = 0; l < kLinesPerPage; l++) {
+                    Addr line = nvm_page + l * kLineBytes;
+                    std::uint8_t data[kLineBytes];
+                    mem_.nvmArray().rawRead(line, data, kLineBytes);
+                    Addr csum_line = mem_.layout().daxClCsumLine(line);
+                    std::uint8_t cbuf[kLineBytes];
+                    mem_.tvarak().peekRedLine(csum_line, cbuf);
+                    std::uint64_t expected;
+                    std::memcpy(
+                        &expected,
+                        cbuf + (mem_.layout().daxClCsumAddr(line) -
+                                csum_line),
+                        kChecksumBytes);
+                    if (lineChecksum(data) != expected) {
+                        bad_lines++;
+                        if (repair)
+                            mem_.tvarak().recoverLine(line, true);
+                    }
+                }
+            } else {
+                std::uint8_t page[kPageBytes];
+                mem_.nvmArray().rawRead(nvm_page, page, kPageBytes);
+                std::uint64_t expected;
+                mem_.nvmArray().rawRead(
+                    mem_.layout().pageCsumAddr(nvm_page), &expected,
+                    kChecksumBytes);
+                if (pageChecksum(page) != expected) {
+                    bad_lines++;
+                    if (repair)
+                        recoverPage(static_cast<int>(fd), p);
+                }
+            }
+        }
+    }
+    return bad_lines;
+}
+
+std::size_t
+DaxFs::verifyParity()
+{
+    const Layout &layout = mem_.layout();
+    std::size_t bad = 0;
+    std::vector<Addr> pages;
+    std::vector<std::uint8_t> acc(kPageBytes);
+    std::vector<std::uint8_t> page(kPageBytes);
+    // Only stripes that can hold allocated data need checking; the
+    // rest are all-zero and trivially consistent.
+    std::size_t used_stripes =
+        (nextDataPage_ + layout.dimms() - 2) / (layout.dimms() - 1);
+    for (std::size_t s = 0; s < used_stripes; s++) {
+        Addr first = layout.dataBase() +
+            static_cast<Addr>(s) * layout.dimms() * kPageBytes;
+        Addr parity = layout.parityPageOf(first);
+        mem_.nvmArray().rawRead(parity, acc.data(), kPageBytes);
+        layout.stripeDataPages(first, pages);
+        for (Addr p : pages) {
+            mem_.nvmArray().rawRead(p, page.data(), kPageBytes);
+            for (std::size_t i = 0; i < kPageBytes; i++)
+                acc[i] ^= page[i];
+        }
+        for (std::size_t i = 0; i < kPageBytes; i++) {
+            if (acc[i] != 0) {
+                bad++;
+                break;
+            }
+        }
+    }
+    return bad;
+}
+
+}  // namespace tvarak

@@ -1,0 +1,141 @@
+#include "harness/report.hh"
+
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+const RunResult &
+baselineOf(const FigureRow &row)
+{
+    auto it = row.results.find(DesignKind::Baseline);
+    panic_if(it == row.results.end(), "row %s lacks a Baseline run",
+             row.workload.c_str());
+    return it->second;
+}
+
+void
+printPanel(const char *title, const std::vector<FigureRow> &rows,
+           double (*value)(const RunResult &))
+{
+    std::printf("\n  %s (normalized to Baseline)\n", title);
+    std::printf("  %-26s", "workload");
+    for (DesignKind d : allDesigns())
+        std::printf(" %18s", designName(d));
+    std::printf("\n");
+    for (const FigureRow &row : rows) {
+        double base = value(baselineOf(row));
+        std::printf("  %-26s", row.workload.c_str());
+        for (DesignKind d : allDesigns()) {
+            auto it = row.results.find(d);
+            if (it == row.results.end()) {
+                std::printf(" %18s", "-");
+            } else {
+                std::printf(" %18.3f",
+                            base > 0 ? value(it->second) / base : 0.0);
+            }
+        }
+        std::printf("\n");
+    }
+}
+
+double runtimeValue(const RunResult &r)
+{
+    return static_cast<double>(r.runtimeCycles);
+}
+double energyValue(const RunResult &r) { return r.energyMj; }
+double nvmValue(const RunResult &r)
+{
+    return static_cast<double>(r.nvmDataAccesses + r.nvmRedAccesses);
+}
+double cacheValue(const RunResult &r)
+{
+    return static_cast<double>(r.cacheAccesses);
+}
+
+}  // namespace
+
+double
+normRuntime(const FigureRow &row, DesignKind design)
+{
+    auto it = row.results.find(design);
+    panic_if(it == row.results.end(), "missing design in row");
+    return static_cast<double>(it->second.runtimeCycles) /
+        static_cast<double>(baselineOf(row).runtimeCycles);
+}
+
+void
+printFigureGroup(const std::string &caption,
+                 const std::vector<FigureRow> &rows)
+{
+    std::printf("\n== %s ==\n", caption.c_str());
+    printPanel("Runtime", rows, runtimeValue);
+    printPanel("Energy", rows, energyValue);
+    printPanel("NVM accesses", rows, nvmValue);
+    printPanel("Cache accesses", rows, cacheValue);
+
+    std::printf("\n  NVM access split (absolute, data + redundancy)\n");
+    for (const FigureRow &row : rows) {
+        for (DesignKind d : allDesigns()) {
+            auto it = row.results.find(d);
+            if (it == row.results.end())
+                continue;
+            std::printf("  %-26s %-18s data=%-12llu red=%-12llu\n",
+                        row.workload.c_str(), designName(d),
+                        static_cast<unsigned long long>(
+                            it->second.nvmDataAccesses),
+                        static_cast<unsigned long long>(
+                            it->second.nvmRedAccesses));
+        }
+    }
+}
+
+void
+printFigureCsv(const std::string &figureId,
+               const std::vector<FigureRow> &rows)
+{
+    std::printf("\ncsv,%s,workload,design,runtime_cycles,norm_runtime,"
+                "energy_mj,nvm_data,nvm_red,cache_accesses\n",
+                figureId.c_str());
+    for (const FigureRow &row : rows) {
+        double base =
+            static_cast<double>(baselineOf(row).runtimeCycles);
+        for (DesignKind d : allDesigns()) {
+            auto it = row.results.find(d);
+            if (it == row.results.end())
+                continue;
+            const RunResult &r = it->second;
+            std::printf(
+                "csv,%s,%s,%s,%llu,%.4f,%.4f,%llu,%llu,%llu\n",
+                figureId.c_str(), row.workload.c_str(), designName(d),
+                static_cast<unsigned long long>(r.runtimeCycles),
+                static_cast<double>(r.runtimeCycles) / base, r.energyMj,
+                static_cast<unsigned long long>(r.nvmDataAccesses),
+                static_cast<unsigned long long>(r.nvmRedAccesses),
+                static_cast<unsigned long long>(r.cacheAccesses));
+        }
+    }
+}
+
+void
+printRuntimeTable(const std::string &caption,
+                  const std::vector<std::string> &columnNames,
+                  const std::vector<std::string> &rowNames,
+                  const std::vector<std::vector<double>> &normRuntime)
+{
+    std::printf("\n== %s ==\n  %-26s", caption.c_str(), "workload");
+    for (const auto &c : columnNames)
+        std::printf(" %16s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < rowNames.size(); i++) {
+        std::printf("  %-26s", rowNames[i].c_str());
+        for (double v : normRuntime[i])
+            std::printf(" %16.3f", v);
+        std::printf("\n");
+    }
+}
+
+}  // namespace tvarak

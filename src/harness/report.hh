@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table printers for the bench binaries: each Fig 8 panel group prints
+ * one table per plotted quantity (runtime, energy, NVM accesses split
+ * data/redundancy, cache accesses), with values normalized to
+ * Baseline exactly as the paper's bar charts are.
+ */
+
+#ifndef TVARAK_HARNESS_REPORT_HH
+#define TVARAK_HARNESS_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace tvarak {
+
+/** One cluster of bars: a workload under every design. */
+struct FigureRow {
+    std::string workload;
+    std::map<DesignKind, RunResult> results;
+};
+
+/** Print all four panels (runtime/energy/NVM/cache) of a Fig 8 group. */
+void printFigureGroup(const std::string &caption,
+                      const std::vector<FigureRow> &rows);
+
+/** Print a single quantity table (used by Fig 9 / Fig 10 benches). */
+void printRuntimeTable(const std::string &caption,
+                       const std::vector<std::string> &columnNames,
+                       const std::vector<std::string> &rowNames,
+                       const std::vector<std::vector<double>> &normRuntime);
+
+/** Normalized-to-baseline helper. */
+double normRuntime(const FigureRow &row, DesignKind design);
+
+/** CSV emission alongside the human tables (for plotting). */
+void printFigureCsv(const std::string &figureId,
+                    const std::vector<FigureRow> &rows);
+
+}  // namespace tvarak
+
+#endif  // TVARAK_HARNESS_REPORT_HH

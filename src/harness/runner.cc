@@ -1,0 +1,62 @@
+#include "harness/runner.hh"
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+const std::vector<DesignKind> &
+allDesigns()
+{
+    static const std::vector<DesignKind> designs = {
+        DesignKind::Baseline,
+        DesignKind::Tvarak,
+        DesignKind::TxBObjectCsums,
+        DesignKind::TxBPageCsums,
+    };
+    return designs;
+}
+
+RunResult
+runExperiment(const SimConfig &cfg, DesignKind design,
+              const WorkloadFactory &make)
+{
+    MemorySystem mem(cfg, design);
+    DaxFs fs(mem);
+    WorkloadSet set = make(mem, fs);
+    panic_if(set.workloads.empty(), "empty workload set");
+
+    for (auto &w : set.workloads)
+        w->setup();
+    if (set.beforeMeasure)
+        set.beforeMeasure(mem);
+    mem.stats().reset();
+
+    std::vector<bool> done(set.workloads.size(), false);
+    std::size_t remaining = set.workloads.size();
+    while (remaining > 0) {
+        for (std::size_t i = 0; i < set.workloads.size(); i++) {
+            if (done[i])
+                continue;
+            if (!set.workloads[i]->step()) {
+                done[i] = true;
+                remaining--;
+            }
+        }
+    }
+    mem.flushAll();
+
+    const Stats &s = mem.stats();
+    RunResult r;
+    r.design = design;
+    r.runtimeCycles = s.runtimeCycles();
+    r.runtimeMs = static_cast<double>(r.runtimeCycles) /
+        (cfg.coreGhz * 1e6);
+    r.energyMj = s.totalEnergy() * 1e-9;
+    r.nvmDataAccesses = s.nvmDataReads + s.nvmDataWrites;
+    r.nvmRedAccesses = s.nvmRedundancyReads + s.nvmRedundancyWrites;
+    r.cacheAccesses = s.cacheAccesses();
+    r.stats = s;
+    return r;
+}
+
+}  // namespace tvarak

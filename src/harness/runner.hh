@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment runner: builds a machine, runs a workload set under one
+ * redundancy design, returns the Fig 8 quantities.
+ */
+
+#ifndef TVARAK_HARNESS_RUNNER_HH
+#define TVARAK_HARNESS_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "harness/workload.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace tvarak {
+
+/** Everything the paper plots, for one (workload, design) run. */
+struct RunResult {
+    DesignKind design = DesignKind::Baseline;
+    Cycles runtimeCycles = 0;
+    double runtimeMs = 0;
+    double energyMj = 0;            //!< millijoules
+    std::uint64_t nvmDataAccesses = 0;
+    std::uint64_t nvmRedAccesses = 0;
+    std::uint64_t cacheAccesses = 0;  //!< L1+L2+LLC+on-TVARAK
+    Stats stats{1, 1};
+};
+
+/**
+ * A bundle of per-thread workloads plus optional shared state that
+ * must live as long as they do (shared pools, schemes, drivers).
+ */
+struct WorkloadSet {
+    std::vector<std::unique_ptr<Workload>> workloads;
+    /** Opaque keep-alive for state shared between the workloads. */
+    std::shared_ptr<void> shared;
+    /** Runs after all setup() calls, before stats reset — e.g.
+     *  MemorySystem::dropCaches for cold-start workloads (fio). */
+    std::function<void(MemorySystem &)> beforeMeasure;
+};
+
+/** Builds the workload set against a fresh machine. */
+using WorkloadFactory =
+    std::function<WorkloadSet(MemorySystem &, DaxFs &)>;
+
+/**
+ * Run @p make's workloads to completion under @p design.
+ *
+ * Order: build machine -> setup() all -> stats reset -> round-robin
+ * step() until all done -> flushAll() (the writeback tail is part of
+ * the measured NVM occupancy) -> collect.
+ */
+RunResult runExperiment(const SimConfig &cfg, DesignKind design,
+                        const WorkloadFactory &make);
+
+/** The four designs of the evaluation, in paper order. */
+const std::vector<DesignKind> &allDesigns();
+
+}  // namespace tvarak
+
+#endif  // TVARAK_HARNESS_RUNNER_HH

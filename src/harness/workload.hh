@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload interface for the experiment harness.
+ *
+ * A Workload is one simulated thread's worth of application work.
+ * The Runner executes all workloads in round-robin slices so that
+ * concurrent instances genuinely share the LLC and NVM bandwidth, and
+ * uses the fixed-work methodology of the paper: every design runs the
+ * same operations and the reported runtime is
+ * max(slowest thread, busiest DIMM).
+ *
+ * setup() builds pools and preloads data; it runs before the stats are
+ * reset, so only steady-state work is measured (caches stay warm).
+ */
+
+#ifndef TVARAK_HARNESS_WORKLOAD_HH
+#define TVARAK_HARNESS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/dax_fs.hh"
+#include "mem/memory_system.hh"
+
+namespace tvarak {
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Create files/pools and preload data (unmeasured). */
+    virtual void setup() = 0;
+
+    /**
+     * Run one slice of work (a few hundred to a few thousand
+     * operations; the runner interleaves slices across workloads).
+     * @return false when this workload has no more work.
+     */
+    virtual bool step() = 0;
+
+    /** Thread id this workload issues accesses under. */
+    virtual int tid() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_HARNESS_WORKLOAD_HH

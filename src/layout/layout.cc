@@ -1,0 +1,123 @@
+#include "layout/layout.hh"
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+Layout::Layout(std::size_t totalBytes, std::size_t dimms)
+    : dimms_(dimms)
+{
+    panic_if(dimms < 2, "RAID-5 needs >= 2 DIMMs");
+    panic_if(totalBytes % kPageBytes != 0, "capacity not page aligned");
+    std::size_t total_pages = totalBytes / kPageBytes;
+
+    // Metadata sizing: 8 B page checksum + 512 B of DAX-CL-checksums
+    // per data page. Solve conservatively, then round the data region
+    // start up to a stripe (row) boundary so rows align with DIMMs.
+    std::size_t meta_bytes_per_data_page =
+        kChecksumBytes + kLinesPerPage * kChecksumBytes;
+    std::size_t meta_pages =
+        (total_pages * meta_bytes_per_data_page + kPageBytes - 1) /
+        kPageBytes;
+    // Split: page checksums first, then DAX-CL region.
+    std::size_t page_csum_pages =
+        (total_pages * kChecksumBytes + kPageBytes - 1) / kPageBytes;
+    meta_pages = ((meta_pages + dimms_ - 1) / dimms_) * dimms_;
+    panic_if(meta_pages >= total_pages, "NVM too small for metadata");
+
+    daxClBase_ = static_cast<Addr>(page_csum_pages) * kPageBytes;
+    dataBase_ = static_cast<Addr>(meta_pages) * kPageBytes;
+    dataPages_ = total_pages - meta_pages;
+    // Trim trailing partial stripe.
+    stripes_ = dataPages_ / dimms_;
+    dataPages_ = stripes_ * dimms_;
+    end_ = dataBase_ + static_cast<Addr>(dataPages_) * kPageBytes;
+}
+
+std::size_t
+Layout::stripeOf(Addr a) const
+{
+    panic_if(!isDataAddr(a), "stripeOf on non-data address");
+    return static_cast<std::size_t>((a - dataBase_) / kPageBytes) / dimms_;
+}
+
+bool
+Layout::isParityPage(Addr a) const
+{
+    std::size_t s = stripeOf(a);
+    std::size_t member =
+        static_cast<std::size_t>((a - dataBase_) / kPageBytes) % dimms_;
+    return member == dimms_ - 1 - (s % dimms_);
+}
+
+Addr
+Layout::parityPageOf(Addr a) const
+{
+    std::size_t s = stripeOf(a);
+    std::size_t parity_member = dimms_ - 1 - (s % dimms_);
+    return dataBase_ +
+        static_cast<Addr>(s * dimms_ + parity_member) * kPageBytes;
+}
+
+Addr
+Layout::parityLineOf(Addr a) const
+{
+    return parityPageOf(a) + lineInPage(a) * kLineBytes;
+}
+
+void
+Layout::stripeDataPages(Addr a, std::vector<Addr> &out) const
+{
+    out.clear();
+    std::size_t s = stripeOf(a);
+    std::size_t parity_member = dimms_ - 1 - (s % dimms_);
+    for (std::size_t m = 0; m < dimms_; m++) {
+        if (m == parity_member)
+            continue;
+        out.push_back(dataBase_ +
+                      static_cast<Addr>(s * dimms_ + m) * kPageBytes);
+    }
+}
+
+Addr
+Layout::pageCsumAddr(Addr a) const
+{
+    panic_if(!isDataAddr(a), "pageCsumAddr on non-data address");
+    std::uint64_t idx = pageNumber(a - dataBase_);
+    Addr addr = pageCsumBase() + idx * kChecksumBytes;
+    panic_if(addr >= daxClBase_, "page checksum region overflow");
+    return addr;
+}
+
+Addr
+Layout::daxClCsumAddr(Addr a) const
+{
+    panic_if(!isDataAddr(a), "daxClCsumAddr on non-data address");
+    std::uint64_t idx = lineNumber(a - dataBase_);
+    Addr addr = daxClBase_ + idx * kChecksumBytes;
+    panic_if(addr >= dataBase_, "DAX-CL checksum region overflow");
+    return addr;
+}
+
+Addr
+Layout::nthDataPage(std::size_t index) const
+{
+    // Each stripe contributes dimms_-1 data pages.
+    std::size_t per_stripe = dimms_ - 1;
+    std::size_t s = index / per_stripe;
+    std::size_t k = index % per_stripe;
+    panic_if(s >= stripes_, "data page index %zu out of range", index);
+    std::size_t parity_member = dimms_ - 1 - (s % dimms_);
+    // k-th member skipping the parity slot.
+    std::size_t member = k < parity_member ? k : k + 1;
+    return dataBase_ +
+        static_cast<Addr>(s * dimms_ + member) * kPageBytes;
+}
+
+std::size_t
+Layout::allocatableDataPages() const
+{
+    return stripes_ * (dimms_ - 1);
+}
+
+}  // namespace tvarak

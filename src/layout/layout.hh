@@ -1,0 +1,100 @@
+/**
+ * @file
+ * NVM physical layout: metadata regions and RAID-5 parity geometry.
+ *
+ * NVM-global physical addresses are linear over all DIMMs with 4 KB
+ * page striping (global page g lives on DIMM g % N). The space is
+ * carved as:
+ *
+ *   [0, pageCsumBytes)           per-page system-checksums (8 B/page)
+ *   [daxClBase, +daxClBytes)     DAX-CL-checksums (8 B per 64 B line,
+ *                                packed 8 per checksum line)
+ *   [dataBase, end)              data region, in RAID-5 stripes
+ *
+ * A stripe is one "row": N consecutive global pages, one per DIMM.
+ * The parity member rotates (stripe s keeps parity on member
+ * N-1 - s % N), exactly the Fig 3 geometry: page-granular interleaving
+ * so the OS can map virtually-contiguous pages to data pages while
+ * skipping parity pages.
+ *
+ * The metadata region is deliberately *not* parity protected (the
+ * paper protects data pages; checksum blocks are their own
+ * protection), and a real file system would allocate DAX-CL-checksum
+ * space only for mapped files — we reserve it statically to keep the
+ * address arithmetic pure, and DaxFs tracks which ranges are live.
+ */
+
+#ifndef TVARAK_LAYOUT_LAYOUT_HH
+#define TVARAK_LAYOUT_LAYOUT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tvarak {
+
+class Layout
+{
+  public:
+    /**
+     * @param totalBytes capacity of the whole NVM array.
+     * @param dimms      number of DIMMs (stripe width).
+     */
+    Layout(std::size_t totalBytes, std::size_t dimms);
+
+    /** @name Region boundaries (NVM-global addresses). */
+    /**@{*/
+    Addr pageCsumBase() const { return 0; }
+    Addr daxClBase() const { return daxClBase_; }
+    Addr dataBase() const { return dataBase_; }
+    Addr end() const { return end_; }
+    std::size_t dataPages() const { return dataPages_; }
+    std::size_t stripes() const { return stripes_; }
+    std::size_t dimms() const { return dimms_; }
+    /**@}*/
+
+    /** True iff @p a lies below the data region (checksum storage). */
+    bool isMetaAddr(Addr a) const { return a < dataBase_; }
+    /** True iff @p a lies in the data region (incl. parity pages). */
+    bool isDataAddr(Addr a) const { return a >= dataBase_ && a < end_; }
+
+    /** Stripe index of a data-region address. */
+    std::size_t stripeOf(Addr a) const;
+    /** True iff the page holding @p a is its stripe's parity member. */
+    bool isParityPage(Addr a) const;
+    /** Global address of the parity page of @p a's stripe. */
+    Addr parityPageOf(Addr a) const;
+    /** Parity line covering data line @p a (same in-page offset). */
+    Addr parityLineOf(Addr a) const;
+    /** The stripe's data pages (excludes the parity member). */
+    void stripeDataPages(Addr a, std::vector<Addr> &out) const;
+
+    /** Address of the 8 B page system-checksum slot for @p a's page. */
+    Addr pageCsumAddr(Addr a) const;
+    /** Address of the 8 B DAX-CL-checksum slot for @p a's line. */
+    Addr daxClCsumAddr(Addr a) const;
+    /** The checksum *line* holding @p a's DAX-CL-checksum. */
+    Addr daxClCsumLine(Addr a) const { return lineBase(daxClCsumAddr(a)); }
+
+    /**
+     * Iterate the allocatable data pages in virtual-contiguity order
+     * (global page order, skipping parity pages).
+     * @param index  n-th data page, 0-based.
+     */
+    Addr nthDataPage(std::size_t index) const;
+    /** Number of allocatable (non-parity) data pages. */
+    std::size_t allocatableDataPages() const;
+
+  private:
+    std::size_t dimms_;
+    Addr daxClBase_;
+    Addr dataBase_;
+    Addr end_;
+    std::size_t dataPages_;   //!< pages in data region incl. parity
+    std::size_t stripes_;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_LAYOUT_LAYOUT_HH

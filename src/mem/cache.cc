@@ -1,0 +1,144 @@
+#include "mem/cache.hh"
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+Cache::Cache(std::string name, std::size_t sets, std::size_t ways,
+             std::size_t setDivisor, bool carriesData)
+    : name_(std::move(name)), sets_(sets), ways_(ways),
+      setDivisor_(setDivisor)
+{
+    panic_if(sets == 0 || (sets & (sets - 1)) != 0,
+             "%s: set count %zu not a power of two", name_.c_str(), sets);
+    panic_if(ways == 0, "%s: zero ways", name_.c_str());
+    panic_if(setDivisor == 0, "%s: zero set divisor", name_.c_str());
+    tags_.assign(sets_ * ways_, Line::kNoTag);
+    lines_.resize(sets_ * ways_);
+    if (carriesData)
+        data_.resize(sets_ * ways_);
+}
+
+Cache
+Cache::fromSize(std::string name, std::size_t bytes, std::size_t ways,
+                std::size_t setDivisor, bool carriesData)
+{
+    panic_if(bytes % (ways * kLineBytes) != 0,
+             "%s: %zu bytes not divisible into %zu ways", name.c_str(),
+             bytes, ways);
+    return Cache(std::move(name), bytes / (ways * kLineBytes), ways,
+                 setDivisor, carriesData);
+}
+
+Cache::Line *
+Cache::probe(Addr lineAddr)
+{
+    panic_if(lineOffset(lineAddr) != 0, "%s: unaligned probe",
+             name_.c_str());
+    std::size_t base = setOf(lineAddr) * ways_;
+    const Addr *tags = &tags_[base];
+    for (std::size_t w = 0; w < ways_; w++) {
+        if (tags[w] == lineAddr)
+            return &lines_[base + w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::probe(Addr lineAddr) const
+{
+    return const_cast<Cache *>(this)->probe(lineAddr);
+}
+
+std::uint8_t *
+Cache::dataOf(Line &line)
+{
+    panic_if(data_.empty(), "%s: tag-only cache has no payloads",
+             name_.c_str());
+    return data_[indexOf(line)].data();
+}
+
+const std::uint8_t *
+Cache::dataOf(const Line &line) const
+{
+    return const_cast<Cache *>(this)->dataOf(const_cast<Line &>(line));
+}
+
+Cache::Line &
+Cache::insert(Addr lineAddr, Victim &victim)
+{
+    panic_if(probe(lineAddr) != nullptr, "%s: double insert of %llx",
+             name_.c_str(), static_cast<unsigned long long>(lineAddr));
+    std::size_t base = setOf(lineAddr) * ways_;
+    std::size_t target = base;
+    for (std::size_t w = 0; w < ways_; w++) {
+        if (tags_[base + w] == Line::kNoTag) {
+            target = base + w;
+            break;
+        }
+        if (lines_[base + w].lruStamp < lines_[target].lruStamp)
+            target = base + w;
+    }
+    Line &line = lines_[target];
+    victim.valid = line.valid();
+    if (victim.valid) {
+        victim.addr = line.addr;
+        victim.dirty = line.dirty;
+        victim.sharers = line.sharers;
+        victim.owner = line.owner;
+        if (!data_.empty())
+            victim.data = data_[target];
+    }
+    line.addr = lineAddr;
+    line.dirty = false;
+    line.sharers = 0;
+    line.owner = -1;
+    if (!data_.empty())
+        data_[target].fill(0);
+    tags_[target] = lineAddr;
+    touch(line);
+    return line;
+}
+
+void
+Cache::invalidate(Addr lineAddr)
+{
+    if (Line *line = probe(lineAddr)) {
+        line->addr = Line::kNoTag;
+        line->dirty = false;
+        line->sharers = 0;
+        line->owner = -1;
+        tags_[indexOf(*line)] = Line::kNoTag;
+    }
+}
+
+void
+Cache::forEachLine(const std::function<void(Line &)> &fn)
+{
+    for (auto &line : lines_) {
+        if (line.valid())
+            fn(line);
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    std::fill(tags_.begin(), tags_.end(), Line::kNoTag);
+    stamp_ = 0;
+}
+
+std::size_t
+Cache::validLines() const
+{
+    std::size_t n = 0;
+    for (const auto &line : lines_) {
+        if (line.valid())
+            n++;
+    }
+    return n;
+}
+
+}  // namespace tvarak

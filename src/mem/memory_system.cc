@@ -1,0 +1,608 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+MemorySystem::MemorySystem(const SimConfig &cfg, DesignKind design)
+    : cfg_(cfg),
+      design_(design),
+      stats_(cfg.cores, cfg.nvm.dimms),
+      layout_(cfg.nvm.dimms * cfg.nvm.dimmBytes, cfg.nvm.dimms),
+      nvm_(cfg.nvm, cfg, stats_),
+      engine_(cfg, layout_, nvm_, stats_),
+      dram_(cfg.dram.sizeBytes, 0),
+      nvmCur_(cfg.nvm.dimms * cfg.nvm.dimmBytes, 0),
+      dramBrk_(kLineBytes)  // never hand out address 0
+{
+    cfg.validate();
+    // TVARAK borrows LLC ways for the partitions its enabled design
+    // elements need; every other design (and disabled elements, for
+    // the Fig 9 ablation) leaves those ways to application data.
+    llcDataWays_ = cfg.llcBank.ways;
+    if (design == DesignKind::Tvarak) {
+        if (cfg.tvarak.useRedundancyCaching)
+            llcDataWays_ -= cfg.tvarak.redundancyWays;
+        if (cfg.tvarak.useDataDiffs)
+            llcDataWays_ -= cfg.tvarak.diffWays;
+    }
+    std::size_t llc_sets =
+        cfg.llcBank.sizeBytes / (cfg.llcBank.ways * kLineBytes);
+    for (std::size_t c = 0; c < cfg.cores; c++) {
+        l1_.push_back(Cache::fromSize("l1-" + std::to_string(c),
+                                      cfg.l1.sizeBytes, cfg.l1.ways));
+        l2_.push_back(Cache::fromSize("l2-" + std::to_string(c),
+                                      cfg.l2.sizeBytes, cfg.l2.ways));
+    }
+    for (std::size_t b = 0; b < cfg.llcBanks; b++) {
+        llc_.emplace_back("llc-" + std::to_string(b), llc_sets,
+                          llcDataWays_, cfg.llcBanks);
+    }
+    std::size_t vpages = layout_.allocatableDataPages();
+    daxPageTable_.assign(vpages, kUnmapped);
+    lastMissLine_.assign(cfg.cores, ~std::uint64_t{0});
+}
+
+//
+// Translation & functional plumbing
+//
+
+bool
+MemorySystem::translate(Addr vaddr, Addr &paddr, bool &isNvm) const
+{
+    if (vaddr >= kNvmDirectBase) {
+        Addr g = vaddr - kNvmDirectBase;
+        if (g >= nvmCur_.size())
+            return false;
+        paddr = kNvmPhysBase + g;
+        isNvm = true;
+        return true;
+    }
+    if (!isDaxAddr(vaddr)) {
+        if (vaddr >= dram_.size())
+            return false;
+        paddr = vaddr;
+        isNvm = false;
+        return true;
+    }
+    std::size_t vpage =
+        static_cast<std::size_t>((vaddr - kDaxBase) / kPageBytes);
+    if (vpage >= daxPageTable_.size() ||
+        daxPageTable_[vpage] == kUnmapped) {
+        return false;
+    }
+    paddr = kNvmPhysBase + daxPageTable_[vpage] + pageOffset(vaddr);
+    isNvm = true;
+    return true;
+}
+
+MemorySystem::Translation
+MemorySystem::translateOrDie(Addr vaddr) const
+{
+    Translation t{};
+    panic_if(!translate(vaddr, t.paddr, t.isNvm),
+             "access to unmapped address %llx",
+             static_cast<unsigned long long>(vaddr));
+    return t;
+}
+
+std::uint8_t *
+MemorySystem::funcPtr(Addr paddr, bool isNvm)
+{
+    if (isNvm)
+        return nvmCur_.data() + nvmGlobal(paddr);
+    return dram_.data() + paddr;
+}
+
+const std::uint8_t *
+MemorySystem::funcPtr(Addr paddr, bool isNvm) const
+{
+    return const_cast<MemorySystem *>(this)->funcPtr(paddr, isNvm);
+}
+
+Addr
+MemorySystem::dramAlloc(std::size_t bytes, std::size_t align)
+{
+    dramBrk_ = (dramBrk_ + align - 1) & ~static_cast<Addr>(align - 1);
+    Addr base = dramBrk_;
+    fatal_if(base + bytes > dram_.size(),
+             "DRAM exhausted: need %zu more bytes", bytes);
+    dramBrk_ += bytes;
+    return base;
+}
+
+void
+MemorySystem::mapDaxPage(std::size_t vpage, Addr nvmPage)
+{
+    panic_if(vpage >= daxPageTable_.size(), "vpage out of range");
+    panic_if(daxPageTable_[vpage] != kUnmapped, "vpage already mapped");
+    daxPageTable_[vpage] = nvmPage;
+}
+
+void
+MemorySystem::unmapDaxPage(std::size_t vpage)
+{
+    panic_if(vpage >= daxPageTable_.size() ||
+                 daxPageTable_[vpage] == kUnmapped,
+             "unmap of unmapped vpage");
+    daxPageTable_[vpage] = kUnmapped;
+}
+
+void
+MemorySystem::peek(Addr vaddr, void *buf, std::size_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        Translation t = translateOrDie(vaddr);
+        std::size_t chunk =
+            std::min(len, kPageBytes - pageOffset(vaddr));
+        std::memcpy(out, funcPtr(t.paddr, t.isNvm), chunk);
+        vaddr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemorySystem::poke(Addr vaddr, const void *buf, std::size_t len)
+{
+    panic_if(isDaxAddr(vaddr),
+             "poke into NVM is forbidden; use timed writes or DaxFs");
+    panic_if(vaddr + len > dram_.size(), "poke out of DRAM range");
+    std::memcpy(dram_.data() + vaddr, buf, len);
+}
+
+//
+// Timed access path
+//
+
+void
+MemorySystem::read(int tid, Addr vaddr, void *buf, std::size_t len)
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        std::size_t off = lineOffset(vaddr);
+        std::size_t chunk = std::min(len, kLineBytes - off);
+        accessLine(tid, lineBase(vaddr), off, chunk, out, false);
+        vaddr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemorySystem::write(int tid, Addr vaddr, const void *buf, std::size_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (len > 0) {
+        std::size_t off = lineOffset(vaddr);
+        std::size_t chunk = std::min(len, kLineBytes - off);
+        accessLine(tid, lineBase(vaddr), off, chunk,
+                   const_cast<std::uint8_t *>(in), true);
+        vaddr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint64_t
+MemorySystem::read64(int tid, Addr vaddr)
+{
+    std::uint64_t v;
+    read(tid, vaddr, &v, 8);
+    return v;
+}
+
+void
+MemorySystem::write64(int tid, Addr vaddr, std::uint64_t value)
+{
+    write(tid, vaddr, &value, 8);
+}
+
+std::uint32_t
+MemorySystem::read32(int tid, Addr vaddr)
+{
+    std::uint32_t v;
+    read(tid, vaddr, &v, 4);
+    return v;
+}
+
+void
+MemorySystem::write32(int tid, Addr vaddr, std::uint32_t value)
+{
+    write(tid, vaddr, &value, 4);
+}
+
+void
+MemorySystem::compute(int tid, Cycles cycles)
+{
+    // Thread ids alias onto cores; work by two tids on one core
+    // serializes, so accumulating per core is the fixed-work view.
+    stats_.threadCycles[static_cast<std::size_t>(tid) % l1_.size()] +=
+        cycles;
+}
+
+void
+MemorySystem::computeChecksum(int tid, std::size_t bytes)
+{
+    stats_.swChecksumBytes += bytes;
+    compute(tid, static_cast<Cycles>(
+                     static_cast<double>(bytes) /
+                     cfg_.swChecksumBytesPerCycle));
+}
+
+void
+MemorySystem::accessLine(int tid, Addr vaddr, std::size_t offset,
+                         std::size_t len, void *buf, bool isWrite)
+{
+    Translation t = translateOrDie(vaddr);
+    auto core = static_cast<std::size_t>(tid) % l1_.size();
+    Cycles lat = 0;
+
+    stats_.l1Accesses++;
+    Cache &l1 = l1_[core];
+    Cache::Line *l1_line = l1.probe(t.paddr);
+    if (l1_line != nullptr) {
+        stats_.l1Energy += cfg_.l1.hitEnergy;
+        l1.touch(*l1_line);
+        lat += cfg_.l1.latency;
+    } else {
+        stats_.l1Energy += cfg_.l1.missEnergy;
+        stats_.l1Misses++;
+        lat += cfg_.l1.latency;
+
+        stats_.l2Accesses++;
+        Cache &l2 = l2_[core];
+        Cache::Line *l2_line = l2.probe(t.paddr);
+        if (l2_line != nullptr) {
+            stats_.l2Energy += cfg_.l2.hitEnergy;
+            l2.touch(*l2_line);
+            lat += cfg_.l2.latency;
+        } else {
+            stats_.l2Energy += cfg_.l2.missEnergy;
+            stats_.l2Misses++;
+            lat += cfg_.l2.latency;
+
+            llcEnsure(static_cast<int>(core), t.paddr, t.isNvm, isWrite,
+                      lat);
+
+            // Fill L2 (inclusive of L1).
+            Cache::Victim victim;
+            l2_line = &l2.insert(t.paddr, victim);
+            if (victim.valid) {
+                bool dirty = victim.dirty;
+                if (Cache::Line *v1 = l1.probe(victim.addr)) {
+                    dirty = dirty || v1->dirty;
+                    l1.invalidate(victim.addr);
+                }
+                if (dirty) {
+                    std::size_t vbank = bankOf(victim.addr);
+                    Cache::Line *llc_victim =
+                        llc_[vbank].probe(victim.addr);
+                    panic_if(llc_victim == nullptr,
+                             "LLC inclusion violated (L2 victim)");
+                    markLlcDirty(vbank, *llc_victim);
+                }
+            }
+        }
+
+        // Fill L1.
+        Cache::Victim victim;
+        l1_line = &l1.insert(t.paddr, victim);
+        if (victim.valid && victim.dirty) {
+            Cache::Line *l2_home = l2.probe(victim.addr);
+            panic_if(l2_home == nullptr,
+                     "L2 inclusion violated (L1 victim)");
+            l2_home->dirty = true;
+        }
+    }
+
+    // Functional data movement against the current-value store.
+    std::uint8_t *cur = funcPtr(t.paddr, t.isNvm);
+    if (isWrite) {
+        std::memcpy(cur + offset, buf, len);
+        l1_line->dirty = true;
+        // Stores drain through the store queue: only a fraction of
+        // the miss path stalls the thread.
+        compute(tid, cfg_.storeIssueCycles +
+                         static_cast<Cycles>(
+                             cfg_.storeMissLatencyFactor *
+                             static_cast<double>(lat)));
+    } else {
+        std::memcpy(buf, cur + offset, len);
+        compute(tid, lat);
+    }
+}
+
+bool
+MemorySystem::isRedundancyAddr(Addr nvmAddr) const
+{
+    return layout_.isMetaAddr(nvmAddr) ||
+        (layout_.isDataAddr(nvmAddr) && layout_.isParityPage(nvmAddr));
+}
+
+Cache::Line *
+MemorySystem::llcEnsure(int core, Addr paddr, bool isNvm, bool isWrite,
+                        Cycles &lat)
+{
+    std::size_t bank = bankOf(paddr);
+    Cache &llc = llc_[bank];
+    stats_.llcAccesses++;
+    lat += cfg_.llcBank.latency;
+
+    Cache::Line *line = llc.probe(paddr);
+    if (line != nullptr) {
+        stats_.llcEnergy += cfg_.llcBank.hitEnergy;
+        llc.touch(*line);
+        // Keep a running stream alive: demand hits on prefetched
+        // lines must extend the prefetch window, or the prefetcher
+        // stalls on its own success.
+        if (!isWrite)
+            maybePrefetch(static_cast<std::size_t>(core), paddr, isNvm);
+    } else {
+        stats_.llcEnergy += cfg_.llcBank.missEnergy;
+        stats_.llcMisses++;
+        if (isNvm) {
+            Addr g = nvmGlobal(paddr);
+            std::uint8_t media[kLineBytes];
+            lat += nvm_.access(g, false, media, isRedundancyAddr(g));
+            if (design_ == DesignKind::Tvarak && engine_.isDaxData(g)) {
+                Cycles verify = engine_.verifyFill(bank, g, media);
+                if (cfg_.tvarak.syncVerification)
+                    lat += verify;
+            }
+            // The fill's view becomes the architectural value.
+            std::memcpy(funcPtr(paddr, true), media, kLineBytes);
+        } else {
+            stats_.dramReads++;
+            stats_.dramEnergy += cfg_.dram.accessEnergy;
+            lat += cfg_.nsToCycles(cfg_.dram.accessNs);
+        }
+        Cache::Victim victim;
+        line = &llc.insert(paddr, victim);
+        llcHandleVictim(bank, victim);
+        if (!isWrite) {
+            // The next-line prefetcher trains on load misses only;
+            // store streams drain through the store queue instead.
+            maybePrefetch(static_cast<std::size_t>(core), paddr, isNvm);
+            line = llc.probe(paddr);  // prefetch may reshuffle the set
+            panic_if(line == nullptr, "demand line lost during prefetch");
+        }
+    }
+
+    // Coherence with other cores' private copies.
+    std::uint32_t others =
+        line->sharers & ~(1u << static_cast<unsigned>(core));
+    if (others != 0) {
+        for (std::size_t c = 0; c < l1_.size(); c++) {
+            if (!(others & (1u << c)))
+                continue;
+            bool dirty = false;
+            if (Cache::Line *p = l1_[c].probe(paddr)) {
+                dirty = dirty || p->dirty;
+                if (isWrite)
+                    l1_[c].invalidate(paddr);
+                else
+                    p->dirty = false;
+            }
+            if (Cache::Line *p = l2_[c].probe(paddr)) {
+                dirty = dirty || p->dirty;
+                if (isWrite)
+                    l2_[c].invalidate(paddr);
+                else
+                    p->dirty = false;
+            }
+            if (dirty)
+                markLlcDirty(bank, *line);
+            if (isWrite)
+                line->sharers &= ~(1u << c);
+        }
+    }
+    line->sharers |= 1u << static_cast<unsigned>(core);
+    return line;
+}
+
+void
+MemorySystem::maybePrefetch(std::size_t core, Addr paddr, bool isNvm)
+{
+    std::uint64_t line_no = lineNumber(paddr);
+    std::uint64_t prev = lastMissLine_[core];
+    lastMissLine_[core] = line_no;
+    if (cfg_.prefetchDegree == 0 || line_no != prev + 1)
+        return;
+    for (std::size_t i = 1; i <= cfg_.prefetchDegree; i++) {
+        Addr next = paddr + i * kLineBytes;
+        if (pageBase(next) != pageBase(paddr))
+            break;  // hardware prefetchers stop at page boundaries
+        if (!isNvm && next >= dram_.size())
+            break;
+        prefetchLine(next, isNvm);
+    }
+}
+
+void
+MemorySystem::prefetchLine(Addr paddr, bool isNvm)
+{
+    std::size_t bank = bankOf(paddr);
+    Cache &llc = llc_[bank];
+    if (llc.probe(paddr) != nullptr)
+        return;
+    stats_.llcAccesses++;
+    stats_.llcEnergy += cfg_.llcBank.missEnergy;
+    stats_.llcMisses++;
+    if (isNvm) {
+        Addr g = nvmGlobal(paddr);
+        std::uint8_t media[kLineBytes];
+        nvm_.access(g, false, media, isRedundancyAddr(g));
+        if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
+            engine_.verifyFill(bank, g, media);
+        std::memcpy(funcPtr(paddr, true), media, kLineBytes);
+    } else {
+        stats_.dramReads++;
+        stats_.dramEnergy += cfg_.dram.accessEnergy;
+    }
+    Cache::Victim victim;
+    llc.insert(paddr, victim);
+    llcHandleVictim(bank, victim);
+}
+
+void
+MemorySystem::markLlcDirty(std::size_t bank, Cache::Line &line)
+{
+    line.dirty = true;
+    if (design_ != DesignKind::Tvarak || !isNvmPhys(line.addr))
+        return;
+    Addr g = nvmGlobal(line.addr);
+    if (!engine_.isDaxData(g))
+        return;
+    if (auto evicted = engine_.captureDiff(bank, g)) {
+        // A diff-partition eviction forces an early writeback of the
+        // victim's data line; the data line itself stays cached, clean.
+        Cache::Line *victim_line =
+            llc_[bank].probe(kNvmPhysBase + *evicted);
+        panic_if(victim_line == nullptr || !victim_line->dirty,
+                 "diff stored for a non-dirty LLC line");
+        writebackNvmLine(bank, victim_line->addr,
+                         TvarakEngine::DiffSource::EvictedDiff);
+        victim_line->dirty = false;
+    }
+}
+
+void
+MemorySystem::writebackNvmLine(std::size_t bank, Addr paddr,
+                               TvarakEngine::DiffSource source)
+{
+    Addr g = nvmGlobal(paddr);
+    std::uint8_t *cur = funcPtr(paddr, true);
+    if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
+        engine_.updateRedundancy(bank, g, cur, source);
+    nvm_.access(g, true, cur, isRedundancyAddr(g));
+}
+
+void
+MemorySystem::llcHandleVictim(std::size_t bank,
+                              const Cache::Victim &victim)
+{
+    if (!victim.valid)
+        return;
+    bool dirty = victim.dirty;
+    // Back-invalidate private copies (strict inclusion).
+    if (victim.sharers != 0) {
+        for (std::size_t c = 0; c < l1_.size(); c++) {
+            if (!(victim.sharers & (1u << c)))
+                continue;
+            if (Cache::Line *p = l1_[c].probe(victim.addr)) {
+                dirty = dirty || p->dirty;
+                l1_[c].invalidate(victim.addr);
+            }
+            if (Cache::Line *p = l2_[c].probe(victim.addr)) {
+                dirty = dirty || p->dirty;
+                l2_[c].invalidate(victim.addr);
+            }
+        }
+    }
+    if (isNvmPhys(victim.addr)) {
+        Addr g = nvmGlobal(victim.addr);
+        if (dirty) {
+            writebackNvmLine(bank, victim.addr,
+                             engine_.hasDiff(bank, g)
+                                 ? TvarakEngine::DiffSource::Stored
+                                 : TvarakEngine::DiffSource::None);
+        } else {
+            engine_.dropDiff(bank, g);
+        }
+    } else if (dirty) {
+        stats_.dramWrites++;
+        stats_.dramEnergy += cfg_.dram.accessEnergy;
+    }
+}
+
+bool
+MemorySystem::saveNvmImage(const std::string &path)
+{
+    // Only flushed (at-rest) state survives a power cycle.
+    flushAll();
+    return nvm_.saveImage(path);
+}
+
+bool
+MemorySystem::loadNvmImage(const std::string &path)
+{
+    if (!nvm_.loadImage(path))
+        return false;
+    dropCaches();  // cold machine; current values = media
+    return true;
+}
+
+void
+MemorySystem::dropCaches()
+{
+    flushAll();
+    for (auto &c : l1_)
+        c.reset();
+    for (auto &c : l2_)
+        c.reset();
+    for (auto &c : llc_)
+        c.reset();
+    engine_.dropCleanState();
+    // Re-sync the current-value store with the media so the cold
+    // state is exactly what fills will observe.
+    nvm_.rawRead(0, nvmCur_.data(), nvmCur_.size());
+}
+
+void
+MemorySystem::refreshFromMedia(Addr vaddr, std::size_t len)
+{
+    while (len > 0) {
+        Translation t = translateOrDie(vaddr);
+        panic_if(!t.isNvm, "refreshFromMedia on a DRAM address");
+        std::size_t chunk =
+            std::min(len, kPageBytes - pageOffset(vaddr));
+        nvm_.rawRead(nvmGlobal(t.paddr), funcPtr(t.paddr, true), chunk);
+        vaddr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemorySystem::flushAll()
+{
+    // Private caches first: propagate dirty bits down to the LLC so
+    // diffs are captured through the normal path.
+    for (std::size_t c = 0; c < l1_.size(); c++) {
+        auto push_down = [&](Cache::Line &line) {
+            if (!line.dirty)
+                return;
+            std::size_t bank = bankOf(line.addr);
+            Cache::Line *llc_line = llc_[bank].probe(line.addr);
+            panic_if(llc_line == nullptr, "LLC inclusion violated in flush");
+            markLlcDirty(bank, *llc_line);
+            line.dirty = false;
+        };
+        l1_[c].forEachLine(push_down);
+        l2_[c].forEachLine(push_down);
+    }
+    for (std::size_t b = 0; b < llc_.size(); b++) {
+        llc_[b].forEachLine([&](Cache::Line &line) {
+            if (!line.dirty)
+                return;
+            if (isNvmPhys(line.addr)) {
+                Addr g = nvmGlobal(line.addr);
+                writebackNvmLine(b, line.addr,
+                                 engine_.hasDiff(b, g)
+                                     ? TvarakEngine::DiffSource::Stored
+                                     : TvarakEngine::DiffSource::None);
+            } else {
+                stats_.dramWrites++;
+                stats_.dramEnergy += cfg_.dram.accessEnergy;
+            }
+            line.dirty = false;
+        });
+    }
+    engine_.flushRedundancy();
+}
+
+}  // namespace tvarak

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * MemorySystem: the execution-driven memory hierarchy all workloads
+ * run against, and the integration point for TVARAK.
+ *
+ * Topology (Table III): per-core L1 and L2, a shared inclusive banked
+ * LLC, DRAM, and the NVM array. Under DesignKind::Tvarak, each LLC
+ * bank loses `redundancyWays + diffWays` ways to the TVARAK partitions
+ * and a TvarakEngine hook runs at the LLC<->NVM boundary:
+ * verification on every NVM->LLC fill of a DAX line, redundancy update
+ * on every LLC->NVM writeback, diff capture on every clean->dirty LLC
+ * transition. Other designs get the full LLC and no hooks (software
+ * schemes issue their redundancy work as ordinary timed accesses).
+ *
+ * Functional model: caches carry tags/state for timing; *current*
+ * values live in flat per-space stores (DRAM buffer, NVM
+ * current-value buffer), while the NVM media (at-rest state, where
+ * firmware bugs act) is written only at writeback and read at fill
+ * time. A fill therefore really observes whatever the (possibly
+ * buggy) firmware returns, and TVARAK's verification really catches
+ * it. Virtual addresses below kDaxBase are identity-mapped DRAM; DAX
+ * addresses translate through a page table maintained by DaxFs.
+ *
+ * Timing model (documented in DESIGN.md): loads charge the demand
+ * path latency to the issuing thread; stores charge
+ * storeIssueCycles (store-buffer retirement); writebacks and
+ * redundancy updates are off the critical path but consume NVM
+ * occupancy and energy; reported runtime is
+ * max(slowest thread, busiest DIMM).
+ */
+
+#ifndef TVARAK_MEM_MEMORY_SYSTEM_HH
+#define TVARAK_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tvarak.hh"
+#include "layout/layout.hh"
+#include "mem/cache.hh"
+#include "nvm/nvm.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tvarak {
+
+class MemorySystem
+{
+  public:
+    MemorySystem(const SimConfig &cfg, DesignKind design);
+
+    /** @name Timed access API (what workloads call) */
+    /**@{*/
+    void read(int tid, Addr vaddr, void *buf, std::size_t len);
+    void write(int tid, Addr vaddr, const void *buf, std::size_t len);
+    std::uint64_t read64(int tid, Addr vaddr);
+    void write64(int tid, Addr vaddr, std::uint64_t value);
+    std::uint32_t read32(int tid, Addr vaddr);
+    void write32(int tid, Addr vaddr, std::uint32_t value);
+    /** Charge pure compute cycles to a thread. */
+    void compute(int tid, Cycles cycles);
+    /** Charge software checksum computation over @p bytes. */
+    void computeChecksum(int tid, std::size_t bytes);
+    /**@}*/
+
+    /** @name Untimed functional access (setup & assertions) */
+    /**@{*/
+    /** Read the authoritative current value (cache-coherent view). */
+    void peek(Addr vaddr, void *buf, std::size_t len) const;
+    /**
+     * Write bytes functionally. Allowed for DRAM only: NVM content
+     * must be produced through timed writes (or DaxFs I/O) so that
+     * media, checksums and parity stay consistent.
+     */
+    void poke(Addr vaddr, const void *buf, std::size_t len);
+    /**@}*/
+
+    /** Bump-allocate DRAM for volatile application state. */
+    Addr dramAlloc(std::size_t bytes, std::size_t align = kLineBytes);
+
+    /** @name DAX page-table management (used by DaxFs) */
+    /**@{*/
+    /** Map DAX virtual page index @p vpage to NVM-global @p nvmPage. */
+    void mapDaxPage(std::size_t vpage, Addr nvmPage);
+    void unmapDaxPage(std::size_t vpage);
+    /** Virtual address of DAX virtual page index @p vpage. */
+    static Addr daxVaddr(std::size_t vpage)
+    {
+        return kDaxBase + static_cast<Addr>(vpage) * kPageBytes;
+    }
+    /** Translate; returns false if unmapped/out of range. */
+    bool translate(Addr vaddr, Addr &paddr, bool &isNvm) const;
+    /**@}*/
+
+    /** Write back every dirty line everywhere (battery flush). */
+    void flushAll();
+
+    /** flushAll() followed by dropping every (now clean) cached line
+     *  everywhere — models a cold restart. Subsequent reads re-fill
+     *  from the NVM media through the firmware. */
+    void dropCaches();
+
+    /**
+     * Re-load the current-value store from the NVM media for @p len
+     * bytes at @p vaddr (used after out-of-band recovery repaired the
+     * media, so cached views reflect the repaired bytes). The touched
+     * lines must be clean.
+     */
+    void refreshFromMedia(Addr vaddr, std::size_t len);
+
+    /** Invalidate-without-writeback is deliberately not offered:
+     *  redundancy consistency requires writebacks. */
+
+    DesignKind design() const { return design_; }
+    const SimConfig &config() const { return cfg_; }
+    Stats &stats() { return stats_; }
+    const Stats &stats() const { return stats_; }
+    Layout &layout() { return layout_; }
+    NvmArray &nvmArray() { return nvm_; }
+    TvarakEngine &tvarak() { return engine_; }
+
+    /** LLC data-partition ways actually available to applications. */
+    std::size_t llcDataWays() const { return llcDataWays_; }
+
+    /** @name Machine checkpointing
+     *  Save/restore the NVM at-rest image (see NvmArray). Restore
+     *  re-syncs the current-value store; caches must be cold. */
+    /**@{*/
+    bool saveNvmImage(const std::string &path);
+    bool loadNvmImage(const std::string &path);
+    /**@}*/
+
+  private:
+    struct Translation {
+        Addr paddr;
+        bool isNvm;
+    };
+    Translation translateOrDie(Addr vaddr) const;
+
+    std::size_t bankOf(Addr paddr) const
+    {
+        return static_cast<std::size_t>(lineNumber(paddr)) %
+            llc_.size();
+    }
+    static Addr nvmGlobal(Addr paddr) { return paddr - kNvmPhysBase; }
+
+    /** Pointer into the current-value store for @p paddr. */
+    std::uint8_t *funcPtr(Addr paddr, bool isNvm);
+    const std::uint8_t *funcPtr(Addr paddr, bool isNvm) const;
+
+    /** One line-granular timed access. */
+    void accessLine(int tid, Addr vaddr, std::size_t offset,
+                    std::size_t len, void *buf, bool isWrite);
+
+    /**
+     * Ensure @p paddr is present in the LLC, performing the fill (and
+     * TVARAK verification) if needed; handles coherence with other
+     * cores' private caches.
+     * @return pointer to the LLC line; adds demand latency to @p lat.
+     */
+    Cache::Line *llcEnsure(int core, Addr paddr, bool isNvm, bool isWrite,
+                           Cycles &lat);
+
+    /** Mark an LLC line dirty (captures TVARAK diffs). */
+    void markLlcDirty(std::size_t bank, Cache::Line &line);
+
+    /** Next-line prefetch into the LLC on sequential demand misses;
+     *  stops at the 4 KB page boundary. Off the demand path. */
+    void maybePrefetch(std::size_t core, Addr paddr, bool isNvm);
+    /** Fill one line into the LLC without demand-latency charging. */
+    void prefetchLine(Addr paddr, bool isNvm);
+
+    /** Handle an eviction from an LLC data partition. */
+    void llcHandleVictim(std::size_t bank, const Cache::Victim &victim);
+
+    /** Write one dirty NVM line back to media (TVARAK update hook). */
+    void writebackNvmLine(std::size_t bank, Addr paddr,
+                          TvarakEngine::DiffSource source);
+
+    /** Is this NVM-global address checksum/parity storage? */
+    bool isRedundancyAddr(Addr nvmAddr) const;
+
+    SimConfig cfg_;
+    DesignKind design_;
+    Stats stats_;
+    Layout layout_;
+    NvmArray nvm_;
+    TvarakEngine engine_;
+
+    std::vector<Cache> l1_;   //!< per core
+    std::vector<Cache> l2_;   //!< per core
+    std::vector<Cache> llc_;  //!< per bank, data partition only
+    std::size_t llcDataWays_;
+
+    std::vector<std::uint8_t> dram_;    //!< DRAM current values
+    std::vector<std::uint8_t> nvmCur_;  //!< NVM current values
+    std::vector<Addr> daxPageTable_;    //!< vpage -> NVM page | kUnmapped
+    Addr dramBrk_;
+    std::vector<std::uint64_t> lastMissLine_;  //!< per-core stride state
+
+    static constexpr Addr kUnmapped = ~Addr{0};
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_MEM_MEMORY_SYSTEM_HH

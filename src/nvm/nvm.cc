@@ -1,0 +1,285 @@
+#include "nvm/nvm.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "checksum/checksum.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+NvmDimm::NvmDimm(std::size_t bytes)
+    : media_(bytes, 0), ecc_(bytes / kLineBytes, 0)
+{
+    panic_if(bytes % kPageBytes != 0, "DIMM size must be page aligned");
+    // ECC of the all-zero initial media: computed once, replicated.
+    std::uint8_t zero_ecc = computeEcc(0);
+    std::fill(ecc_.begin(), ecc_.end(), zero_ecc);
+}
+
+void
+NvmDimm::checkAddr(Addr mediaAddr, std::size_t len) const
+{
+    panic_if(mediaAddr + len > media_.size(),
+             "media access [%llu, +%zu) out of range (%zu)",
+             static_cast<unsigned long long>(mediaAddr), len,
+             media_.size());
+}
+
+std::uint8_t
+NvmDimm::computeEcc(Addr lineAddr) const
+{
+    // A one-byte inline "ECC" stand-in: enough to demonstrate that it
+    // verifies data-at-rest but is blind to firmware bugs.
+    return static_cast<std::uint8_t>(
+        crc32c(media_.data() + lineAddr, kLineBytes));
+}
+
+void
+NvmDimm::firmwareRead(Addr mediaAddr, void *buf)
+{
+    panic_if(lineOffset(mediaAddr) != 0, "unaligned firmware read");
+    checkAddr(mediaAddr, kLineBytes);
+    Addr src = mediaAddr;
+    auto it = readBugs_.empty() ? readBugs_.end()
+                                : readBugs_.find(mediaAddr);
+    if (it != readBugs_.end()) {
+        // Misdirected read: the firmware fetches the wrong line (and
+        // its ECC) and returns it as if it were the requested one.
+        src = it->second.actual;
+        readBugs_.erase(it);
+        bugsTriggered_++;
+        checkAddr(src, kLineBytes);
+    }
+    std::memcpy(buf, media_.data() + src, kLineBytes);
+}
+
+void
+NvmDimm::firmwareWrite(Addr mediaAddr, const void *buf)
+{
+    panic_if(lineOffset(mediaAddr) != 0, "unaligned firmware write");
+    checkAddr(mediaAddr, kLineBytes);
+    Addr dst = mediaAddr;
+    auto it = writeBugs_.empty() ? writeBugs_.end()
+                                 : writeBugs_.find(mediaAddr);
+    if (it != writeBugs_.end()) {
+        Bug bug = it->second;
+        writeBugs_.erase(it);
+        bugsTriggered_++;
+        if (bug.kind == BugKind::LostWrite) {
+            // Acked, never applied: neither data nor ECC changes, so
+            // the device's ECC remains self-consistent.
+            return;
+        }
+        dst = bug.actual;
+        checkAddr(dst, kLineBytes);
+    }
+    std::memcpy(media_.data() + dst, buf, kLineBytes);
+    // The firmware updates the inline ECC atomically with the data; a
+    // misdirected write thus leaves a *consistent* wrong line.
+    ecc_[dst / kLineBytes] = computeEcc(dst);
+}
+
+void
+NvmDimm::rawRead(Addr mediaAddr, void *buf, std::size_t len) const
+{
+    checkAddr(mediaAddr, len);
+    std::memcpy(buf, media_.data() + mediaAddr, len);
+}
+
+void
+NvmDimm::rawWrite(Addr mediaAddr, const void *buf, std::size_t len)
+{
+    checkAddr(mediaAddr, len);
+    std::memcpy(media_.data() + mediaAddr, buf, len);
+    for (Addr a = lineBase(mediaAddr); a < mediaAddr + len;
+         a += kLineBytes) {
+        ecc_[a / kLineBytes] = computeEcc(a);
+    }
+}
+
+bool
+NvmDimm::eccCheck(Addr mediaAddr) const
+{
+    Addr line = lineBase(mediaAddr);
+    checkAddr(line, kLineBytes);
+    return ecc_[line / kLineBytes] == computeEcc(line);
+}
+
+void
+NvmDimm::injectLostWrite(Addr mediaAddr)
+{
+    writeBugs_[lineBase(mediaAddr)] = Bug{BugKind::LostWrite, 0};
+}
+
+void
+NvmDimm::injectMisdirectedWrite(Addr intended, Addr actual)
+{
+    writeBugs_[lineBase(intended)] =
+        Bug{BugKind::MisdirectedWrite, lineBase(actual)};
+}
+
+void
+NvmDimm::injectMisdirectedRead(Addr intended, Addr actual)
+{
+    readBugs_[lineBase(intended)] =
+        Bug{BugKind::MisdirectedRead, lineBase(actual)};
+}
+
+void
+NvmDimm::injectBitFlip(Addr mediaAddr, unsigned bit)
+{
+    checkAddr(mediaAddr, 1);
+    media_[mediaAddr] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    // Deliberately no ECC update: this is a media error, which the
+    // device ECC exists to catch.
+}
+
+void
+NvmDimm::clearInjectedBugs()
+{
+    readBugs_.clear();
+    writeBugs_.clear();
+}
+
+NvmArray::NvmArray(const NvmParams &params, const SimConfig &cfg,
+                   Stats &stats)
+    : params_(params), stats_(stats)
+{
+    for (std::size_t i = 0; i < params.dimms; i++)
+        dimms_.push_back(std::make_unique<NvmDimm>(params.dimmBytes));
+    readCycles_ = cfg.nsToCycles(params.readNs);
+    writeCycles_ = cfg.nsToCycles(params.writeNs);
+    readBusy_ =
+        cfg.nsToCycles(params.readNs * params.occupancyReadFactor);
+    writeBusy_ =
+        cfg.nsToCycles(params.writeNs * params.occupancyWriteFactor);
+}
+
+std::size_t
+NvmArray::dimmOf(Addr globalAddr) const
+{
+    return pageNumber(globalAddr) % dimms_.size();
+}
+
+Addr
+NvmArray::mediaAddrOf(Addr globalAddr) const
+{
+    return (pageNumber(globalAddr) / dimms_.size()) * kPageBytes +
+        pageOffset(globalAddr);
+}
+
+Cycles
+NvmArray::access(Addr globalAddr, bool isWrite, void *buf, bool redundancy)
+{
+    std::size_t d = dimmOf(globalAddr);
+    Addr media = mediaAddrOf(globalAddr);
+    if (isWrite) {
+        dimms_[d]->firmwareWrite(media, buf);
+        stats_.nvmEnergy += params_.writeEnergy;
+        stats_.dimmBusyCycles[d] += writeBusy_;
+        if (redundancy)
+            stats_.nvmRedundancyWrites++;
+        else
+            stats_.nvmDataWrites++;
+        return writeCycles_;
+    }
+    dimms_[d]->firmwareRead(media, buf);
+    stats_.nvmEnergy += params_.readEnergy;
+    stats_.dimmBusyCycles[d] += readBusy_;
+    if (redundancy)
+        stats_.nvmRedundancyReads++;
+    else
+        stats_.nvmDataReads++;
+    return readCycles_;
+}
+
+Cycles
+NvmArray::charge(Addr globalAddr, bool isWrite, bool redundancy)
+{
+    std::size_t d = dimmOf(globalAddr);
+    if (isWrite) {
+        stats_.nvmEnergy += params_.writeEnergy;
+        stats_.dimmBusyCycles[d] += writeBusy_;
+        if (redundancy)
+            stats_.nvmRedundancyWrites++;
+        else
+            stats_.nvmDataWrites++;
+        return writeCycles_;
+    }
+    stats_.nvmEnergy += params_.readEnergy;
+    stats_.dimmBusyCycles[d] += readBusy_;
+    if (redundancy)
+        stats_.nvmRedundancyReads++;
+    else
+        stats_.nvmDataReads++;
+    return readCycles_;
+}
+
+void
+NvmArray::rawRead(Addr globalAddr, void *buf, std::size_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        std::size_t in_page = kPageBytes - pageOffset(globalAddr);
+        std::size_t chunk = std::min(len, in_page);
+        dimms_[dimmOf(globalAddr)]->rawRead(mediaAddrOf(globalAddr), out,
+                                            chunk);
+        globalAddr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+bool
+NvmArray::saveImage(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    std::uint64_t hdr[2] = {dimms_.size(), params_.dimmBytes};
+    bool ok = std::fwrite(hdr, sizeof(hdr), 1, f) == 1;
+    std::vector<std::uint8_t> buf(params_.dimmBytes);
+    for (std::size_t d = 0; ok && d < dimms_.size(); d++) {
+        dimms_[d]->rawRead(0, buf.data(), buf.size());
+        ok = std::fwrite(buf.data(), buf.size(), 1, f) == 1;
+    }
+    return std::fclose(f) == 0 && ok;
+}
+
+bool
+NvmArray::loadImage(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    std::uint64_t hdr[2];
+    bool ok = std::fread(hdr, sizeof(hdr), 1, f) == 1 &&
+        hdr[0] == dimms_.size() && hdr[1] == params_.dimmBytes;
+    std::vector<std::uint8_t> buf(params_.dimmBytes);
+    for (std::size_t d = 0; ok && d < dimms_.size(); d++) {
+        ok = std::fread(buf.data(), buf.size(), 1, f) == 1;
+        if (ok)
+            dimms_[d]->rawWrite(0, buf.data(), buf.size());
+    }
+    std::fclose(f);
+    return ok;
+}
+
+void
+NvmArray::rawWrite(Addr globalAddr, const void *buf, std::size_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (len > 0) {
+        std::size_t in_page = kPageBytes - pageOffset(globalAddr);
+        std::size_t chunk = std::min(len, in_page);
+        dimms_[dimmOf(globalAddr)]->rawWrite(mediaAddrOf(globalAddr), in,
+                                             chunk);
+        globalAddr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+}  // namespace tvarak

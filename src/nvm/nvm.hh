@@ -1,0 +1,171 @@
+/**
+ * @file
+ * NVM DIMMs with a firmware model.
+ *
+ * Each NvmDimm holds a real byte array (the media), a per-line
+ * device-level ECC that the firmware reads/writes *as an atom with the
+ * data* (Section II-A of the paper), and a single-shot firmware bug
+ * injection mechanism covering the paper's fault model:
+ *
+ *  - lost write:        the firmware acks a write without updating the
+ *                       media (data AND ECC keep their old, mutually
+ *                       consistent values);
+ *  - misdirected write: the data (with freshly computed ECC) lands at
+ *                       the wrong media line, corrupting it;
+ *  - misdirected read:  the data and ECC of the wrong media line are
+ *                       returned.
+ *
+ * In all three cases the ECC verifies clean, which is exactly why
+ * system-checksums above the firmware are needed. Random bit flips
+ * (which ECC *does* catch) can also be injected for contrast.
+ *
+ * NvmArray bundles the DIMMs with the Table III timing/energy model and
+ * the per-DIMM bandwidth-occupancy accounting.
+ */
+
+#ifndef TVARAK_NVM_NVM_HH
+#define TVARAK_NVM_NVM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tvarak {
+
+/** One NVM DIMM: media array + firmware with injectable bugs. */
+class NvmDimm
+{
+  public:
+    explicit NvmDimm(std::size_t bytes);
+
+    /** @name Firmware path (used by the memory system). Line granular.
+     *  Addresses are media-local and line aligned. */
+    /**@{*/
+    void firmwareRead(Addr mediaAddr, void *buf);
+    void firmwareWrite(Addr mediaAddr, const void *buf);
+    /**@}*/
+
+    /** @name Raw media access (recovery, scrubbing, tests).
+     *  Bypasses the firmware, so injected bugs do not trigger. */
+    /**@{*/
+    void rawRead(Addr mediaAddr, void *buf, std::size_t len) const;
+    void rawWrite(Addr mediaAddr, const void *buf, std::size_t len);
+    /**@}*/
+
+    /**
+     * Device-level ECC check of one media line.
+     * @return true iff the stored ECC matches the stored data. Firmware
+     * bugs never make this fail; injected bit flips do.
+     */
+    bool eccCheck(Addr mediaAddr) const;
+
+    /** @name Single-shot firmware bug injection */
+    /**@{*/
+    /** The next firmwareWrite to @p mediaAddr is acked but dropped. */
+    void injectLostWrite(Addr mediaAddr);
+    /** The next firmwareWrite to @p intended lands at @p actual. */
+    void injectMisdirectedWrite(Addr intended, Addr actual);
+    /** The next firmwareRead of @p intended returns @p actual's line. */
+    void injectMisdirectedRead(Addr intended, Addr actual);
+    /** Flip one media bit *without* updating ECC (a media error). */
+    void injectBitFlip(Addr mediaAddr, unsigned bit);
+    /** Drop all injected-but-untriggered bugs. */
+    void clearInjectedBugs();
+    /**@}*/
+
+    std::size_t bytes() const { return media_.size(); }
+    /** Number of firmware bugs that have fired so far. */
+    std::uint64_t bugsTriggered() const { return bugsTriggered_; }
+
+  private:
+    enum class BugKind { LostWrite, MisdirectedWrite, MisdirectedRead };
+    struct Bug {
+        BugKind kind;
+        Addr actual;  //!< redirect target for misdirected bugs
+    };
+
+    void checkAddr(Addr mediaAddr, std::size_t len) const;
+    std::uint8_t computeEcc(Addr lineAddr) const;
+
+    std::vector<std::uint8_t> media_;
+    std::vector<std::uint8_t> ecc_;  //!< one byte per line, inline model
+    std::unordered_map<Addr, Bug> writeBugs_;
+    std::unordered_map<Addr, Bug> readBugs_;
+    std::uint64_t bugsTriggered_ = 0;
+};
+
+/** The set of NVM DIMMs plus timing/energy/bandwidth accounting. */
+class NvmArray
+{
+  public:
+    NvmArray(const NvmParams &params, const SimConfig &cfg, Stats &stats);
+
+    /**
+     * Perform one line-granular access through the firmware.
+     *
+     * @param globalAddr  NVM-global physical address (line aligned).
+     * @param isWrite     direction.
+     * @param buf         destination (read) or source (write).
+     * @param redundancy  true if this access carries checksum/parity
+     *                    traffic (for the Fig 8 NVM-access split).
+     * @return device latency in core cycles (for demand-path charging).
+     */
+    Cycles access(Addr globalAddr, bool isWrite, void *buf,
+                  bool redundancy);
+
+    /**
+     * Account for one line access (energy, occupancy, counters)
+     * without moving data — used when the functional bytes are
+     * transferred separately via rawRead/rawWrite but the access is
+     * architecturally real (e.g. whole-page reads in the naive
+     * page-checksum mode).
+     */
+    Cycles charge(Addr globalAddr, bool isWrite, bool redundancy);
+
+    /** Map an NVM-global address to its DIMM index (page striping). */
+    std::size_t dimmOf(Addr globalAddr) const;
+    /** Map an NVM-global address to its media-local address. */
+    Addr mediaAddrOf(Addr globalAddr) const;
+
+    NvmDimm &dimm(std::size_t i) { return *dimms_[i]; }
+    const NvmDimm &dimm(std::size_t i) const { return *dimms_[i]; }
+    std::size_t numDimms() const { return dimms_.size(); }
+    std::size_t totalBytes() const { return params_.dimmBytes * dimms_.size(); }
+
+    /** Raw (bug-free, untimed) helpers addressed globally. */
+    void rawRead(Addr globalAddr, void *buf, std::size_t len) const;
+    void rawWrite(Addr globalAddr, const void *buf, std::size_t len);
+
+    /** @name Image checkpointing
+     *  Persist/restore the at-rest media (simulating NVM durability
+     *  across simulator restarts). Only flushed state survives —
+     *  exactly the semantics of real NVM across a power cycle. */
+    /**@{*/
+    /** Write all DIMM media to @p path. @return success. */
+    bool saveImage(const std::string &path) const;
+    /** Load DIMM media from @p path (geometry must match). */
+    bool loadImage(const std::string &path);
+    /**@}*/
+
+    Cycles readLatency() const { return readCycles_; }
+    Cycles writeLatency() const { return writeCycles_; }
+
+  private:
+    NvmParams params_;
+    Stats &stats_;
+    std::vector<std::unique_ptr<NvmDimm>> dimms_;
+    Cycles readCycles_;
+    Cycles writeCycles_;
+    Cycles readBusy_;
+    Cycles writeBusy_;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_NVM_NVM_HH

@@ -1,0 +1,406 @@
+#include "pmemlib/pmem_pool.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "checksum/checksum.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x7076'6172'616b'0001ull;
+constexpr std::uint64_t kTxIdle = 0;
+constexpr std::uint64_t kTxStarted = 1;
+constexpr std::uint64_t kTxCommitted = 2;
+constexpr std::uint64_t kFreeBit = std::uint64_t{1} << 63;
+
+/** Cycles we charge for volatile allocator bookkeeping per call. */
+constexpr Cycles kAllocComputeCycles = 30;
+
+}  // namespace
+
+PmemPool::PmemPool(MemorySystem &mem, DaxFs &fs, const std::string &name,
+                   std::size_t heapBytes, RedundancyScheme *scheme,
+                   std::size_t lanes)
+    : mem_(mem), fs_(fs), scheme_(scheme), lanes_(lanes)
+{
+    fatal_if(lanes_ == 0 || lanes_ > 32, "unreasonable lane count");
+    std::size_t meta_pages = 1 + lanes_ + lanes_ * kLogPagesPerLane;
+    // Round the heap so each lane arena is page aligned.
+    arenaBytes_ =
+        ((heapBytes / lanes_) + kPageBytes - 1) & ~(kPageBytes - 1);
+    heapBytes_ = arenaBytes_ * lanes_;
+    std::size_t file_bytes = meta_pages * kPageBytes + heapBytes_;
+
+    fd_ = fs_.open(name);
+    bool fresh = fd_ < 0;
+    if (fresh)
+        fd_ = fs_.create(name, file_bytes);
+    base_ = fs_.isMapped(fd_) ? fs_.vbase(fd_) : fs_.daxMap(fd_);
+    heapBase_ = base_ + meta_pages * kPageBytes;
+
+    lanes_state_.resize(lanes_);
+    for (auto &lane : lanes_state_)
+        lane.freeLists.resize(48);
+
+    if (fresh) {
+        // Untimed one-time formatting (pool creation, not steady
+        // state): header magic; lane pages are already zero.
+        int tid = 0;
+        mem_.write64(tid, base_, kMagic);
+        mem_.write64(tid, base_ + 8, 0);  // root
+        coverImmediate(tid, {makeRange(0, base_, 16)});
+        mem_.stats().reset();
+    } else {
+        std::uint8_t magic[8];
+        mem_.peek(base_, magic, 8);
+        std::uint64_t m;
+        std::memcpy(&m, magic, 8);
+        fatal_if(m != kMagic, "pool %s: bad magic", name.c_str());
+        recover();
+    }
+}
+
+void
+PmemPool::recover()
+{
+    // Offline reattach work (crash recovery / restart): untimed, as
+    // it happens before the pool serves any request.
+    auto peek64 = [this](Addr a) {
+        std::uint64_t v;
+        mem_.peek(a, &v, 8);
+        return v;
+    };
+
+    // 1. Roll back interrupted transactions from the undo logs.
+    for (std::size_t lane = 0; lane < lanes_; lane++) {
+        std::uint64_t state = peek64(laneStateAddr(lane));
+        if (state == kTxStarted) {
+            recoveredFromCrash_ = true;
+            auto log_len =
+                static_cast<std::size_t>(peek64(laneLogOffAddr(lane)));
+            // Collect entries, then apply old data newest-first.
+            std::vector<std::pair<Addr, std::vector<std::uint8_t>>>
+                entries;
+            std::size_t off = 0;
+            while (off < log_len) {
+                Addr log = laneLogBase(lane) + off;
+                Addr target = peek64(log);
+                auto len = static_cast<std::size_t>(peek64(log + 8));
+                std::vector<std::uint8_t> old(len);
+                mem_.peek(log + 16, old.data(), len);
+                entries.emplace_back(target, std::move(old));
+                off += 16 + ((len + 15) & ~std::size_t{15});
+            }
+            for (auto it = entries.rbegin(); it != entries.rend();
+                 ++it) {
+                mem_.write(0, it->first, it->second.data(),
+                           it->second.size());
+            }
+        }
+        if (state != kTxIdle)
+            mem_.write64(0, laneStateAddr(lane), kTxIdle);
+    }
+
+    // 2. Rebuild the volatile allocator index from the persistent
+    //    headers (PMDK rebuilds its runtime state the same way).
+    for (std::size_t lane = 0; lane < lanes_; lane++) {
+        auto brk = static_cast<std::size_t>(peek64(laneBrkAddr(lane)));
+        fatal_if(brk > arenaBytes_, "corrupt arena brk");
+        lanes_state_[lane].brk = brk;
+        std::size_t off = 0;
+        while (off < brk) {
+            Addr header = arenaBase(lane) + off;
+            std::uint64_t word = peek64(header);
+            bool free = (word & kFreeBit) != 0;
+            auto bytes =
+                static_cast<std::size_t>(word & ~kFreeBit);
+            fatal_if(bytes == 0 || sizeClass(bytes) > 47,
+                     "corrupt object header during recovery");
+            std::size_t cls = sizeClass(bytes);
+            if (free)
+                lanes_state_[lane].freeLists[cls].push_back(header);
+            else
+                allocations_[header + kObjHeaderBytes] = bytes;
+            off += std::size_t{1} << cls;
+        }
+    }
+}
+
+std::size_t
+PmemPool::sizeClass(std::size_t bytes)
+{
+    std::size_t total = bytes + kObjHeaderBytes;
+    if (total < kMinAlloc)
+        total = kMinAlloc;
+    return std::bit_width(total - 1);  // ceil log2
+}
+
+Addr
+PmemPool::alloc(int tid, std::size_t bytes)
+{
+    fatal_if(bytes == 0, "zero-byte allocation");
+    std::size_t lane_idx = laneOf(tid);
+    Lane &lane = lanes_state_[lane_idx];
+    std::size_t cls = sizeClass(bytes);
+    std::size_t chunk = std::size_t{1} << cls;
+    mem_.compute(tid, kAllocComputeCycles);
+
+    Addr header;
+    if (!lane.freeLists[cls].empty()) {
+        header = lane.freeLists[cls].back();
+        lane.freeLists[cls].pop_back();
+    } else {
+        fatal_if(lane.brk + chunk > arenaBytes_,
+                 "pool arena %zu exhausted", lane_idx);
+        header = arenaBase(lane_idx) + lane.brk;
+        lane.brk += chunk;
+        // Persist the bump pointer (allocator metadata write).
+        mem_.write64(tid, laneBrkAddr(lane_idx), lane.brk);
+    }
+    // Object header: size word; checksum slot filled lazily by the
+    // redundancy scheme (if any).
+    mem_.write64(tid, header, static_cast<std::uint64_t>(bytes));
+    Addr payload = header + kObjHeaderBytes;
+    allocations_[payload] = bytes;
+    if (inTx(tid)) {
+        recordDirty(lane, header, kObjHeaderBytes);
+        recordDirty(lane, laneBrkAddr(lane_idx), 8);
+    } else {
+        coverImmediate(tid,
+                       {makeRange(lane_idx, header, kObjHeaderBytes),
+                        makeRange(lane_idx, laneBrkAddr(lane_idx), 8)});
+    }
+    return payload;
+}
+
+void
+PmemPool::free(int tid, Addr payload)
+{
+    auto it = allocations_.find(payload);
+    panic_if(it == allocations_.end(), "free of unallocated %llx",
+             static_cast<unsigned long long>(payload));
+    std::size_t bytes = it->second;
+    allocations_.erase(it);
+    std::size_t lane_idx = laneOf(tid);
+    Lane &lane = lanes_state_[lane_idx];
+    std::size_t cls = sizeClass(bytes);
+    Addr header = payload - kObjHeaderBytes;
+    mem_.compute(tid, kAllocComputeCycles);
+    // Mark the header free (persistent), recycle volatile index.
+    mem_.write64(tid, header,
+                 kFreeBit | static_cast<std::uint64_t>(bytes));
+    lane.freeLists[cls].push_back(header);
+    if (inTx(tid))
+        recordDirty(lane, header, 8);
+    else
+        coverImmediate(tid, {makeRange(lane_idx, header, 8)});
+}
+
+std::size_t
+PmemPool::objectSize(Addr payload) const
+{
+    auto it = allocations_.find(payload);
+    panic_if(it == allocations_.end(), "objectSize of unallocated addr");
+    return it->second;
+}
+
+bool
+PmemPool::inTx(int tid) const
+{
+    return lanes_state_[laneOf(tid)].active;
+}
+
+DirtyRange
+PmemPool::makeRange(std::size_t laneIdx, Addr vaddr,
+                    std::size_t len) const
+{
+    DirtyRange r;
+    r.vaddr = vaddr;
+    r.len = len;
+    // Resolve the owning object, if the range is inside the heap.
+    auto it = allocations_.upper_bound(vaddr);
+    if (it != allocations_.begin()) {
+        --it;
+        if (vaddr >= it->first - kObjHeaderBytes &&
+            vaddr + len <= it->first + it->second) {
+            r.objBase = it->first;
+            r.objLen = it->second;
+            r.csumVaddr = it->first - kObjHeaderBytes + 8;
+        }
+    }
+    if (r.csumVaddr == 0) {
+        // Pool metadata (lane state, log, root, free headers):
+        // covered by the lane's metadata checksum slot, and not
+        // application data in the TxB-Page coverage model.
+        r.csumVaddr = laneMetaCsumAddr(laneIdx);
+        r.appData = false;
+    }
+    return r;
+}
+
+void
+PmemPool::recordDirty(Lane &lane, Addr vaddr, std::size_t len)
+{
+    lane.dirty.push_back(makeRange(
+        static_cast<std::size_t>(&lane - lanes_state_.data()), vaddr,
+        len));
+}
+
+void
+PmemPool::coverImmediate(int tid, std::vector<DirtyRange> ranges)
+{
+    RedundancyScheme *scheme = activeScheme();
+    if (scheme == nullptr || ranges.empty())
+        return;
+    scheme->onCommit(tid, ranges);
+}
+
+void
+PmemPool::txBegin(int tid)
+{
+    std::size_t lane_idx = laneOf(tid);
+    Lane &lane = lanes_state_[lane_idx];
+    panic_if(lane.active, "nested transactions are not supported");
+    lane.active = true;
+    lane.logOff = 0;
+    lane.dirty.clear();
+    mem_.write64(tid, laneStateAddr(lane_idx), kTxStarted);
+    mem_.write64(tid, laneLogOffAddr(lane_idx), 0);
+    recordDirty(lane, laneStateAddr(lane_idx), 16);
+}
+
+void
+PmemPool::txAddRange(int tid, Addr vaddr, std::size_t len)
+{
+    std::size_t lane_idx = laneOf(tid);
+    Lane &lane = lanes_state_[lane_idx];
+    panic_if(!lane.active, "txAddRange outside a transaction");
+    fatal_if(len == 0, "empty tx range");
+
+    // Undo log entry: 16-byte header (addr, len) + old data.
+    std::size_t entry = 16 + ((len + 15) & ~std::size_t{15});
+    fatal_if(lane.logOff + entry >
+                 kLogPagesPerLane * kPageBytes,
+             "transaction too large for the undo log");
+    Addr log = laneLogBase(lane_idx) + lane.logOff;
+    std::vector<std::uint8_t> old(len);
+    mem_.read(tid, vaddr, old.data(), len);
+    mem_.write64(tid, log, vaddr);
+    mem_.write64(tid, log + 8, static_cast<std::uint64_t>(len));
+    mem_.write(tid, log + 16, old.data(), len);
+    lane.logOff += entry;
+    // Persist the log length: recovery must know how much to replay.
+    mem_.write64(tid, laneLogOffAddr(lane_idx),
+                 static_cast<std::uint64_t>(lane.logOff));
+
+    recordDirty(lane, vaddr, len);
+    // The log bytes themselves are dirty NVM data the redundancy
+    // schemes must cover.
+    recordDirty(lane, log, 16 + len);
+}
+
+void
+PmemPool::txWrite(int tid, Addr vaddr, const void *buf, std::size_t len)
+{
+    txAddRange(tid, vaddr, len);
+    mem_.write(tid, vaddr, buf, len);
+}
+
+void
+PmemPool::txWriteNoUndo(int tid, Addr vaddr, const void *buf,
+                        std::size_t len)
+{
+    std::size_t lane_idx = laneOf(tid);
+    Lane &lane = lanes_state_[lane_idx];
+    panic_if(!lane.active, "txWriteNoUndo outside a transaction");
+    mem_.write(tid, vaddr, buf, len);
+    recordDirty(lane, vaddr, len);
+}
+
+void
+PmemPool::txCommit(int tid)
+{
+    std::size_t lane_idx = laneOf(tid);
+    Lane &lane = lanes_state_[lane_idx];
+    panic_if(!lane.active, "commit outside a transaction");
+    mem_.write64(tid, laneStateAddr(lane_idx), kTxCommitted);
+    mem_.stats().txCommits++;
+    // Log invalidation / state reset precedes the redundancy pass so
+    // the lane-state range recorded at txBegin covers the final word
+    // (battery-backed caches make the ordering safe, Section III-B).
+    mem_.write64(tid, laneStateAddr(lane_idx), kTxIdle);
+    if (RedundancyScheme *scheme = activeScheme())
+        scheme->onCommit(tid, lane.dirty);
+    lane.active = false;
+    lane.dirty.clear();
+    lane.logOff = 0;
+}
+
+void
+PmemPool::txAbort(int tid)
+{
+    std::size_t lane_idx = laneOf(tid);
+    Lane &lane = lanes_state_[lane_idx];
+    panic_if(!lane.active, "abort outside a transaction");
+    // Walk the undo log backwards restoring old data.
+    std::vector<std::pair<Addr, std::vector<std::uint8_t>>> entries;
+    std::size_t off = 0;
+    while (off < lane.logOff) {
+        Addr log = laneLogBase(lane_idx) + off;
+        Addr target = mem_.read64(tid, log);
+        auto len =
+            static_cast<std::size_t>(mem_.read64(tid, log + 8));
+        std::vector<std::uint8_t> old(len);
+        mem_.read(tid, log + 16, old.data(), len);
+        entries.emplace_back(target, std::move(old));
+        off += 16 + ((len + 15) & ~std::size_t{15});
+    }
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+        mem_.write(tid, it->first, it->second.data(), it->second.size());
+    mem_.write64(tid, laneStateAddr(lane_idx), kTxIdle);
+    lane.active = false;
+    lane.dirty.clear();
+    lane.logOff = 0;
+}
+
+Addr
+PmemPool::getRoot(int tid)
+{
+    return mem_.read64(tid, base_ + 8);
+}
+
+void
+PmemPool::setRoot(int tid, Addr payload)
+{
+    if (inTx(tid)) {
+        txWrite(tid, base_ + 8, &payload, 8);
+    } else {
+        mem_.write64(tid, base_ + 8, payload);
+        coverImmediate(tid, {makeRange(laneOf(tid), base_ + 8, 8)});
+    }
+}
+
+std::size_t
+PmemPool::verifyObjects() const
+{
+    std::size_t bad = 0;
+    std::vector<std::uint8_t> buf;
+    for (const auto &[payload, size] : allocations_) {
+        buf.resize(size);
+        mem_.peek(payload, buf.data(), size);
+        std::uint8_t cs[8];
+        mem_.peek(payload - kObjHeaderBytes + 8, cs, 8);
+        std::uint64_t expected;
+        std::memcpy(&expected, cs, 8);
+        std::uint64_t actual =
+            (std::uint64_t{0x4f} << 56) | crc32c(buf.data(), size);
+        if (actual != expected)
+            bad++;
+    }
+    return bad;
+}
+
+}  // namespace tvarak

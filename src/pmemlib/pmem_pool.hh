@@ -1,0 +1,202 @@
+/**
+ * @file
+ * PmemPool: a PMDK-libpmemobj-like transactional persistent heap.
+ *
+ * This is the substrate the paper's applications run on: Redis and the
+ * tree key-value stores use libpmemobj transactions; the TxB software
+ * redundancy schemes hook the commit path. The pool lives in one
+ * DAX-mapped DaxFs file laid out as:
+ *
+ *   page 0                    pool header (magic, root offset)
+ *   pages 1 .. L              one transaction lane page per lane:
+ *                             tx state word, metadata/log checksum
+ *                             slots, the lane's heap bump pointer
+ *   next L*kLogPagesPerLane   per-lane undo-log regions
+ *   rest                      heap, statically split into L arenas
+ *
+ * Transactions are undo-logged: txAddRange copies the old bytes into
+ * the lane's log (timed writes), txBegin/txCommit write the lane state
+ * word (the "persistent metadata writes" that make even read-only
+ * Redis transactions cost something, Section IV-B). At commit the
+ * registered RedundancyScheme (if any) maintains checksums/parity in
+ * software; under Baseline/TVARAK the scheme is null.
+ *
+ * Objects carry a 16-byte header (size + object checksum slot); the
+ * checksum slot is what TxB-Object-Csums fills, and is the scheme's
+ * "higher space overhead" (Table I).
+ */
+
+#ifndef TVARAK_PMEMLIB_PMEM_POOL_HH
+#define TVARAK_PMEMLIB_PMEM_POOL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fs/dax_fs.hh"
+#include "mem/memory_system.hh"
+#include "redundancy/scheme.hh"
+#include "sim/types.hh"
+
+namespace tvarak {
+
+class PmemPool
+{
+  public:
+    static constexpr std::size_t kObjHeaderBytes = 16;
+    static constexpr std::size_t kLogPagesPerLane = 8;
+    static constexpr std::size_t kMinAlloc = 32;
+
+    /**
+     * Create (or reattach to) the pool file @p name.
+     *
+     * @param heapBytes  requested heap capacity (file is larger).
+     * @param scheme     software redundancy hook, may be null.
+     * @param lanes      transaction lanes (>= number of client threads).
+     */
+    PmemPool(MemorySystem &mem, DaxFs &fs, const std::string &name,
+             std::size_t heapBytes, RedundancyScheme *scheme,
+             std::size_t lanes = 12);
+
+    /** @name Allocation (timed) */
+    /**@{*/
+    /** Allocate @p bytes; returns the payload virtual address. */
+    Addr alloc(int tid, std::size_t bytes);
+    void free(int tid, Addr payload);
+    /** Payload size of an allocated object. */
+    std::size_t objectSize(Addr payload) const;
+    /**@}*/
+
+    /** @name Transactions (timed) */
+    /**@{*/
+    void txBegin(int tid);
+    /** Undo-log @p len bytes at @p vaddr and mark them dirty. */
+    void txAddRange(int tid, Addr vaddr, std::size_t len);
+    /** Convenience: txAddRange + write. */
+    void txWrite(int tid, Addr vaddr, const void *buf, std::size_t len);
+    /**
+     * Write without undo logging (PMDK's NO_SNAPSHOT ranges): for
+     * freshly allocated memory whose pre-transaction content is
+     * garbage. Still recorded as dirty for redundancy coverage.
+     */
+    void txWriteNoUndo(int tid, Addr vaddr, const void *buf,
+                       std::size_t len);
+    void txCommit(int tid);
+    /** Roll back the current transaction from the undo log. */
+    void txAbort(int tid);
+    bool inTx(int tid) const;
+    /**@}*/
+
+    /** @name Root object */
+    /**@{*/
+    Addr getRoot(int tid);
+    void setRoot(int tid, Addr payload);
+    /**@}*/
+
+    /** Verify every live object against its header checksum (untimed;
+     *  meaningful under TxB-Object-Csums). @return mismatches. */
+    std::size_t verifyObjects() const;
+
+    /** True iff the reattach found (and rolled back) an interrupted
+     *  transaction — i.e. the pool crashed mid-transaction. */
+    bool recoveredFromCrash() const { return recoveredFromCrash_; }
+
+    /**
+     * Toggle the redundancy scheme hook. Drivers disable it during
+     * unmeasured load phases (equivalent to restoring a pre-built
+     * snapshot) and re-enable it before the measured steady state.
+     */
+    void setSchemeEnabled(bool enabled) { schemeEnabled_ = enabled; }
+
+    Addr base() const { return base_; }
+    std::size_t heapBytes() const { return heapBytes_; }
+    int fd() const { return fd_; }
+    std::size_t lanes() const { return lanes_; }
+
+    /** Live allocated objects (payload addr -> size); for tests. */
+    std::size_t liveObjects() const { return allocations_.size(); }
+
+  private:
+    struct Lane {
+        bool active = false;
+        std::size_t logOff = 0;       //!< bytes used in the log region
+        std::uint64_t brk = 0;        //!< arena bump offset (mirrored)
+        std::vector<DirtyRange> dirty;
+        std::vector<std::vector<Addr>> freeLists;  //!< per size class
+    };
+
+    std::size_t laneOf(int tid) const
+    {
+        return static_cast<std::size_t>(tid) % lanes_;
+    }
+    Addr lanePage(std::size_t lane) const
+    {
+        return base_ + (1 + lane) * kPageBytes;
+    }
+    Addr laneStateAddr(std::size_t lane) const { return lanePage(lane); }
+    Addr laneMetaCsumAddr(std::size_t lane) const
+    {
+        return lanePage(lane) + 8;
+    }
+    Addr laneLogOffAddr(std::size_t lane) const
+    {
+        return lanePage(lane) + 24;
+    }
+    Addr laneBrkAddr(std::size_t lane) const
+    {
+        return lanePage(lane) + kLineBytes;
+    }
+    Addr laneLogBase(std::size_t lane) const
+    {
+        return base_ + (1 + lanes_) * kPageBytes +
+            lane * kLogPagesPerLane * kPageBytes;
+    }
+    Addr arenaBase(std::size_t lane) const
+    {
+        return heapBase_ + lane * arenaBytes_;
+    }
+
+    static std::size_t sizeClass(std::size_t bytes);
+
+    /** Build a DirtyRange, resolving the owning object if any. */
+    DirtyRange makeRange(std::size_t laneIdx, Addr vaddr,
+                         std::size_t len) const;
+    /** Record a dirty range within the current transaction. */
+    void recordDirty(Lane &lane, Addr vaddr, std::size_t len);
+    /**
+     * Cover writes issued outside a transaction (allocator metadata,
+     * root updates, pool formatting): the library maintains their
+     * redundancy immediately, as Pangolin does for its own metadata.
+     */
+    void coverImmediate(int tid, std::vector<DirtyRange> ranges);
+
+    /** Reattach path: roll back interrupted transactions from the
+     *  persistent undo logs and rebuild the volatile allocator index
+     *  by scanning the arena headers. */
+    void recover();
+
+    RedundancyScheme *activeScheme() const
+    {
+        return schemeEnabled_ ? scheme_ : nullptr;
+    }
+
+    MemorySystem &mem_;
+    DaxFs &fs_;
+    RedundancyScheme *scheme_;
+    bool schemeEnabled_ = true;
+    bool recoveredFromCrash_ = false;
+    int fd_;
+    Addr base_;
+    std::size_t lanes_;
+    Addr heapBase_;
+    std::size_t heapBytes_;
+    std::size_t arenaBytes_;
+    std::vector<Lane> lanes_state_;
+    /** payload vaddr -> payload size, for owner lookup. */
+    std::map<Addr, std::size_t> allocations_;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_PMEMLIB_PMEM_POOL_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * RawCoverage: TxB-scheme coverage for applications that access DAX
+ * data with raw loads/stores instead of pmemlib transactions (fio,
+ * stream).
+ *
+ * The paper's software schemes "update system-checksums and parity
+ * when applications inform the interposing library after completing a
+ * write"; for these microbenchmarks the application informs the
+ * library after every store. TxB-Object-Csums treats each 64 B line
+ * as an object with an 8-byte checksum slot in an app-managed table
+ * at the end of the file (Pangolin's per-object space overhead);
+ * TxB-Page-Csums uses the file-system page-checksum region.
+ */
+
+#ifndef TVARAK_REDUNDANCY_RAW_COVERAGE_HH
+#define TVARAK_REDUNDANCY_RAW_COVERAGE_HH
+
+#include "redundancy/scheme.hh"
+
+namespace tvarak {
+
+class RawCoverage
+{
+  public:
+    /**
+     * @param dataBase   virtual base of the covered data region.
+     * @param dataBytes  size of the covered region.
+     * @param tableBase  virtual base of the object-checksum table
+     *                   (needs dataBytes/8 bytes); only used by
+     *                   TxB-Object-Csums, may be 0 otherwise.
+     */
+    RawCoverage(MemorySystem &mem, RedundancyScheme *scheme,
+                Addr dataBase, std::size_t dataBytes, Addr tableBase)
+        : mem_(mem),
+          scheme_(scheme),
+          dataBase_(dataBase),
+          dataBytes_(dataBytes),
+          tableBase_(tableBase)
+    {}
+
+    /** Inform the library that @p len bytes at @p vaddr were written. */
+    void
+    onWrite(int tid, Addr vaddr, std::size_t len)
+    {
+        if (scheme_ == nullptr)
+            return;
+        DirtyRange r;
+        r.vaddr = vaddr;
+        r.len = len;
+        r.objBase = lineBase(vaddr);
+        r.objLen = kLineBytes;
+        if (tableBase_ != 0) {
+            r.csumVaddr = tableBase_ +
+                (lineNumber(vaddr - dataBase_)) * kChecksumBytes;
+        }
+        std::vector<DirtyRange> one{r};
+        scheme_->onCommit(tid, one);
+    }
+
+    /** Bytes of checksum table needed for @p dataBytes of data. */
+    static std::size_t
+    tableBytes(std::size_t dataBytes)
+    {
+        return dataBytes / kLineBytes * kChecksumBytes;
+    }
+
+  private:
+    MemorySystem &mem_;
+    RedundancyScheme *scheme_;
+    Addr dataBase_;
+    std::size_t dataBytes_;
+    Addr tableBase_;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_REDUNDANCY_RAW_COVERAGE_HH

@@ -1,0 +1,65 @@
+#include "redundancy/vilamb.hh"
+
+#include "checksum/checksum.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+void
+VilambAsyncCsums::onCommit(int tid, const std::vector<DirtyRange> &dirty)
+{
+    // Only the volatile dirty-page set is touched on the commit path —
+    // that is the whole point of the asynchronous design. Tracking
+    // costs a few cycles of bookkeeping per range.
+    for (const DirtyRange &r : dirty) {
+        for (Addr p = pageBase(r.vaddr); p < r.vaddr + r.len;
+             p += kPageBytes) {
+            dirtyPages_.insert(p);
+        }
+        for (Addr l = lineBase(r.vaddr); l < r.vaddr + r.len;
+             l += kLineBytes) {
+            dirtyLines_.insert(l);
+        }
+    }
+    mem_.compute(tid, 4 * dirty.size());
+
+    if (++commitsSinceBatch_ >= epochCommits_) {
+        processBatch(tid);
+        commitsSinceBatch_ = 0;
+    }
+}
+
+void
+VilambAsyncCsums::drain(int tid)
+{
+    processBatch(tid);
+    commitsSinceBatch_ = 0;
+}
+
+void
+VilambAsyncCsums::processBatch(int tid)
+{
+    std::uint8_t page_buf[kPageBytes];
+    for (Addr page : dirtyPages_) {
+        // Page checksum: read the page, checksum, store the entry.
+        mem_.read(tid, page, page_buf, kPageBytes);
+        mem_.computeChecksum(tid, kPageBytes);
+        std::uint64_t csum = pageChecksum(page_buf);
+        Addr paddr;
+        bool is_nvm;
+        panic_if(!mem_.translate(page, paddr, is_nvm) || !is_nvm,
+                 "Vilamb batch on a non-NVM page");
+        mem_.write64(tid,
+                     nvmDirectVaddr(mem_.layout().pageCsumAddr(
+                         paddr - kNvmPhysBase)),
+                     csum);
+    }
+    // Parity: per dirty line, by recomputation (no before-images are
+    // kept across the epoch, so diff-based updates are impossible).
+    for (Addr line : dirtyLines_)
+        recomputeParityLine(tid, line);
+    dirtyPages_.clear();
+    dirtyLines_.clear();
+}
+
+}  // namespace tvarak

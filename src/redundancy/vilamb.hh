@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Vilamb-style asynchronous software redundancy (paper Table I, row 4;
+ * Kateja et al., "Vilamb: Low Overhead Asynchronous Redundancy for
+ * Direct Access NVM").
+ *
+ * Instead of updating page checksums and parity at every transaction
+ * boundary, Vilamb tracks dirty pages (volatile DRAM state) and
+ * processes them in batches every `epochCommits` transactions. Dirty
+ * pages touched many times per epoch are covered once, amortizing the
+ * page-granular work — the overhead is *configurable* via the epoch —
+ * at the price of a window of vulnerability: between batches, data
+ * whose redundancy is stale can be corrupted silently.
+ *
+ * drain() closes an epoch early (the equivalent of Vilamb's daemon
+ * catching up); the invariant tests demonstrate both the window (scrub
+ * fails mid-epoch) and its closure (scrub clean after drain).
+ */
+
+#ifndef TVARAK_REDUNDANCY_VILAMB_HH
+#define TVARAK_REDUNDANCY_VILAMB_HH
+
+#include <unordered_set>
+
+#include "redundancy/scheme.hh"
+
+namespace tvarak {
+
+class VilambAsyncCsums final : public RedundancyScheme
+{
+  public:
+    /**
+     * @param epochCommits  commits per batch; 1 degenerates to
+     *                      synchronous TxB-page behaviour, larger
+     *                      epochs trade coverage for performance.
+     */
+    VilambAsyncCsums(MemorySystem &mem, std::size_t epochCommits)
+        : RedundancyScheme(mem), epochCommits_(epochCommits)
+    {}
+
+    void onCommit(int tid, const std::vector<DirtyRange> &dirty) override;
+    void drain(int tid) override;
+    const char *name() const override { return "Vilamb-Async"; }
+
+    /** Pages currently awaiting redundancy (the vulnerability set). */
+    std::size_t pendingPages() const { return dirtyPages_.size(); }
+
+  private:
+    void processBatch(int tid);
+
+    std::size_t epochCommits_;
+    std::size_t commitsSinceBatch_ = 0;
+    /** Volatile dirty sets (Vilamb keeps these in DRAM): pages for
+     *  checksum recomputation, lines for parity recomputation. */
+    std::unordered_set<Addr> dirtyPages_;
+    std::unordered_set<Addr> dirtyLines_;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_REDUNDANCY_VILAMB_HH

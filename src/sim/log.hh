@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * panic()  - internal simulator invariant violated; aborts.
+ * fatal()  - user/configuration error; exits with status 1.
+ * warn()   - questionable but survivable condition.
+ * inform() - plain status output.
+ */
+
+#ifndef TVARAK_SIM_LOG_HH
+#define TVARAK_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tvarak {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Format helper: printf-style into std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace tvarak
+
+#define panic(...) \
+    ::tvarak::panicImpl(__FILE__, __LINE__, ::tvarak::strfmt(__VA_ARGS__))
+#define fatal(...) \
+    ::tvarak::fatalImpl(__FILE__, __LINE__, ::tvarak::strfmt(__VA_ARGS__))
+#define warn(...) ::tvarak::warnImpl(::tvarak::strfmt(__VA_ARGS__))
+#define inform(...) ::tvarak::informImpl(::tvarak::strfmt(__VA_ARGS__))
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)             \
+    do {                                \
+        if (cond) { panic(__VA_ARGS__); } \
+    } while (0)
+
+#define fatal_if(cond, ...)             \
+    do {                                \
+        if (cond) { fatal(__VA_ARGS__); } \
+    } while (0)
+
+#endif  // TVARAK_SIM_LOG_HH

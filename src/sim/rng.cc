@@ -1,0 +1,131 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    panic_if(bound == 0, "nextBounded(0)");
+    // Lemire-style multiply-shift; bias is negligible for our bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta,
+                             std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed)
+{
+    panic_if(n == 0, "zipf over empty set");
+    zetan_ = zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+        (1.0 - zeta2 / zetan_);
+}
+
+double
+ZipfGenerator::zeta(std::uint64_t n, double theta) const
+{
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+std::uint64_t
+ZipfGenerator::next()
+{
+    double u = rng_.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+}
+
+HotSetGenerator::HotSetGenerator(std::uint64_t n, double hotItemFrac,
+                                 double hotOpFrac, std::uint64_t seed)
+    : n_(n),
+      hotItems_(static_cast<std::uint64_t>(
+          static_cast<double>(n) * hotItemFrac)),
+      hotOpFrac_(hotOpFrac),
+      rng_(seed)
+{
+    panic_if(n == 0, "hot-set over empty set");
+    if (hotItems_ == 0)
+        hotItems_ = 1;
+    if (hotItems_ > n_)
+        hotItems_ = n_;
+}
+
+std::uint64_t
+HotSetGenerator::next()
+{
+    if (hotItems_ < n_ && !rng_.nextBool(hotOpFrac_)) {
+        return hotItems_ + rng_.nextBounded(n_ - hotItems_);
+    }
+    return rng_.nextBounded(hotItems_);
+}
+
+}  // namespace tvarak

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic random number generation for workloads.
+ *
+ * Rng is a xoshiro256** generator seeded via SplitMix64; ZipfGenerator
+ * produces the skewed key distribution YCSB uses (the paper's N-Store
+ * runs use "90% of transactions go to 10% of tuples"; a zipfian with
+ * theta ~= 0.99 plus a hot-set remap reproduces that).
+ */
+
+#ifndef TVARAK_SIM_RNG_HH
+#define TVARAK_SIM_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tvarak {
+
+/** xoshiro256** PRNG; fast, deterministic, seedable. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipfian generator over [0, n) using the Gray/Jim YCSB rejection-free
+ * formula (Knuth vol. 3). Item 0 is the most popular.
+ */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1);
+
+    /** Draw one item id in [0, n). */
+    std::uint64_t next();
+
+    std::uint64_t items() const { return n_; }
+
+  private:
+    double zeta(std::uint64_t n, double theta) const;
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Rng rng_;
+};
+
+/**
+ * Hot-set distribution: with probability @p hotFrac the draw is uniform
+ * over the first hotItems ids, otherwise uniform over the rest. The
+ * paper's "90% of transactions go to 10% of tuples" is
+ * HotSetGenerator(n, 0.10, 0.90).
+ */
+class HotSetGenerator
+{
+  public:
+    HotSetGenerator(std::uint64_t n, double hotItemFrac, double hotOpFrac,
+                    std::uint64_t seed = 1);
+
+    std::uint64_t next();
+
+  private:
+    std::uint64_t n_;
+    std::uint64_t hotItems_;
+    double hotOpFrac_;
+    Rng rng_;
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_SIM_RNG_HH

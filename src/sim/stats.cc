@@ -1,0 +1,89 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+namespace tvarak {
+
+Cycles
+Stats::maxThreadCycles() const
+{
+    Cycles m = 0;
+    for (Cycles c : threadCycles)
+        m = std::max(m, c);
+    return m;
+}
+
+Cycles
+Stats::maxDimmBusyCycles() const
+{
+    Cycles m = 0;
+    for (Cycles c : dimmBusyCycles)
+        m = std::max(m, c);
+    return m;
+}
+
+Cycles
+Stats::runtimeCycles() const
+{
+    return std::max(maxThreadCycles(), maxDimmBusyCycles());
+}
+
+void
+Stats::reset()
+{
+    std::fill(threadCycles.begin(), threadCycles.end(), 0);
+    std::fill(dimmBusyCycles.begin(), dimmBusyCycles.end(), 0);
+    l1Accesses = l1Misses = l2Accesses = l2Misses = 0;
+    llcAccesses = llcMisses = 0;
+    tvarakCacheAccesses = tvarakCacheMisses = 0;
+    dramReads = dramWrites = 0;
+    nvmDataReads = nvmDataWrites = 0;
+    nvmRedundancyReads = nvmRedundancyWrites = 0;
+    nvmCsumLineAccesses = nvmParityLineAccesses = 0;
+    l1Energy = l2Energy = llcEnergy = dramEnergy = nvmEnergy =
+        tvarakEnergy = 0;
+    readVerifications = redundancyUpdates = 0;
+    diffCaptures = diffEvictions = redundancyInvalidations = 0;
+    corruptionsDetected = recoveries = 0;
+    swChecksumBytes = txCommits = 0;
+}
+
+void
+Stats::dump(std::ostream &os) const
+{
+    os << "runtime.cycles            " << runtimeCycles() << "\n"
+       << "runtime.maxThreadCycles   " << maxThreadCycles() << "\n"
+       << "runtime.maxDimmBusyCycles " << maxDimmBusyCycles() << "\n"
+       << "cache.l1.accesses         " << l1Accesses << "\n"
+       << "cache.l1.misses           " << l1Misses << "\n"
+       << "cache.l2.accesses         " << l2Accesses << "\n"
+       << "cache.l2.misses           " << l2Misses << "\n"
+       << "cache.llc.accesses        " << llcAccesses << "\n"
+       << "cache.llc.misses          " << llcMisses << "\n"
+       << "cache.tvarak.accesses     " << tvarakCacheAccesses << "\n"
+       << "cache.tvarak.misses       " << tvarakCacheMisses << "\n"
+       << "mem.dram.reads            " << dramReads << "\n"
+       << "mem.dram.writes           " << dramWrites << "\n"
+       << "mem.nvm.data.reads        " << nvmDataReads << "\n"
+       << "mem.nvm.data.writes       " << nvmDataWrites << "\n"
+       << "mem.nvm.red.reads         " << nvmRedundancyReads << "\n"
+       << "mem.nvm.red.writes        " << nvmRedundancyWrites << "\n"
+       << "energy.l1.pJ              " << l1Energy << "\n"
+       << "energy.l2.pJ              " << l2Energy << "\n"
+       << "energy.llc.pJ             " << llcEnergy << "\n"
+       << "energy.dram.pJ            " << dramEnergy << "\n"
+       << "energy.nvm.pJ             " << nvmEnergy << "\n"
+       << "energy.tvarak.pJ          " << tvarakEnergy << "\n"
+       << "energy.total.pJ           " << totalEnergy() << "\n"
+       << "red.readVerifications     " << readVerifications << "\n"
+       << "red.redundancyUpdates     " << redundancyUpdates << "\n"
+       << "red.diffCaptures          " << diffCaptures << "\n"
+       << "red.diffEvictions         " << diffEvictions << "\n"
+       << "red.invalidations         " << redundancyInvalidations << "\n"
+       << "red.corruptionsDetected   " << corruptionsDetected << "\n"
+       << "red.recoveries            " << recoveries << "\n"
+       << "sw.checksumBytes          " << swChecksumBytes << "\n"
+       << "sw.txCommits              " << txCommits << "\n";
+}
+
+}  // namespace tvarak

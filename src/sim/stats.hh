@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Central statistics block.
+ *
+ * One Stats object is owned by the MemorySystem and shared (by
+ * reference) with every component. Fields map directly onto the
+ * quantities plotted in the paper's Figure 8: runtime (cycles), energy
+ * (pJ, by component), NVM accesses split into data vs. redundancy, and
+ * cache accesses split by level including the on-TVARAK cache.
+ */
+
+#ifndef TVARAK_SIM_STATS_HH
+#define TVARAK_SIM_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tvarak {
+
+struct Stats {
+    explicit Stats(std::size_t threads, std::size_t dimms)
+        : threadCycles(threads, 0), dimmBusyCycles(dimms, 0)
+    {}
+
+    /** @name Runtime (fixed-work methodology) */
+    /**@{*/
+    std::vector<Cycles> threadCycles;     //!< demand-path cycles per thread
+    std::vector<Cycles> dimmBusyCycles;   //!< occupancy per NVM DIMM
+    /**@}*/
+
+    /** @name Cache accesses (Fig 8, fourth column) */
+    /**@{*/
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t tvarakCacheAccesses = 0;
+    std::uint64_t tvarakCacheMisses = 0;
+    /**@}*/
+
+    /** @name Memory accesses (Fig 8, third column) */
+    /**@{*/
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t nvmDataReads = 0;
+    std::uint64_t nvmDataWrites = 0;
+    std::uint64_t nvmRedundancyReads = 0;   //!< checksum/parity/diff traffic
+    std::uint64_t nvmRedundancyWrites = 0;
+    std::uint64_t nvmCsumLineAccesses = 0;   //!< subset: checksum lines
+    std::uint64_t nvmParityLineAccesses = 0; //!< subset: parity lines
+    /**@}*/
+
+    /** @name Energy (pJ, by component) */
+    /**@{*/
+    PicoJoules l1Energy = 0;
+    PicoJoules l2Energy = 0;
+    PicoJoules llcEnergy = 0;
+    PicoJoules dramEnergy = 0;
+    PicoJoules nvmEnergy = 0;
+    PicoJoules tvarakEnergy = 0;
+    /**@}*/
+
+    /** @name TVARAK / redundancy events */
+    /**@{*/
+    std::uint64_t readVerifications = 0;    //!< NVM->LLC reads verified
+    std::uint64_t redundancyUpdates = 0;    //!< LLC->NVM writebacks covered
+    std::uint64_t diffCaptures = 0;         //!< data diffs stored in LLC
+    std::uint64_t diffEvictions = 0;        //!< diff-partition evictions
+    std::uint64_t redundancyInvalidations = 0;  //!< MESI invals, ctrl caches
+    std::uint64_t corruptionsDetected = 0;
+    std::uint64_t recoveries = 0;       //!< lines/pages rebuilt from parity
+    /**@}*/
+
+    /** @name Software-scheme events */
+    /**@{*/
+    std::uint64_t swChecksumBytes = 0;      //!< bytes checksummed in sw
+    std::uint64_t txCommits = 0;
+    /**@}*/
+
+    /** Sum of all per-component energies. */
+    PicoJoules totalEnergy() const
+    {
+        return l1Energy + l2Energy + llcEnergy + dramEnergy + nvmEnergy +
+            tvarakEnergy;
+    }
+
+    std::uint64_t nvmReads() const { return nvmDataReads + nvmRedundancyReads; }
+    std::uint64_t nvmWrites() const
+    {
+        return nvmDataWrites + nvmRedundancyWrites;
+    }
+    std::uint64_t nvmAccesses() const { return nvmReads() + nvmWrites(); }
+    std::uint64_t cacheAccesses() const
+    {
+        return l1Accesses + l2Accesses + llcAccesses + tvarakCacheAccesses;
+    }
+
+    /** Max over threads of demand cycles. */
+    Cycles maxThreadCycles() const;
+    /** Max over DIMMs of busy cycles. */
+    Cycles maxDimmBusyCycles() const;
+    /**
+     * Reported runtime: fixed work finishes when the slowest thread
+     * retires and the most-loaded DIMM drains (bandwidth bound).
+     */
+    Cycles runtimeCycles() const;
+
+    /** Human-readable dump of every counter. */
+    void dump(std::ostream &os) const;
+
+    /** Zero every counter (thread/DIMM vectors keep their size). */
+    void reset();
+};
+
+}  // namespace tvarak
+
+#endif  // TVARAK_SIM_STATS_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fundamental address/size types and geometry helpers shared by every
+ * module of the simulator.
+ *
+ * The simulated machine uses a single flat virtual address space:
+ *
+ *   [0, dramBytes)                DRAM, identity mapped.
+ *   [kDaxBase, kDaxBase + ...)    DAX-mapped NVM file pages, translated
+ *                                 through the DaxFs page table to NVM
+ *                                 "global" physical pages.
+ *
+ * NVM global physical addresses are linear across the whole NVM array;
+ * the Layout module (layout/layout.hh) maps a global page to a
+ * (DIMM, media page) pair and defines the RAID-5 parity geometry.
+ */
+
+#ifndef TVARAK_SIM_TYPES_HH
+#define TVARAK_SIM_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tvarak {
+
+/** A simulated (virtual or physical) byte address. */
+using Addr = std::uint64_t;
+
+/** A count of core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Energy in picojoules. */
+using PicoJoules = double;
+
+/** Cache line size; DAX access and checksum granularity. */
+constexpr std::size_t kLineBytes = 64;
+
+/** Page size; system-checksum and parity-striping granularity. */
+constexpr std::size_t kPageBytes = 4096;
+
+/** Cache lines per page. */
+constexpr std::size_t kLinesPerPage = kPageBytes / kLineBytes;
+
+/** Bytes of one packed DAX-CL-checksum (we use CRC-32C zero-extended
+ *  to 8 bytes so that 8 checksums pack exactly into one 64 B line). */
+constexpr std::size_t kChecksumBytes = 8;
+
+/** DAX-CL-checksums per checksum cache line. */
+constexpr std::size_t kChecksumsPerLine = kLineBytes / kChecksumBytes;
+
+/** Base of the DAX-mapped virtual region. */
+constexpr Addr kDaxBase = Addr{1} << 40;
+
+/** Base of the NVM window in the cache-visible physical space. */
+constexpr Addr kNvmPhysBase = Addr{1} << 41;
+
+/**
+ * Base of the kernel "direct map" virtual window over the whole NVM
+ * space. DAX applications use kDaxBase mappings; system software (the
+ * file system's I/O paths and the software redundancy schemes) uses
+ * this window to reach checksum and parity storage.
+ */
+constexpr Addr kNvmDirectBase = Addr{1} << 42;
+
+/** Direct-map virtual address of NVM-global address @p g. */
+constexpr Addr
+nvmDirectVaddr(Addr g)
+{
+    return kNvmDirectBase + g;
+}
+
+/** True iff physical address @p a lies in the NVM window. */
+constexpr bool
+isNvmPhys(Addr a)
+{
+    return a >= kNvmPhysBase;
+}
+
+/** Align @p a down to its cache line. */
+constexpr Addr
+lineBase(Addr a)
+{
+    return a & ~Addr{kLineBytes - 1};
+}
+
+/** Align @p a down to its page. */
+constexpr Addr
+pageBase(Addr a)
+{
+    return a & ~Addr{kPageBytes - 1};
+}
+
+/** Byte offset of @p a within its cache line. */
+constexpr std::size_t
+lineOffset(Addr a)
+{
+    return static_cast<std::size_t>(a & (kLineBytes - 1));
+}
+
+/** Byte offset of @p a within its page. */
+constexpr std::size_t
+pageOffset(Addr a)
+{
+    return static_cast<std::size_t>(a & (kPageBytes - 1));
+}
+
+/** Index of the line containing @p a within its page (0..63). */
+constexpr std::size_t
+lineInPage(Addr a)
+{
+    return pageOffset(a) / kLineBytes;
+}
+
+/** Global line number of @p a (address / 64). */
+constexpr std::uint64_t
+lineNumber(Addr a)
+{
+    return a / kLineBytes;
+}
+
+/** Global page number of @p a (address / 4096). */
+constexpr std::uint64_t
+pageNumber(Addr a)
+{
+    return a / kPageBytes;
+}
+
+/** True iff @p a lies in the DAX-mapped virtual region. */
+constexpr bool
+isDaxAddr(Addr a)
+{
+    return a >= kDaxBase;
+}
+
+}  // namespace tvarak
+
+#endif  // TVARAK_SIM_TYPES_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Layout tests: RAID-5 geometry, metadata regions, address maths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "layout/layout.hh"
+
+namespace tvarak {
+namespace {
+
+TEST(Layout, RegionsAreOrderedAndDisjoint)
+{
+    Layout layout(64ull << 20, 4);
+    EXPECT_EQ(layout.pageCsumBase(), 0u);
+    EXPECT_LT(layout.pageCsumBase(), layout.daxClBase());
+    EXPECT_LT(layout.daxClBase(), layout.dataBase());
+    EXPECT_LT(layout.dataBase(), layout.end());
+    EXPECT_EQ(layout.dataBase() % (4 * kPageBytes), 0u)
+        << "data region must start on a stripe row";
+}
+
+TEST(Layout, MetadataSizedForAllDataPages)
+{
+    Layout layout(64ull << 20, 4);
+    // The page checksum of the *last* data page must fit below the
+    // DAX-CL region, and its last line checksum below the data base.
+    Addr last_page = layout.end() - kPageBytes;
+    EXPECT_LT(layout.pageCsumAddr(last_page), layout.daxClBase());
+    EXPECT_LT(layout.daxClCsumAddr(layout.end() - kLineBytes),
+              layout.dataBase());
+}
+
+class LayoutGeometry : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LayoutGeometry, ParityRotatesAcrossAllMembers)
+{
+    std::size_t dimms = GetParam();
+    Layout layout(32ull << 20, dimms);
+    // Over `dimms` consecutive stripes, every member index must serve
+    // as parity exactly once (RAID-5 rotation).
+    std::set<std::size_t> members;
+    for (std::size_t s = 0; s < dimms; s++) {
+        Addr in_stripe = layout.dataBase() +
+            static_cast<Addr>(s) * dimms * kPageBytes;
+        Addr parity = layout.parityPageOf(in_stripe);
+        members.insert(static_cast<std::size_t>(
+            (parity - layout.dataBase()) / kPageBytes) % dimms);
+    }
+    EXPECT_EQ(members.size(), dimms);
+}
+
+TEST_P(LayoutGeometry, EveryPageIsDataXorParity)
+{
+    std::size_t dimms = GetParam();
+    Layout layout(16ull << 20, dimms);
+    std::size_t data_count = 0;
+    std::size_t check = std::min<std::size_t>(layout.dataPages(), 4096);
+    for (std::size_t p = 0; p < check; p++) {
+        Addr page = layout.dataBase() + p * kPageBytes;
+        if (!layout.isParityPage(page))
+            data_count++;
+    }
+    EXPECT_EQ(data_count, check - check / dimms);
+}
+
+TEST_P(LayoutGeometry, NthDataPageSkipsParityAndCoversAll)
+{
+    std::size_t dimms = GetParam();
+    Layout layout(16ull << 20, dimms);
+    std::set<Addr> seen;
+    std::size_t n = std::min<std::size_t>(
+        layout.allocatableDataPages(), 3000);
+    for (std::size_t i = 0; i < n; i++) {
+        Addr page = layout.nthDataPage(i);
+        EXPECT_FALSE(layout.isParityPage(page)) << "i=" << i;
+        EXPECT_TRUE(seen.insert(page).second) << "duplicate at " << i;
+        if (i > 0)
+            EXPECT_GT(page, layout.nthDataPage(i - 1));
+    }
+}
+
+TEST_P(LayoutGeometry, StripeDataPagesExcludesParity)
+{
+    std::size_t dimms = GetParam();
+    Layout layout(16ull << 20, dimms);
+    std::vector<Addr> pages;
+    for (std::size_t s = 0; s < 2 * dimms; s++) {
+        Addr in_stripe = layout.dataBase() +
+            static_cast<Addr>(s) * dimms * kPageBytes;
+        layout.stripeDataPages(in_stripe, pages);
+        EXPECT_EQ(pages.size(), dimms - 1);
+        Addr parity = layout.parityPageOf(in_stripe);
+        for (Addr p : pages) {
+            EXPECT_NE(p, parity);
+            EXPECT_EQ(layout.stripeOf(p), s);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimmCounts, LayoutGeometry,
+                         ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(Layout, ParityLineSameInPageOffset)
+{
+    Layout layout(32ull << 20, 4);
+    Addr data_page = layout.nthDataPage(17);
+    Addr line = data_page + 23 * kLineBytes;
+    Addr parity_line = layout.parityLineOf(line);
+    EXPECT_EQ(lineInPage(parity_line), 23u);
+    EXPECT_EQ(pageBase(parity_line), layout.parityPageOf(line));
+}
+
+TEST(Layout, DaxClChecksumPacking)
+{
+    Layout layout(32ull << 20, 4);
+    Addr page = layout.nthDataPage(5);
+    // Eight consecutive line checksums share one checksum line.
+    Addr first = layout.daxClCsumLine(page);
+    for (std::size_t l = 0; l < kChecksumsPerLine; l++) {
+        EXPECT_EQ(layout.daxClCsumLine(page + l * kLineBytes), first);
+    }
+    EXPECT_NE(layout.daxClCsumLine(page + 8 * kLineBytes), first);
+    // Entries are 8 bytes apart.
+    EXPECT_EQ(layout.daxClCsumAddr(page + kLineBytes) -
+                  layout.daxClCsumAddr(page),
+              kChecksumBytes);
+}
+
+TEST(Layout, PageChecksumEntriesDistinct)
+{
+    Layout layout(32ull << 20, 4);
+    std::set<Addr> entries;
+    for (std::size_t i = 0; i < 512; i++)
+        entries.insert(layout.pageCsumAddr(layout.nthDataPage(i)));
+    EXPECT_EQ(entries.size(), 512u);
+}
+
+}  // namespace
+}  // namespace tvarak

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * NVM DIMM and firmware-bug model tests (the Section II fault model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "nvm/nvm.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "test_util.hh"
+
+namespace tvarak {
+namespace {
+
+std::array<std::uint8_t, kLineBytes>
+pattern(std::uint8_t seed)
+{
+    std::array<std::uint8_t, kLineBytes> buf;
+    for (std::size_t i = 0; i < buf.size(); i++)
+        buf[i] = static_cast<std::uint8_t>(seed + i);
+    return buf;
+}
+
+TEST(NvmDimm, WriteReadRoundtrip)
+{
+    NvmDimm dimm(1 << 20);
+    auto w = pattern(5);
+    dimm.firmwareWrite(kLineBytes * 3, w.data());
+    std::array<std::uint8_t, kLineBytes> r{};
+    dimm.firmwareRead(kLineBytes * 3, r.data());
+    EXPECT_EQ(r, w);
+    EXPECT_TRUE(dimm.eccCheck(kLineBytes * 3));
+    EXPECT_EQ(dimm.bugsTriggered(), 0u);
+}
+
+TEST(NvmDimm, LostWriteKeepsOldDataAndCleanEcc)
+{
+    NvmDimm dimm(1 << 20);
+    auto v1 = pattern(1), v2 = pattern(2);
+    dimm.firmwareWrite(0, v1.data());
+    dimm.injectLostWrite(0);
+    dimm.firmwareWrite(0, v2.data());  // acked but dropped
+    std::array<std::uint8_t, kLineBytes> r{};
+    dimm.firmwareRead(0, r.data());
+    EXPECT_EQ(r, v1) << "lost write must leave old data";
+    // The device-level ECC is *consistent* with the (old) data: it
+    // cannot flag the lost write (paper Section II-A).
+    EXPECT_TRUE(dimm.eccCheck(0));
+    EXPECT_EQ(dimm.bugsTriggered(), 1u);
+}
+
+TEST(NvmDimm, LostWriteIsSingleShot)
+{
+    NvmDimm dimm(1 << 20);
+    auto v1 = pattern(1), v2 = pattern(2);
+    dimm.injectLostWrite(0);
+    dimm.firmwareWrite(0, v1.data());  // dropped
+    dimm.firmwareWrite(0, v2.data());  // applied
+    std::array<std::uint8_t, kLineBytes> r{};
+    dimm.firmwareRead(0, r.data());
+    EXPECT_EQ(r, v2);
+}
+
+TEST(NvmDimm, MisdirectedWriteCorruptsVictimConsistently)
+{
+    NvmDimm dimm(1 << 20);
+    auto green = pattern(3), blue = pattern(4), w = pattern(5);
+    dimm.firmwareWrite(0, green.data());           // intended target
+    dimm.firmwareWrite(kLineBytes, blue.data());   // victim
+    dimm.injectMisdirectedWrite(0, kLineBytes);
+    dimm.firmwareWrite(0, w.data());
+    std::array<std::uint8_t, kLineBytes> r{};
+    dimm.firmwareRead(0, r.data());
+    EXPECT_EQ(r, green) << "intended location not updated";
+    dimm.firmwareRead(kLineBytes, r.data());
+    EXPECT_EQ(r, w) << "victim overwritten";
+    // Both locations' ECC pass: the firmware wrote data+ECC as an atom.
+    EXPECT_TRUE(dimm.eccCheck(0));
+    EXPECT_TRUE(dimm.eccCheck(kLineBytes));
+}
+
+TEST(NvmDimm, MisdirectedReadReturnsWrongLocation)
+{
+    NvmDimm dimm(1 << 20);
+    auto a = pattern(6), b = pattern(7);
+    dimm.firmwareWrite(0, a.data());
+    dimm.firmwareWrite(kLineBytes, b.data());
+    dimm.injectMisdirectedRead(0, kLineBytes);
+    std::array<std::uint8_t, kLineBytes> r{};
+    dimm.firmwareRead(0, r.data());
+    EXPECT_EQ(r, b);
+    // Media untouched: a retry returns the right data.
+    dimm.firmwareRead(0, r.data());
+    EXPECT_EQ(r, a);
+}
+
+TEST(NvmDimm, BitFlipCaughtByEcc)
+{
+    NvmDimm dimm(1 << 20);
+    auto a = pattern(8);
+    dimm.firmwareWrite(0, a.data());
+    EXPECT_TRUE(dimm.eccCheck(0));
+    dimm.injectBitFlip(5, 3);
+    EXPECT_FALSE(dimm.eccCheck(0))
+        << "media error must fail device ECC";
+}
+
+TEST(NvmDimm, RawAccessBypassesBugs)
+{
+    NvmDimm dimm(1 << 20);
+    auto v = pattern(9);
+    dimm.injectLostWrite(0);
+    dimm.rawWrite(0, v.data(), kLineBytes);
+    std::array<std::uint8_t, kLineBytes> r{};
+    dimm.rawRead(0, r.data(), kLineBytes);
+    EXPECT_EQ(r, v);
+    EXPECT_EQ(dimm.bugsTriggered(), 0u);
+}
+
+TEST(NvmArray, PageStripingAcrossDimms)
+{
+    SimConfig cfg = test::smallConfig();
+    Stats stats(1, cfg.nvm.dimms);
+    NvmArray arr(cfg.nvm, cfg, stats);
+    for (std::size_t p = 0; p < 8; p++) {
+        Addr a = static_cast<Addr>(p) * kPageBytes;
+        EXPECT_EQ(arr.dimmOf(a), p % cfg.nvm.dimms);
+    }
+    EXPECT_EQ(arr.mediaAddrOf(5 * kPageBytes + 100u),
+              1 * kPageBytes + 100u);
+}
+
+TEST(NvmArray, AccessAccounting)
+{
+    SimConfig cfg = test::smallConfig();
+    Stats stats(1, cfg.nvm.dimms);
+    NvmArray arr(cfg.nvm, cfg, stats);
+    std::array<std::uint8_t, kLineBytes> buf{};
+    Cycles rl = arr.access(0, false, buf.data(), false);
+    Cycles wl = arr.access(0, true, buf.data(), true);
+    EXPECT_EQ(rl, cfg.nsToCycles(cfg.nvm.readNs));
+    EXPECT_EQ(wl, cfg.nsToCycles(cfg.nvm.writeNs));
+    EXPECT_EQ(stats.nvmDataReads, 1u);
+    EXPECT_EQ(stats.nvmRedundancyWrites, 1u);
+    EXPECT_GT(stats.dimmBusyCycles[0], 0u);
+    EXPECT_DOUBLE_EQ(stats.nvmEnergy,
+                     cfg.nvm.readEnergy + cfg.nvm.writeEnergy);
+}
+
+TEST(NvmArray, RawSpansPages)
+{
+    SimConfig cfg = test::smallConfig();
+    Stats stats(1, cfg.nvm.dimms);
+    NvmArray arr(cfg.nvm, cfg, stats);
+    std::vector<std::uint8_t> w(3 * kPageBytes);
+    for (std::size_t i = 0; i < w.size(); i++)
+        w[i] = static_cast<std::uint8_t>(i * 7);
+    arr.rawWrite(kPageBytes / 2, w.data(), w.size());
+    std::vector<std::uint8_t> r(w.size());
+    arr.rawRead(kPageBytes / 2, r.data(), r.size());
+    EXPECT_EQ(r, w);
+}
+
+}  // namespace
+}  // namespace tvarak

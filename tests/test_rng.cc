@@ -1,0 +1,107 @@
+/**
+ * @file
+ * RNG and distribution tests (determinism, bounds, skew shapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace tvarak {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool differs = false;
+    for (int i = 0; i < 100; i++) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        differs = differs || va != c.next();
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(1);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; i++)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; i++) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoundedRoughlyUniform)
+{
+    Rng rng(3);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        counts[rng.nextBounded(10)]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Zipf, HeadIsHot)
+{
+    ZipfGenerator zipf(1000, 0.99, 7);
+    std::map<std::uint64_t, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        counts[zipf.next()]++;
+    // Item 0 is by far the most popular; the top-10 items draw a
+    // large fraction of all accesses.
+    int head = 0;
+    for (std::uint64_t i = 0; i < 10; i++)
+        head += counts.count(i) ? counts[i] : 0;
+    EXPECT_GT(counts[0], counts.count(500) ? counts[500] * 10 : 100);
+    EXPECT_GT(head, n / 5);
+}
+
+TEST(Zipf, CoversRange)
+{
+    ZipfGenerator zipf(50, 0.9, 8);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; i++) {
+        std::uint64_t v = zipf.next();
+        ASSERT_LT(v, 50u);
+        counts[v]++;
+    }
+    EXPECT_GT(counts.size(), 40u) << "tail must still be reachable";
+}
+
+TEST(HotSet, PaperSkew9010)
+{
+    // "90% of transactions go to 10% of tuples" (paper Section IV-D).
+    HotSetGenerator gen(10000, 0.10, 0.90, 5);
+    const int n = 200000;
+    int hot = 0;
+    for (int i = 0; i < n; i++) {
+        if (gen.next() < 1000)
+            hot++;
+    }
+    EXPECT_NEAR(static_cast<double>(hot) / n, 0.90, 0.01);
+}
+
+TEST(HotSet, DegenerateSingleItem)
+{
+    HotSetGenerator gen(1, 0.1, 0.9, 6);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(gen.next(), 0u);
+}
+
+}  // namespace
+}  // namespace tvarak

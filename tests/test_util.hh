@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared helpers for the test suites: a small, fast machine
+ * configuration and common assertions.
+ */
+
+#ifndef TVARAK_TESTS_TEST_UTIL_HH
+#define TVARAK_TESTS_TEST_UTIL_HH
+
+#include "sim/config.hh"
+
+namespace tvarak::test {
+
+/** A scaled-down machine that keeps unit tests fast: 2 cores, small
+ *  caches (so evictions happen quickly), 4 x 16 MB NVM DIMMs. */
+inline SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.cores = 2;
+    cfg.l1 = {4 * 1024, 4, 4, 15.0, 33.0};
+    cfg.l2 = {16 * 1024, 8, 7, 46.0, 94.0};
+    cfg.llcBank = {64 * 1024, 16, 27, 240.0, 500.0};
+    cfg.llcBanks = 4;
+    cfg.dram.sizeBytes = 8ull << 20;
+    cfg.nvm.dimms = 4;
+    cfg.nvm.dimmBytes = 16ull << 20;
+    return cfg;
+}
+
+}  // namespace tvarak::test
+
+#endif  // TVARAK_TESTS_TEST_UTIL_HH
