@@ -9,8 +9,7 @@
  * larger fixed-work sizes when more time is available.
  */
 
-#ifndef TVARAK_BENCH_BENCH_COMMON_HH
-#define TVARAK_BENCH_BENCH_COMMON_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -38,4 +37,3 @@ FigureRow sweepDesigns(const std::string &workloadName,
 
 }  // namespace tvarak::bench
 
-#endif  // TVARAK_BENCH_BENCH_COMMON_HH

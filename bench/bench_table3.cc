@@ -42,17 +42,17 @@ main(int argc, char **argv)
     std::printf("DRAM             %.0f ns reads/writes, %.1f nJ/access "
                 "(documented assumption)\n",
                 cfg.dram.accessNs, cfg.dram.accessEnergy / 1000.0);
-    std::printf("NVM              %zu DIMMs, %.0f/%.0f ns read/write, "
-                "%.1f/%.1f nJ per read/write\n",
-                cfg.nvm.dimms, cfg.nvm.readNs, cfg.nvm.writeNs,
-                cfg.nvm.readEnergy / 1000.0,
+    std::printf("NVM              %zu DIMMs x %zu MB, %.0f/%.0f ns "
+                "read/write, %.1f/%.1f nJ per read/write\n",
+                cfg.nvm.dimms, cfg.nvm.dimmBytes >> 20, cfg.nvm.readNs,
+                cfg.nvm.writeNs, cfg.nvm.readEnergy / 1000.0,
                 cfg.nvm.writeEnergy / 1000.0);
-    std::printf("TVARAK           %zu B on-controller cache, %llu cycle "
-                "latency, %.0f/%.0f pJ hit/miss,\n"
+    std::printf("TVARAK           %zu B %zu-way on-controller cache, "
+                "%llu cycle latency, %.0f/%.0f pJ hit/miss,\n"
                 "                 %llu cycles address range matching, "
                 "%llu cycle per csum/parity computation,\n"
                 "                 %zu/%zu LLC ways for redundancy/diffs\n",
-                cfg.tvarak.cacheBytes,
+                cfg.tvarak.cacheBytes, cfg.tvarak.cacheWays,
                 static_cast<unsigned long long>(cfg.tvarak.cacheLatency),
                 cfg.tvarak.cacheHitEnergy, cfg.tvarak.cacheMissEnergy,
                 static_cast<unsigned long long>(
@@ -60,6 +60,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     cfg.tvarak.computeLatency),
                 cfg.tvarak.redundancyWays, cfg.tvarak.diffWays);
+    std::printf("                 features: useDaxClChecksums=%s, "
+                "useRedundancyCaching=%s, useDataDiffs=%s\n",
+                cfg.tvarak.useDaxClChecksums ? "true" : "false",
+                cfg.tvarak.useRedundancyCaching ? "true" : "false",
+                cfg.tvarak.useDataDiffs ? "true" : "false");
 
     MemorySystem mem(cfg, DesignKind::Tvarak);
     double area = static_cast<double>(
@@ -71,9 +76,11 @@ main(int argc, char **argv)
                 mem.tvarak().dedicatedBytesPerController(),
                 cfg.llcBank.sizeBytes >> 20, area * 100.0);
     std::printf("Timing-model knobs (this reproduction): "
-                "storeMissLatencyFactor=%.2f, prefetchDegree=%zu,\n"
-                "occupancyRead/WriteFactor=%.2f/%.2f, "
-                "swChecksumBytesPerCycle=%.0f, syncVerification=%s\n",
+                "storeIssueCycles=%llu, storeMissLatencyFactor=%.2f,\n"
+                "prefetchDegree=%zu, occupancyRead/WriteFactor=%.2f/%.2f, "
+                "swChecksumBytesPerCycle=%.0f,\n"
+                "syncVerification=%s\n",
+                static_cast<unsigned long long>(cfg.storeIssueCycles),
                 cfg.storeMissLatencyFactor, cfg.prefetchDegree,
                 cfg.nvm.occupancyReadFactor, cfg.nvm.occupancyWriteFactor,
                 cfg.swChecksumBytesPerCycle,

@@ -7,8 +7,7 @@
  * runs because these benches sweep many configurations.
  */
 
-#ifndef TVARAK_BENCH_BENCH_WORKLOADS_HH
-#define TVARAK_BENCH_BENCH_WORKLOADS_HH
+#pragma once
 
 #include <memory>
 
@@ -152,4 +151,3 @@ fig9Workloads(std::size_t scale)
 
 }  // namespace tvarak::bench
 
-#endif  // TVARAK_BENCH_BENCH_WORKLOADS_HH

@@ -9,8 +9,7 @@
  * visits every line exactly once with no spatial locality.
  */
 
-#ifndef TVARAK_APPS_FIO_FIO_HH
-#define TVARAK_APPS_FIO_FIO_HH
+#pragma once
 
 #include <memory>
 
@@ -57,4 +56,3 @@ class FioWorkload final : public Workload
 
 }  // namespace tvarak
 
-#endif  // TVARAK_APPS_FIO_FIO_HH

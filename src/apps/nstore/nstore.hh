@@ -18,8 +18,7 @@
  * boundary still drives the TxB schemes' redundancy work.
  */
 
-#ifndef TVARAK_APPS_NSTORE_NSTORE_HH
-#define TVARAK_APPS_NSTORE_NSTORE_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -111,4 +110,3 @@ class NStoreWorkload final : public Workload
 
 }  // namespace tvarak
 
-#endif  // TVARAK_APPS_NSTORE_NSTORE_HH

@@ -17,6 +17,9 @@ constexpr std::uint64_t kNoRehash = ~std::uint64_t{0};
 /** Entry field offsets. */
 constexpr std::size_t kNext = 0, kHash = 8, kKey = 16;
 
+/** Bytes of one bucket slot (u64 entry pointer). */
+constexpr std::size_t kSlotBytes = 8;
+
 }  // namespace
 
 RedisStore::RedisStore(MemorySystem &mem, PmemPool &pool,
@@ -28,7 +31,7 @@ RedisStore::RedisStore(MemorySystem &mem, PmemPool &pool,
     if (root_ == 0) {
         root_ = pool_.alloc(0, 48);
         pool_.txBegin(0);
-        Addr table = pool_.alloc(0, initialBuckets * 8);
+        Addr table = pool_.alloc(0, initialBuckets * kSlotBytes);
         std::uint64_t init[6] = {table, initialBuckets, 0, 0, kNoRehash,
                                  0};
         pool_.txWrite(0, root_, init, sizeof(init));
@@ -36,7 +39,7 @@ RedisStore::RedisStore(MemorySystem &mem, PmemPool &pool,
         // memory is zero), but write the buckets explicitly the way
         // Redis's calloc-backed dict does.
         std::vector<std::uint64_t> zeros(initialBuckets, 0);
-        pool_.txWrite(0, table, zeros.data(), initialBuckets * 8);
+        pool_.txWrite(0, table, zeros.data(), initialBuckets * kSlotBytes);
         pool_.setRoot(0, root_);
         pool_.txCommit(0);
     } else {
@@ -77,18 +80,18 @@ RedisStore::rehashStep(int tid)
     std::uint64_t size1 = mem_.read64(tid, root_ + kSize1);
 
     // Move every entry in bucket `idx` to table 1.
-    Addr entry = mem_.read64(tid, t0 + idx * 8);
+    Addr entry = mem_.read64(tid, t0 + idx * kSlotBytes);
     while (entry != 0) {
         Addr next = mem_.read64(tid, entry + kNext);
         std::uint64_t h = mem_.read64(tid, entry + kHash);
-        Addr slot = t1 + (h & (size1 - 1)) * 8;
+        Addr slot = t1 + (h & (size1 - 1)) * kSlotBytes;
         Addr head = mem_.read64(tid, slot);
         pool_.txWrite(tid, entry + kNext, &head, 8);
         pool_.txWrite(tid, slot, &entry, 8);
         entry = next;
     }
     std::uint64_t zero = 0;
-    pool_.txWrite(tid, t0 + idx * 8, &zero, 8);
+    pool_.txWrite(tid, t0 + idx * kSlotBytes, &zero, 8);
 
     idx++;
     if (idx >= size0) {
@@ -110,11 +113,11 @@ RedisStore::maybeStartRehash(int tid)
     if (used_ < size0)  // load factor < 1
         return;
     std::uint64_t size1 = size0 * 2;
-    Addr t1 = pool_.alloc(tid, size1 * 8);
+    Addr t1 = pool_.alloc(tid, size1 * kSlotBytes);
     // Fresh table: no undo snapshot needed (its old content is
     // garbage), exactly how Redis's calloc'd dict tables behave.
     std::vector<std::uint64_t> zeros(size1, 0);
-    pool_.txWriteNoUndo(tid, t1, zeros.data(), size1 * 8);
+    pool_.txWriteNoUndo(tid, t1, zeros.data(), size1 * kSlotBytes);
     std::uint64_t fields[2] = {t1, size1};
     pool_.txWrite(tid, root_ + kTable1, fields, 16);
     std::uint64_t zero = 0;
@@ -127,7 +130,8 @@ RedisStore::findInTable(int tid, Addr table, std::size_t buckets,
 {
     if (table == 0 || buckets == 0)
         return 0;
-    Addr entry = mem_.read64(tid, table + (hash & (buckets - 1)) * 8);
+    Addr entry =
+        mem_.read64(tid, table + (hash & (buckets - 1)) * kSlotBytes);
     std::uint8_t kbuf[kKeyBytes];
     while (entry != 0) {
         if (mem_.read64(tid, entry + kHash) == hash) {
@@ -168,7 +172,7 @@ RedisStore::set(int tid, const void *key, const void *value)
     // New entries go to the rehash target table, as in Redis.
     Addr table = rehash ? t1 : t0;
     std::uint64_t buckets = rehash ? size1 : size0;
-    Addr slot = table + (hash & (buckets - 1)) * 8;
+    Addr slot = table + (hash & (buckets - 1)) * kSlotBytes;
     Addr head = mem_.read64(tid, slot);
     std::uint64_t hdr[2] = {head, hash};
     pool_.txWrite(tid, entry, hdr, 16);
@@ -222,7 +226,7 @@ RedisStore::del(int tid, const void *key)
     for (int t = 0; t < 2; t++) {
         if (tables[t] == 0 || sizes[t] == 0)
             continue;
-        Addr slot = tables[t] + (hash & (sizes[t] - 1)) * 8;
+        Addr slot = tables[t] + (hash & (sizes[t] - 1)) * kSlotBytes;
         Addr entry = mem_.read64(tid, slot);
         while (entry != 0) {
             bool match = false;
@@ -315,8 +319,9 @@ RedisWorkload::name() const
 void
 RedisWorkload::makeKey(std::uint64_t id, char *out) const
 {
+    // Bound the value so the format provably fits kKeyBytes.
     std::snprintf(out, RedisStore::kKeyBytes, "key:%011llu",
-                  static_cast<unsigned long long>(id));
+                  static_cast<unsigned long long>(id) % 100000000000ULL);
 }
 
 void

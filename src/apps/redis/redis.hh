@@ -18,8 +18,7 @@
  * {next, hash, key[16], value[valueBytes]}.
  */
 
-#ifndef TVARAK_APPS_REDIS_REDIS_HH
-#define TVARAK_APPS_REDIS_REDIS_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -115,4 +114,3 @@ class RedisWorkload final : public Workload
 
 }  // namespace tvarak
 
-#endif  // TVARAK_APPS_REDIS_REDIS_HH

@@ -7,8 +7,7 @@
  * largest relative overheads here.
  */
 
-#ifndef TVARAK_APPS_STREAM_STREAM_HH
-#define TVARAK_APPS_STREAM_STREAM_HH
+#pragma once
 
 #include <memory>
 
@@ -52,4 +51,3 @@ class StreamWorkload final : public Workload
 
 }  // namespace tvarak
 
-#endif  // TVARAK_APPS_STREAM_STREAM_HH

@@ -23,16 +23,19 @@ namespace tvarak {
 
 namespace {
 
+/** Bytes of one child-pointer slot (u64). */
+constexpr std::size_t kChildPtrBytes = 8;
+
 constexpr std::size_t kItemsOff = 16;
 constexpr std::size_t kChildrenOff =
     kItemsOff + 16 * BTreeMap::kOrder;
 constexpr std::size_t kNodeBytes =
-    kChildrenOff + 8 * (BTreeMap::kOrder + 1);
+    kChildrenOff + kChildPtrBytes * (BTreeMap::kOrder + 1);
 
 Addr itemAddr(Addr node, std::size_t i) { return node + kItemsOff + 16 * i; }
 Addr childAddr(Addr node, std::size_t i)
 {
-    return node + kChildrenOff + 8 * i;
+    return node + kChildrenOff + kChildPtrBytes * i;
 }
 
 }  // namespace
@@ -92,10 +95,11 @@ BTreeMap::splitChild(int tid, Addr parent, std::size_t childIdx)
     pool_.txWrite(tid, itemAddr(right, 0), items + 16 * (mid + 1),
                   16 * moved);
     if (cv.leaf == 0) {
-        std::uint8_t kids[8 * (kOrder + 1)];
+        std::uint8_t kids[kChildPtrBytes * (kOrder + 1)];
         mem_.read(tid, childAddr(child, 0), kids, sizeof(kids));
-        pool_.txWrite(tid, childAddr(right, 0), kids + 8 * (mid + 1),
-                      8 * (moved + 1));
+        pool_.txWrite(tid, childAddr(right, 0),
+                      kids + kChildPtrBytes * (mid + 1),
+                      kChildPtrBytes * (moved + 1));
     }
     std::uint32_t rn = static_cast<std::uint32_t>(moved);
     pool_.txWrite(tid, right, &rn, 4);
@@ -106,14 +110,15 @@ BTreeMap::splitChild(int tid, Addr parent, std::size_t childIdx)
     NodeView pv = NodeView::read(mem_, tid, parent);
     std::uint8_t pitems[16 * kOrder];
     mem_.read(tid, itemAddr(parent, 0), pitems, 16 * pv.n);
-    std::uint8_t pkids[8 * (kOrder + 1)];
-    mem_.read(tid, childAddr(parent, 0), pkids, 8 * (pv.n + 1));
+    std::uint8_t pkids[kChildPtrBytes * (kOrder + 1)];
+    mem_.read(tid, childAddr(parent, 0), pkids,
+              kChildPtrBytes * (pv.n + 1));
     if (pv.n > childIdx) {
         pool_.txWrite(tid, itemAddr(parent, childIdx + 1),
                       pitems + 16 * childIdx, 16 * (pv.n - childIdx));
         pool_.txWrite(tid, childAddr(parent, childIdx + 2),
-                      pkids + 8 * (childIdx + 1),
-                      8 * (pv.n - childIdx));
+                      pkids + kChildPtrBytes * (childIdx + 1),
+                      kChildPtrBytes * (pv.n - childIdx));
     }
     // Promote the median item.
     pool_.txWrite(tid, itemAddr(parent, childIdx), items + 16 * mid, 16);
@@ -226,11 +231,11 @@ BTreeMap::fixChildForDelete(int tid, Addr parent, std::size_t childIdx)
             pool_.txWrite(tid, itemAddr(parent, childIdx - 1), moved,
                           16);
             if (cv.leaf == 0) {
-                std::uint8_t kids[8 * (kOrder + 1)];
+                std::uint8_t kids[kChildPtrBytes * (kOrder + 1)];
                 mem_.read(tid, childAddr(child, 0), kids,
-                          8 * (cv.n + 1));
+                          kChildPtrBytes * (cv.n + 1));
                 pool_.txWrite(tid, childAddr(child, 1), kids,
-                              8 * (cv.n + 1));
+                              kChildPtrBytes * (cv.n + 1));
                 Addr k = mem_.read64(tid, childAddr(left, lv.n));
                 pool_.txWrite(tid, childAddr(child, 0), &k, 8);
             }
@@ -259,9 +264,9 @@ BTreeMap::fixChildForDelete(int tid, Addr parent, std::size_t childIdx)
             if (cv.leaf == 0) {
                 Addr k = mem_.read64(tid, childAddr(right, 0));
                 pool_.txWrite(tid, childAddr(child, cv.n + 1), &k, 8);
-                std::uint8_t kids[8 * (kOrder + 1)];
-                mem_.read(tid, childAddr(right, 1), kids, 8 * rv.n);
-                pool_.txWrite(tid, childAddr(right, 0), kids, 8 * rv.n);
+                std::uint8_t kids[kChildPtrBytes * (kOrder + 1)];
+                mem_.read(tid, childAddr(right, 1), kids, kChildPtrBytes * rv.n);
+                pool_.txWrite(tid, childAddr(right, 0), kids, kChildPtrBytes * rv.n);
             }
             std::uint32_t cn = cv.n + 1, rn = rv.n - 1;
             pool_.txWrite(tid, child, &cn, 4);
@@ -284,10 +289,10 @@ BTreeMap::fixChildForDelete(int tid, Addr parent, std::size_t childIdx)
     mem_.read(tid, itemAddr(right, 0), items, 16 * rv.n);
     pool_.txWrite(tid, itemAddr(left, lv.n + 1), items, 16 * rv.n);
     if (lv.leaf == 0) {
-        std::uint8_t kids[8 * (kOrder + 1)];
-        mem_.read(tid, childAddr(right, 0), kids, 8 * (rv.n + 1));
+        std::uint8_t kids[kChildPtrBytes * (kOrder + 1)];
+        mem_.read(tid, childAddr(right, 0), kids, kChildPtrBytes * (rv.n + 1));
         pool_.txWrite(tid, childAddr(left, lv.n + 1), kids,
-                      8 * (rv.n + 1));
+                      kChildPtrBytes * (rv.n + 1));
     }
     std::uint32_t ln = lv.n + 1 + rv.n;
     pool_.txWrite(tid, left, &ln, 4);
@@ -300,11 +305,11 @@ BTreeMap::fixChildForDelete(int tid, Addr parent, std::size_t childIdx)
                   16 * (pv2.n - left_idx - 1));
         pool_.txWrite(tid, itemAddr(parent, left_idx), pitems,
                       16 * (pv2.n - left_idx - 1));
-        std::uint8_t pkids[8 * (kOrder + 1)];
+        std::uint8_t pkids[kChildPtrBytes * (kOrder + 1)];
         mem_.read(tid, childAddr(parent, left_idx + 2), pkids,
-                  8 * (pv2.n - left_idx - 1));
+                  kChildPtrBytes * (pv2.n - left_idx - 1));
         pool_.txWrite(tid, childAddr(parent, left_idx + 1), pkids,
-                      8 * (pv2.n - left_idx - 1));
+                      kChildPtrBytes * (pv2.n - left_idx - 1));
     }
     std::uint32_t pn = pv2.n - 1;
     pool_.txWrite(tid, parent, &pn, 4);

@@ -15,8 +15,7 @@
  * the traffic a real PMDK workload would generate.
  */
 
-#ifndef TVARAK_APPS_TREES_PMEM_MAP_HH
-#define TVARAK_APPS_TREES_PMEM_MAP_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -71,4 +70,3 @@ std::unique_ptr<PmemMap> makeMap(MapKind kind, MemorySystem &mem,
 
 }  // namespace tvarak
 
-#endif  // TVARAK_APPS_TREES_PMEM_MAP_HH

@@ -7,8 +7,7 @@
  * share state).
  */
 
-#ifndef TVARAK_APPS_TREES_TREE_WORKLOAD_HH
-#define TVARAK_APPS_TREES_TREE_WORKLOAD_HH
+#pragma once
 
 #include <memory>
 
@@ -65,4 +64,3 @@ class TreeWorkload final : public Workload
 
 }  // namespace tvarak
 
-#endif  // TVARAK_APPS_TREES_TREE_WORKLOAD_HH

@@ -5,8 +5,7 @@
  * for white-box tests.
  */
 
-#ifndef TVARAK_APPS_TREES_TREES_IMPL_HH
-#define TVARAK_APPS_TREES_TREES_IMPL_HH
+#pragma once
 
 #include "apps/trees/pmem_map.hh"
 
@@ -99,4 +98,3 @@ class RBTreeMap final : public PmemMap
 
 }  // namespace tvarak
 
-#endif  // TVARAK_APPS_TREES_TREES_IMPL_HH

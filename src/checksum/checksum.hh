@@ -13,8 +13,7 @@
  * schemes' compute-cost (SimConfig::swChecksumBytesPerCycle).
  */
 
-#ifndef TVARAK_CHECKSUM_CHECKSUM_HH
-#define TVARAK_CHECKSUM_CHECKSUM_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -51,4 +50,3 @@ std::uint64_t fletcher64(const void *data, std::size_t len);
 
 }  // namespace tvarak
 
-#endif  // TVARAK_CHECKSUM_CHECKSUM_HH

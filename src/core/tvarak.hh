@@ -27,8 +27,7 @@
  * contributes NVM occupancy and energy only.
  */
 
-#ifndef TVARAK_CORE_TVARAK_HH
-#define TVARAK_CORE_TVARAK_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -231,4 +230,3 @@ class TvarakEngine
 
 }  // namespace tvarak
 
-#endif  // TVARAK_CORE_TVARAK_HH

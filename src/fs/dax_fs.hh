@@ -24,8 +24,7 @@
  * unmapped, exactly like a real DAX file system after reboot.
  */
 
-#ifndef TVARAK_FS_DAX_FS_HH
-#define TVARAK_FS_DAX_FS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -143,4 +142,3 @@ class DaxFs
 
 }  // namespace tvarak
 
-#endif  // TVARAK_FS_DAX_FS_HH

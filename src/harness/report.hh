@@ -6,8 +6,7 @@
  * Baseline exactly as the paper's bar charts are.
  */
 
-#ifndef TVARAK_HARNESS_REPORT_HH
-#define TVARAK_HARNESS_REPORT_HH
+#pragma once
 
 #include <map>
 #include <string>
@@ -42,4 +41,3 @@ void printFigureCsv(const std::string &figureId,
 
 }  // namespace tvarak
 
-#endif  // TVARAK_HARNESS_REPORT_HH

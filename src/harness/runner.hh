@@ -4,8 +4,7 @@
  * redundancy design, returns the Fig 8 quantities.
  */
 
-#ifndef TVARAK_HARNESS_RUNNER_HH
-#define TVARAK_HARNESS_RUNNER_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -61,4 +60,3 @@ const std::vector<DesignKind> &allDesigns();
 
 }  // namespace tvarak
 
-#endif  // TVARAK_HARNESS_RUNNER_HH

@@ -13,8 +13,7 @@
  * reset, so only steady-state work is measured (caches stay warm).
  */
 
-#ifndef TVARAK_HARNESS_WORKLOAD_HH
-#define TVARAK_HARNESS_WORKLOAD_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -48,4 +47,3 @@ class Workload
 
 }  // namespace tvarak
 
-#endif  // TVARAK_HARNESS_WORKLOAD_HH

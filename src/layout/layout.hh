@@ -24,8 +24,7 @@
  * address arithmetic pure, and DaxFs tracks which ranges are live.
  */
 
-#ifndef TVARAK_LAYOUT_LAYOUT_HH
-#define TVARAK_LAYOUT_LAYOUT_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -97,4 +96,3 @@ class Layout
 
 }  // namespace tvarak
 
-#endif  // TVARAK_LAYOUT_LAYOUT_HH

@@ -20,8 +20,7 @@
  * ("completely decoupled from the application data partitions").
  */
 
-#ifndef TVARAK_MEM_CACHE_HH
-#define TVARAK_MEM_CACHE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -145,4 +144,3 @@ class Cache
 
 }  // namespace tvarak
 
-#endif  // TVARAK_MEM_CACHE_HH

@@ -12,8 +12,11 @@ MemorySystem::MemorySystem(const SimConfig &cfg, DesignKind design)
       design_(design),
       stats_(cfg.cores, cfg.nvm.dimms),
       layout_(cfg.nvm.dimms * cfg.nvm.dimmBytes, cfg.nvm.dimms),
-      nvm_(cfg.nvm, cfg, stats_),
-      engine_(cfg, layout_, nvm_, stats_),
+      // cfg_ (declared first) is the object's own copy; engine_ keeps
+      // a reference to its SimConfig, so it must not see the caller's
+      // possibly-temporary argument.
+      nvm_(cfg_.nvm, cfg_, stats_),
+      engine_(cfg_, layout_, nvm_, stats_),
       dram_(cfg.dram.sizeBytes, 0),
       nvmCur_(cfg.nvm.dimms * cfg.nvm.dimmBytes, 0),
       dramBrk_(kLineBytes)  // never hand out address 0

@@ -29,8 +29,7 @@
  * max(slowest thread, busiest DIMM).
  */
 
-#ifndef TVARAK_MEM_MEMORY_SYSTEM_HH
-#define TVARAK_MEM_MEMORY_SYSTEM_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -205,4 +204,3 @@ class MemorySystem
 
 }  // namespace tvarak
 
-#endif  // TVARAK_MEM_MEMORY_SYSTEM_HH

@@ -1,6 +1,7 @@
 #include "nvm/nvm.hh"
 
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstring>
 
@@ -131,7 +132,7 @@ void
 NvmDimm::injectBitFlip(Addr mediaAddr, unsigned bit)
 {
     checkAddr(mediaAddr, 1);
-    media_[mediaAddr] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    media_[mediaAddr] ^= static_cast<std::uint8_t>(1u << (bit % CHAR_BIT));
     // Deliberately no ECC update: this is a media error, which the
     // device ECC exists to catch.
 }

@@ -23,8 +23,7 @@
  * the per-DIMM bandwidth-occupancy accounting.
  */
 
-#ifndef TVARAK_NVM_NVM_HH
-#define TVARAK_NVM_NVM_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -168,4 +167,3 @@ class NvmArray
 
 }  // namespace tvarak
 
-#endif  // TVARAK_NVM_NVM_HH

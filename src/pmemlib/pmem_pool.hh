@@ -26,8 +26,7 @@
  * "higher space overhead" (Table I).
  */
 
-#ifndef TVARAK_PMEMLIB_PMEM_POOL_HH
-#define TVARAK_PMEMLIB_PMEM_POOL_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -199,4 +198,3 @@ class PmemPool
 
 }  // namespace tvarak
 
-#endif  // TVARAK_PMEMLIB_PMEM_POOL_HH

@@ -13,8 +13,7 @@
  * TxB-Page-Csums uses the file-system page-checksum region.
  */
 
-#ifndef TVARAK_REDUNDANCY_RAW_COVERAGE_HH
-#define TVARAK_REDUNDANCY_RAW_COVERAGE_HH
+#pragma once
 
 #include "redundancy/scheme.hh"
 
@@ -75,4 +74,3 @@ class RawCoverage
 
 }  // namespace tvarak
 
-#endif  // TVARAK_REDUNDANCY_RAW_COVERAGE_HH

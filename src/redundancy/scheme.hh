@@ -21,8 +21,7 @@
  * sibling lines and writing the parity line.
  */
 
-#ifndef TVARAK_REDUNDANCY_SCHEME_HH
-#define TVARAK_REDUNDANCY_SCHEME_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -98,4 +97,3 @@ std::unique_ptr<RedundancyScheme> makeScheme(DesignKind design,
 
 }  // namespace tvarak
 
-#endif  // TVARAK_REDUNDANCY_SCHEME_HH

@@ -17,8 +17,7 @@
  * fails mid-epoch) and its closure (scrub clean after drain).
  */
 
-#ifndef TVARAK_REDUNDANCY_VILAMB_HH
-#define TVARAK_REDUNDANCY_VILAMB_HH
+#pragma once
 
 #include <unordered_set>
 
@@ -58,4 +57,3 @@ class VilambAsyncCsums final : public RedundancyScheme
 
 }  // namespace tvarak
 
-#endif  // TVARAK_REDUNDANCY_VILAMB_HH

@@ -10,8 +10,7 @@
  * 2 LLC ways reserved for redundancy caching and 1 way for data diffs.
  */
 
-#ifndef TVARAK_SIM_CONFIG_HH
-#define TVARAK_SIM_CONFIG_HH
+#pragma once
 
 #include <cstddef>
 
@@ -160,4 +159,3 @@ struct SimConfig {
 
 }  // namespace tvarak
 
-#endif  // TVARAK_SIM_CONFIG_HH

@@ -8,8 +8,7 @@
  * inform() - plain status output.
  */
 
-#ifndef TVARAK_SIM_LOG_HH
-#define TVARAK_SIM_LOG_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,4 +44,3 @@ std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
         if (cond) { fatal(__VA_ARGS__); } \
     } while (0)
 
-#endif  // TVARAK_SIM_LOG_HH

@@ -8,8 +8,7 @@
  * theta ~= 0.99 plus a hot-set remap reproduces that).
  */
 
-#ifndef TVARAK_SIM_RNG_HH
-#define TVARAK_SIM_RNG_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -86,4 +85,3 @@ class HotSetGenerator
 
 }  // namespace tvarak
 
-#endif  // TVARAK_SIM_RNG_HH

@@ -9,8 +9,7 @@
  * cache accesses split by level including the on-TVARAK cache.
  */
 
-#ifndef TVARAK_SIM_STATS_HH
-#define TVARAK_SIM_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -119,4 +118,3 @@ struct Stats {
 
 }  // namespace tvarak
 
-#endif  // TVARAK_SIM_STATS_HH

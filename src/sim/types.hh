@@ -15,8 +15,7 @@
  * (DIMM, media page) pair and defines the RAID-5 parity geometry.
  */
 
-#ifndef TVARAK_SIM_TYPES_HH
-#define TVARAK_SIM_TYPES_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -134,4 +133,3 @@ isDaxAddr(Addr a)
 
 }  // namespace tvarak
 
-#endif  // TVARAK_SIM_TYPES_HH

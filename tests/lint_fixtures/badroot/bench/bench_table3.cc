@@ -1,0 +1,9 @@
+#include <cstdio>
+
+int
+main()
+{
+    unsigned long dimms = 4;
+    std::printf("dimms %lu\n", dimms);
+    return 0;
+}

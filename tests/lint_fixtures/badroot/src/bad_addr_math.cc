@@ -1,0 +1,20 @@
+// Seeded violations: naked geometry literals in address math (R1).
+using Addr = unsigned long long;
+
+Addr
+lineOffsetOf(Addr addr)
+{
+    return addr & 63;
+}
+
+Addr
+pageNumberOf(Addr addr)
+{
+    return addr / 4096;
+}
+
+Addr
+allowedPageNumberOf(Addr addr)
+{
+    return addr / 4096;  // lint:allow(R1) suppression must hold
+}

@@ -1,0 +1,5 @@
+#include <cstddef>
+
+using namespace std;
+
+std::size_t fixtureValue();

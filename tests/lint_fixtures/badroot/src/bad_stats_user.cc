@@ -1,0 +1,6 @@
+// Seeded violation: typo'd stats key splits a counter (R2).
+const char *
+typoKey()
+{
+    return "cache.l1.misess";
+}

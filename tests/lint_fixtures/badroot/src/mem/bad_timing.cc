@@ -1,0 +1,8 @@
+// Seeded violations: timing constants inlined in a memory model (R5).
+double
+nvmReadPenalty(double cycles)
+{
+    double latencyNs = 60.0;
+    unsigned long fooLatency = 27;
+    return cycles * latencyNs + static_cast<double>(fooLatency);
+}

@@ -1,0 +1,6 @@
+#pragma once
+
+struct FixtureParams {
+    unsigned long dimms = 4;
+    unsigned long undocumentedKnob = 7;
+};

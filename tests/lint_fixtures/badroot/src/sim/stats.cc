@@ -1,0 +1,10 @@
+// Seeded violation: "cache.l1.misses" is registered twice (R2).
+#include <ostream>
+
+void
+dump(std::ostream &os)
+{
+    os << "cache.l1.accesses  " << 1 << "\n"
+       << "cache.l1.misses    " << 2 << "\n"
+       << "cache.l1.misses    " << 2 << "\n";
+}

@@ -1,0 +1,10 @@
+#include <cstdio>
+
+int
+main()
+{
+    unsigned long dimms = 4;
+    double readNs = 60.0;
+    std::printf("dimms  %lu\nreadNs %f\n", dimms, readNs);
+    return 0;
+}

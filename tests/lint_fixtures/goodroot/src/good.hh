@@ -1,0 +1,11 @@
+#pragma once
+
+namespace fixture {
+
+inline int
+answer()
+{
+    return 42;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture stats registry: the dump below is the single source of
+// truth for stats keys, exactly like the real Stats::dump.
+#include <ostream>
+
+void
+dump(std::ostream &os)
+{
+    os << "cache.l1.accesses  " << 1 << "\n"
+       << "cache.l1.misses    " << 2 << "\n"
+       << "mem.nvm.reads      " << 3 << "\n";
+}

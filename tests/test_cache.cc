@@ -10,6 +10,9 @@
 namespace tvarak {
 namespace {
 
+// Line index probed by the insert/probe tests.
+constexpr std::size_t kProbeLine = 8;
+
 TEST(Cache, FromSizeGeometry)
 {
     Cache c = Cache::fromSize("t", 64 * 1024, 16);
@@ -28,10 +31,10 @@ TEST(Cache, InsertThenProbeHits)
 {
     Cache c("t", 4, 2);
     Cache::Victim v;
-    Cache::Line &line = c.insert(kLineBytes * 8, v);
+    Cache::Line &line = c.insert(kLineBytes * kProbeLine, v);
     EXPECT_FALSE(v.valid);
-    EXPECT_EQ(line.addr, kLineBytes * 8);
-    EXPECT_EQ(c.probe(kLineBytes * 8), &line);
+    EXPECT_EQ(line.addr, kLineBytes * kProbeLine);
+    EXPECT_EQ(c.probe(kLineBytes * kProbeLine), &line);
 }
 
 TEST(Cache, LruEvictionOrder)

@@ -20,6 +20,9 @@
 namespace tvarak {
 namespace {
 
+// Size of the checkpointed test file, in pages.
+constexpr std::size_t kFilePages = 8;
+
 struct TempImage {
     std::string path;
     TempImage()
@@ -65,7 +68,7 @@ TEST(Checkpoint, UnflushedDataDoesNotSurvive)
     TempImage img;
     MemorySystem mem(test::smallConfig(), DesignKind::Baseline);
     DaxFs fs(mem);
-    int fd = fs.create("data", 8 * kPageBytes);
+    int fd = fs.create("data", kFilePages * kPageBytes);
     Addr base = fs.daxMap(fd);
     mem.write64(0, base, 0xAAAA);
     mem.flushAll();

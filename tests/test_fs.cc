@@ -18,6 +18,9 @@
 namespace tvarak {
 namespace {
 
+// Default test-file size, in pages.
+constexpr std::size_t kFilePages = 8;
+
 class FsTest : public ::testing::Test
 {
   protected:
@@ -44,8 +47,8 @@ TEST_F(FsTest, SizesArePageRounded)
 
 TEST_F(FsTest, FilesGetDisjointPages)
 {
-    int a = fs.create("a", 8 * kPageBytes);
-    int b = fs.create("b", 8 * kPageBytes);
+    int a = fs.create("a", kFilePages * kPageBytes);
+    int b = fs.create("b", kFilePages * kPageBytes);
     for (std::size_t i = 0; i < 8; i++) {
         for (std::size_t j = 0; j < 8; j++)
             EXPECT_NE(fs.filePage(a, i), fs.filePage(b, j));
@@ -97,10 +100,10 @@ TEST_F(FsTest, UnmapRestoresPageChecksums)
 
 TEST_F(FsTest, MapUnmapRoundtripPreservesData)
 {
-    int fd = fs.create("g", 8 * kPageBytes);
+    int fd = fs.create("g", kFilePages * kPageBytes);
     Addr base = fs.daxMap(fd);
     Rng rng(9);
-    std::vector<std::uint64_t> vals(8 * kLinesPerPage);
+    std::vector<std::uint64_t> vals(kFilePages * kLinesPerPage);
     for (std::size_t i = 0; i < vals.size(); i++) {
         vals[i] = rng.next();
         mem.write64(0, base + i * kLineBytes, vals[i]);
@@ -116,7 +119,7 @@ TEST_F(FsTest, MapUnmapRoundtripPreservesData)
 
 TEST_F(FsTest, PwritePreadRoundtripUnmapped)
 {
-    int fd = fs.create("h", 8 * kPageBytes);
+    int fd = fs.create("h", kFilePages * kPageBytes);
     std::vector<std::uint8_t> w(3000);
     Rng rng(1);
     for (auto &b : w)
@@ -187,7 +190,7 @@ TEST_F(FsTest, NvmFullIsFatal)
 
 TEST_F(FsTest, RemoveRecyclesPages)
 {
-    int a = fs.create("doomed", 8 * kPageBytes);
+    int a = fs.create("doomed", kFilePages * kPageBytes);
     Addr first_page = fs.filePage(a, 0);
     Addr base = fs.daxMap(a);
     mem.write64(0, base + 64, 0xdead);
@@ -201,7 +204,7 @@ TEST_F(FsTest, RemoveRecyclesPages)
 
     // A new file of the same size reuses the extent, reads as zero,
     // and is fully functional.
-    int b = fs.create("reborn", 8 * kPageBytes);
+    int b = fs.create("reborn", kFilePages * kPageBytes);
     EXPECT_EQ(fs.filePage(b, 0), first_page) << "extent recycled";
     Addr base2 = fs.daxMap(b);
     EXPECT_EQ(mem.read64(0, base2 + 64), 0u)
@@ -213,7 +216,7 @@ TEST_F(FsTest, RemoveRecyclesPages)
 
 TEST_F(FsTest, RemoveSplitsAndReusesPartially)
 {
-    int a = fs.create("big", 8 * kPageBytes);
+    int a = fs.create("big", kFilePages * kPageBytes);
     Addr first = fs.filePage(a, 0);
     fs.remove(a);
     int b = fs.create("small1", 3 * kPageBytes);

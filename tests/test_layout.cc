@@ -79,8 +79,9 @@ TEST_P(LayoutGeometry, NthDataPageSkipsParityAndCoversAll)
         Addr page = layout.nthDataPage(i);
         EXPECT_FALSE(layout.isParityPage(page)) << "i=" << i;
         EXPECT_TRUE(seen.insert(page).second) << "duplicate at " << i;
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GT(page, layout.nthDataPage(i - 1));
+        }
     }
 }
 
@@ -124,7 +125,8 @@ TEST(Layout, DaxClChecksumPacking)
     for (std::size_t l = 0; l < kChecksumsPerLine; l++) {
         EXPECT_EQ(layout.daxClCsumLine(page + l * kLineBytes), first);
     }
-    EXPECT_NE(layout.daxClCsumLine(page + 8 * kLineBytes), first);
+    EXPECT_NE(layout.daxClCsumLine(page + kChecksumsPerLine * kLineBytes),
+              first);
     // Entries are 8 bytes apart.
     EXPECT_EQ(layout.daxClCsumAddr(page + kLineBytes) -
                   layout.daxClCsumAddr(page),
@@ -138,6 +140,72 @@ TEST(Layout, PageChecksumEntriesDistinct)
     for (std::size_t i = 0; i < 512; i++)
         entries.insert(layout.pageCsumAddr(layout.nthDataPage(i)));
     EXPECT_EQ(entries.size(), 512u);
+}
+
+//
+// Boundary geometry: the device edges and region seams where
+// off-by-one bugs in the address maths would hide.
+//
+
+TEST(LayoutBoundary, LastLineOfStripeKeepsParityGeometry)
+{
+    Layout layout(32ull << 20, 4);
+    std::size_t dimms = layout.dimms();
+    // Check the first and the very last stripe of the device: the
+    // final line of the stripe's last data page must map to the same
+    // in-page offset of that stripe's parity page, inside the device.
+    for (std::size_t s : {std::size_t{0}, layout.stripes() - 1}) {
+        Addr row = layout.dataBase() +
+            static_cast<Addr>(s) * dimms * kPageBytes;
+        Addr parity = layout.parityPageOf(row);
+        Addr last_page = row + (dimms - 1) * kPageBytes;
+        if (last_page == parity)
+            last_page -= kPageBytes;
+        Addr last_line = last_page + (kLinesPerPage - 1) * kLineBytes;
+        EXPECT_EQ(layout.stripeOf(last_line), s);
+        Addr parity_line = layout.parityLineOf(last_line);
+        EXPECT_EQ(lineInPage(parity_line), kLinesPerPage - 1);
+        EXPECT_EQ(pageBase(parity_line), parity);
+        EXPECT_LE(parity_line + kLineBytes, layout.end());
+    }
+}
+
+TEST(LayoutBoundary, ParityRotationMatchesFig3For4And8Dimms)
+{
+    // Stripe s keeps parity on member N-1 - s % N; growing the array
+    // from 4 to 8 DIMMs must preserve exactly this rotation schedule.
+    for (std::size_t dimms : {std::size_t{4}, std::size_t{8}}) {
+        Layout layout(64ull << 20, dimms);
+        for (std::size_t s = 0; s < 3 * dimms; s++) {
+            Addr row = layout.dataBase() +
+                static_cast<Addr>(s) * dimms * kPageBytes;
+            Addr parity = layout.parityPageOf(row);
+            std::size_t member =
+                static_cast<std::size_t>((parity - row) / kPageBytes);
+            EXPECT_EQ(member, dimms - 1 - s % dimms)
+                << "dimms=" << dimms << " stripe=" << s;
+        }
+    }
+}
+
+TEST(LayoutBoundary, ChecksumSlotPackingWrapsAtLineBoundary)
+{
+    Layout layout(32ull << 20, 4);
+    // Walking lines across a checksum-line seam must fill slots
+    // 0..kChecksumsPerLine-1 and then wrap to slot 0 of the next one.
+    Addr page = layout.dataBase();
+    for (std::size_t l = 0; l < 2 * kChecksumsPerLine; l++) {
+        Addr a = page + l * kLineBytes;
+        EXPECT_EQ(lineOffset(layout.daxClCsumAddr(a)),
+                  (l % kChecksumsPerLine) * kChecksumBytes)
+            << "l=" << l;
+    }
+    // The very last data line's checksum lands in the final (possibly
+    // partially used) checksum line, still below the data region.
+    Addr last = layout.end() - kLineBytes;
+    EXPECT_GE(layout.daxClCsumLine(last), layout.daxClBase());
+    EXPECT_LE(layout.daxClCsumAddr(last) + kChecksumBytes,
+              layout.dataBase());
 }
 
 }  // namespace

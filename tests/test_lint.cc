@@ -1,0 +1,200 @@
+/**
+ * @file
+ * tvarak-lint rule-engine tests: lexer behaviour, config-field
+ * extraction, exact rule hits over the seeded fixture trees
+ * (tests/lint_fixtures/), suppression handling, and the requirement
+ * that the repo itself stays lint-clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace tvarak::lint {
+namespace {
+
+std::vector<Finding>
+runOn(const std::string &root)
+{
+    Options opts;
+    opts.root = root;
+    return run(opts);
+}
+
+std::map<std::string, int>
+countByRule(const std::vector<Finding> &findings)
+{
+    std::map<std::string, int> n;
+    for (const Finding &f : findings)
+        n[f.rule]++;
+    return n;
+}
+
+bool
+hasFinding(const std::vector<Finding> &findings, const std::string &file,
+           std::size_t line, const std::string &rule)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const Finding &f) {
+                           return f.file == file && f.line == line &&
+                               f.rule == rule;
+                       });
+}
+
+// ------------------------------------------------------------- lexer
+
+TEST(LintLexer, StripsCommentsButKeepsLineStructure)
+{
+    SourceFile f = lexText("int a; // trailing 64\n"
+                           "/* block\n"
+                           "   spanning */ int b;\n",
+                           "t.cc");
+    ASSERT_EQ(f.code.size(), 3u);
+    EXPECT_EQ(f.code[0].substr(0, 6), "int a;");
+    EXPECT_EQ(f.code[0].find("64"), std::string::npos);
+    EXPECT_EQ(f.code[1].find("block"), std::string::npos);
+    EXPECT_NE(f.code[2].find("int b;"), std::string::npos);
+}
+
+TEST(LintLexer, ExtractsStringLiteralsWithLineNumbers)
+{
+    SourceFile f = lexText("const char *a = \"cache.l1.misses\";\n"
+                           "const char *b = \"plain\";\n",
+                           "t.cc");
+    ASSERT_EQ(f.strings.size(), 2u);
+    EXPECT_EQ(f.strings[0].line, 1u);
+    EXPECT_EQ(f.strings[0].value, "cache.l1.misses");
+    EXPECT_EQ(f.strings[1].value, "plain");
+    // Literal contents must not leak into the code view.
+    EXPECT_EQ(f.code[0].find("misses"), std::string::npos);
+}
+
+TEST(LintLexer, CharLiteralsAndDigitSeparators)
+{
+    SourceFile f = lexText("char c = '\"'; int n = 1'000'000;\n", "t.cc");
+    EXPECT_TRUE(f.strings.empty()) << "quote inside char literal";
+    EXPECT_NE(f.code[0].find("1'000'000"), std::string::npos);
+}
+
+TEST(LintLexer, SuppressionAppliesToSameAndNextLine)
+{
+    SourceFile f = lexText("// lint:allow(R1, R4)\n"
+                           "int a;\n"
+                           "int b;\n",
+                           "t.cc");
+    EXPECT_TRUE(f.allows("R1", 1));
+    EXPECT_TRUE(f.allows("R4", 2));
+    EXPECT_TRUE(f.allows("R1", 2));
+    EXPECT_FALSE(f.allows("R2", 2));
+    EXPECT_FALSE(f.allows("R1", 3));
+}
+
+// ------------------------------------------------- config-field parse
+
+TEST(LintConfig, ParsesMembersSkipsFunctionsAndEnums)
+{
+    SourceFile f = lexText(
+        "enum class Kind { A, B };\n"
+        "struct Inner {\n"
+        "    std::size_t sizeBytes;\n"
+        "    double factor = 0.25;\n"
+        "    Thing braceInit{1, 2, 3};\n"
+        "    Cycles toCycles(double ns) const\n"
+        "    {\n"
+        "        return static_cast<Cycles>(ns);\n"
+        "    }\n"
+        "    void validate() const;\n"
+        "};\n",
+        "config.hh");
+    std::vector<ConfigField> fields = parseConfigFields(f);
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0].structName, "Inner");
+    EXPECT_EQ(fields[0].name, "sizeBytes");
+    EXPECT_EQ(fields[0].line, 3u);
+    EXPECT_EQ(fields[1].name, "factor");
+    EXPECT_EQ(fields[2].name, "braceInit");
+}
+
+TEST(LintConfig, ParsesTheRealConfigHeader)
+{
+    SourceFile f = lexFile(std::string(TVARAK_REPO_ROOT) +
+                               "/src/sim/config.hh",
+                           "src/sim/config.hh");
+    std::vector<ConfigField> fields = parseConfigFields(f);
+    auto has = [&](const char *s, const char *n) {
+        return std::any_of(fields.begin(), fields.end(),
+                           [&](const ConfigField &c) {
+                               return c.structName == s && c.name == n;
+                           });
+    };
+    EXPECT_TRUE(has("CacheParams", "sizeBytes"));
+    EXPECT_TRUE(has("NvmParams", "occupancyWriteFactor"));
+    EXPECT_TRUE(has("TvarakParams", "useDataDiffs"));
+    EXPECT_TRUE(has("SimConfig", "prefetchDegree"));
+    EXPECT_TRUE(has("SimConfig", "llcBank"));
+    // Member functions and enums must not show up as fields.
+    EXPECT_FALSE(has("SimConfig", "nsToCycles"));
+    EXPECT_FALSE(has("SimConfig", "validate"));
+    EXPECT_FALSE(has("DesignKind", "Baseline"));
+}
+
+// -------------------------------------------------------- fixtures
+
+const std::string kFixtures = TVARAK_LINT_FIXTURES;
+
+TEST(LintFixtures, GoodRootIsClean)
+{
+    std::vector<Finding> findings = runOn(kFixtures + "/goodroot");
+    for (const Finding &f : findings)
+        ADD_FAILURE() << f.str();
+}
+
+TEST(LintFixtures, BadRootTripsEveryRuleExactly)
+{
+    std::vector<Finding> findings = runOn(kFixtures + "/badroot");
+    std::map<std::string, int> n = countByRule(findings);
+    EXPECT_EQ(n["R1"], 2) << "naked 63 mask + naked 4096 divide";
+    EXPECT_EQ(n["R2"], 2) << "duplicate registration + typo'd key";
+    EXPECT_EQ(n["R3"], 2) << "undocumentedKnob missing from dump and doc";
+    EXPECT_EQ(n["R4"], 2) << "missing guard + using namespace";
+    EXPECT_EQ(n["R5"], 2) << "inline float + inline latency assignment";
+    EXPECT_EQ(findings.size(), 10u);
+}
+
+TEST(LintFixtures, BadRootFindingLocations)
+{
+    std::vector<Finding> findings = runOn(kFixtures + "/badroot");
+    EXPECT_TRUE(hasFinding(findings, "src/bad_addr_math.cc", 7, "R1"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_addr_math.cc", 13, "R1"));
+    EXPECT_TRUE(hasFinding(findings, "src/sim/stats.cc", 9, "R2"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_stats_user.cc", 5, "R2"));
+    EXPECT_TRUE(hasFinding(findings, "src/sim/config.hh", 5, "R3"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_header.hh", 1, "R4"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_header.hh", 3, "R4"));
+    EXPECT_TRUE(hasFinding(findings, "src/mem/bad_timing.cc", 5, "R5"));
+    EXPECT_TRUE(hasFinding(findings, "src/mem/bad_timing.cc", 6, "R5"));
+}
+
+TEST(LintFixtures, SuppressedSiteStaysQuiet)
+{
+    std::vector<Finding> findings = runOn(kFixtures + "/badroot");
+    EXPECT_FALSE(hasFinding(findings, "src/bad_addr_math.cc", 19, "R1"))
+        << "lint:allow(R1) on the line must suppress the finding";
+}
+
+// ------------------------------------------------------------- repo
+
+TEST(LintRepo, RepositoryIsLintClean)
+{
+    std::vector<Finding> findings = runOn(TVARAK_REPO_ROOT);
+    for (const Finding &f : findings)
+        ADD_FAILURE() << f.str();
+}
+
+}  // namespace
+}  // namespace tvarak::lint

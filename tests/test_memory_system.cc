@@ -18,6 +18,11 @@
 namespace tvarak {
 namespace {
 
+// Size of the DAX-backed test file, in pages; kColdPage is an index
+// far enough in to be untouched (and thus uncached) by earlier tests.
+constexpr std::size_t kFilePages = 64;
+constexpr std::size_t kColdPage = 8;
+
 class MemorySystemTest : public ::testing::Test
 {
   protected:
@@ -56,7 +61,7 @@ TEST_F(MemorySystemTest, UnmappedAccessDies)
 
 TEST_F(MemorySystemTest, NvmRoundtripThroughDaxFile)
 {
-    int fd = fs.create("f", 64 * kPageBytes);
+    int fd = fs.create("f", kFilePages * kPageBytes);
     Addr base = fs.daxMap(fd);
     std::uint8_t w[3 * kLineBytes];
     for (std::size_t i = 0; i < sizeof(w); i++)
@@ -107,7 +112,7 @@ TEST_F(MemorySystemTest, LoadLatencyChargedStoreCheap)
     EXPECT_GE(load_cycles, cfg.nsToCycles(cfg.nvm.readNs));
 
     mem.stats().reset();
-    mem.write64(0, base + 8 * kPageBytes, 1);  // cold store
+    mem.write64(0, base + kColdPage * kPageBytes, 1);  // cold store
     // Only a storeMissLatencyFactor fraction of the miss path stalls
     // the thread (store-queue draining), so a cold store is far
     // cheaper than a cold load.

@@ -141,9 +141,10 @@ TEST(TxBObject, ObjectChecksumsVerifyAfterCommits)
     auto scheme = makeScheme(DesignKind::TxBObjectCsums, mem);
     PmemPool pool(mem, fs, "p", 2ull << 20, scheme.get(), 2);
 
+    constexpr std::size_t kObjSizeStep = 8;
     std::vector<Addr> objs;
     for (int i = 0; i < 16; i++) {
-        Addr o = pool.alloc(0, 48 + i * 8);
+        Addr o = pool.alloc(0, 48 + i * kObjSizeStep);
         pool.txBegin(0);
         std::uint64_t v = static_cast<std::uint64_t>(i) * 0x1111;
         pool.txWrite(0, o, &v, 8);

@@ -14,13 +14,18 @@
 namespace tvarak {
 namespace {
 
+// Size of the DAX-backed test file, in pages; kColdPage is an index
+// whose lines no prior access has pulled into any cache.
+constexpr std::size_t kFilePages = 64;
+constexpr std::size_t kColdPage = 8;
+
 class PrefetchTest : public ::testing::Test
 {
   protected:
     PrefetchTest()
         : mem(test::smallConfig(), DesignKind::Baseline), fs(mem)
     {
-        fd = fs.create("f", 64 * kPageBytes);
+        fd = fs.create("f", kFilePages * kPageBytes);
         base = fs.daxMap(fd);
     }
 
@@ -62,8 +67,8 @@ TEST_F(PrefetchTest, PrefetchStopsAtPageBoundary)
 {
     mem.stats().reset();
     // Arm at the last two lines of a page.
-    (void)mem.read64(0, base + 62 * kLineBytes);
-    (void)mem.read64(0, base + 63 * kLineBytes);
+    (void)mem.read64(0, base + (kLinesPerPage - 2) * kLineBytes);
+    (void)mem.read64(0, base + (kLinesPerPage - 1) * kLineBytes);
     // Degree-4 prefetch would cross into the next page; it must not.
     EXPECT_EQ(mem.stats().nvmDataReads, 2u);
 }
@@ -71,8 +76,8 @@ TEST_F(PrefetchTest, PrefetchStopsAtPageBoundary)
 TEST_F(PrefetchTest, StoresDoNotTrainThePrefetcher)
 {
     mem.stats().reset();
-    mem.write64(0, base + 8 * kPageBytes, 1);
-    mem.write64(0, base + 8 * kPageBytes + kLineBytes, 2);
+    mem.write64(0, base + kColdPage * kPageBytes, 1);
+    mem.write64(0, base + kColdPage * kPageBytes + kLineBytes, 2);
     // Write-allocate fills only; no speculative reads.
     EXPECT_EQ(mem.stats().nvmDataReads, 2u);
 }

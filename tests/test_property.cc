@@ -126,7 +126,8 @@ TEST(MapUnmapProperty, RepeatedCyclesPreserveDataAndCoverage)
 {
     MemorySystem mem(test::smallConfig(), DesignKind::Tvarak);
     DaxFs fs(mem);
-    const std::size_t bytes = 8 * kPageBytes;
+    constexpr std::size_t kFilePages = 8;
+    const std::size_t bytes = kFilePages * kPageBytes;
     int fd = fs.create("cycling", bytes);
     std::vector<std::uint8_t> shadow(bytes, 0);
     Rng rng(55);

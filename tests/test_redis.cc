@@ -142,8 +142,9 @@ TEST_F(RedisTest, DelRemovesKeys)
     for (std::uint64_t id = 0; id < 30; id++) {
         key(id, k);
         EXPECT_EQ(store.get(0, k, &r), id != 13) << id;
-        if (id != 13)
+        if (id != 13) {
             EXPECT_EQ(r, id);
+        }
     }
 }
 

@@ -238,8 +238,9 @@ TEST(RBTree, InvariantsHoldDuringErase)
     }
     for (std::size_t i = 0; i < keys.size(); i++) {
         ASSERT_TRUE(tree.erase(0, keys[i]));
-        if (i % 25 == 0)
+        if (i % 25 == 0) {
             ASSERT_GT(tree.checkInvariants(0), 0) << "after " << i;
+        }
     }
     EXPECT_GT(tree.checkInvariants(0), 0);
 }
@@ -254,8 +255,9 @@ TEST(RBTree, InvariantsHoldDuringInserts)
     std::uint8_t buf[64] = {};
     for (int i = 0; i < 500; i++) {
         tree.insert(0, rng.next(), buf);
-        if (i % 50 == 0)
+        if (i % 50 == 0) {
             ASSERT_GT(tree.checkInvariants(0), 0) << "after " << i;
+        }
     }
     EXPECT_GT(tree.checkInvariants(0), 0);
 }

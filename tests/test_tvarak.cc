@@ -26,10 +26,13 @@
 namespace tvarak {
 namespace {
 
+// Size of the DAX-backed test file, in pages.
+constexpr std::size_t kFilePages = 64;
+
 /** Verify all at-rest redundancy for a mapped file: every line's
  *  DAX-CL-checksum and every stripe's parity. */
 ::testing::AssertionResult
-atRestConsistent(MemorySystem &mem, DaxFs &fs, int fd)
+atRestConsistent(MemorySystem &mem, DaxFs &fs, int /*fd*/)
 {
     mem.flushAll();
     std::size_t bad = fs.scrub(false);
@@ -52,7 +55,7 @@ class TvarakTest : public ::testing::Test
     {
         mem = std::make_unique<MemorySystem>(cfg, design);
         fs = std::make_unique<DaxFs>(*mem);
-        fd = fs->create("data", 64 * kPageBytes);
+        fd = fs->create("data", kFilePages * kPageBytes);
         base = fs->daxMap(fd);
     }
 
@@ -97,7 +100,7 @@ TEST_F(TvarakTest, RandomWorkloadKeepsInvariants)
     build(DesignKind::Tvarak);
     Rng rng(42);
     for (int i = 0; i < 20000; i++) {
-        Addr a = base + rng.nextBounded(64 * kPageBytes - 8);
+        Addr a = base + rng.nextBounded(kFilePages * kPageBytes - 8);
         if (rng.nextBool(0.5))
             mem->write64(static_cast<int>(rng.nextBounded(2)), a,
                          rng.next());

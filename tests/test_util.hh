@@ -4,8 +4,7 @@
  * configuration and common assertions.
  */
 
-#ifndef TVARAK_TESTS_TEST_UTIL_HH
-#define TVARAK_TESTS_TEST_UTIL_HH
+#pragma once
 
 #include "sim/config.hh"
 
@@ -30,4 +29,3 @@ smallConfig()
 
 }  // namespace tvarak::test
 
-#endif  // TVARAK_TESTS_TEST_UTIL_HH

@@ -71,7 +71,8 @@ TEST(Stream, TriadComputesRealValues)
     DaxFs fs(mem);
     StreamWorkload::Params p;
     p.kernel = StreamWorkload::Kernel::Triad;
-    p.chunkBytes = 64 * kPageBytes;
+    constexpr std::size_t kChunkPages = 64;
+    p.chunkBytes = kChunkPages * kPageBytes;
     StreamWorkload w(mem, fs, 0, nullptr, p);
     w.setup();
     while (w.step()) {}

@@ -1,0 +1,838 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace tvarak::lint {
+
+std::string
+Finding::str() const
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": [" << rule << "] " << message;
+    return os.str();
+}
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** One lexical token of a blanked code line. */
+struct Tok {
+    enum Kind { Ident, Number, Punct };
+    Kind kind;
+    std::string text;
+    std::size_t line;  //!< 1-based
+    std::size_t col;   //!< 0-based start column
+};
+
+/** Tokenize one code line (comments/literals already blanked). */
+void
+tokenizeLine(const std::string &code, std::size_t lineNo,
+             std::vector<Tok> &out)
+{
+    std::size_t i = 0;
+    while (i < code.size()) {
+        char c = code[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            // Numbers incl. hex, digit separators, suffixes, floats.
+            while (j < code.size() &&
+                   (isIdentChar(code[j]) || code[j] == '\'' ||
+                    code[j] == '.' ||
+                    ((code[j] == '+' || code[j] == '-') && j > i &&
+                     (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                      code[j - 1] == 'p' || code[j - 1] == 'P'))))
+                j++;
+            out.push_back({Tok::Number, code.substr(i, j - i), lineNo, i});
+            i = j;
+        } else if (isIdentChar(c)) {
+            std::size_t j = i;
+            while (j < code.size() && isIdentChar(code[j]))
+                j++;
+            out.push_back({Tok::Ident, code.substr(i, j - i), lineNo, i});
+            i = j;
+        } else {
+            out.push_back({Tok::Punct, std::string(1, c), lineNo, i});
+            i++;
+        }
+    }
+}
+
+/** Numeric value of a number token (integers only; 0 for floats). */
+std::uint64_t
+numberValue(const std::string &text)
+{
+    std::string t;
+    for (char c : text)
+        if (c != '\'')
+            t += c;
+    if (t.find('.') != std::string::npos)
+        return 0;
+    return std::strtoull(t.c_str(), nullptr, 0);
+}
+
+bool
+isFloatLiteral(const std::string &text)
+{
+    if (text.size() > 1 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X'))
+        return false;  // hex
+    if (text.find('.') != std::string::npos)
+        return true;
+    // 1e9 style.
+    return text.find('e') != std::string::npos ||
+        text.find('E') != std::string::npos;
+}
+
+}  // namespace
+
+bool
+SourceFile::allows(const std::string &rule, std::size_t line) const
+{
+    auto lineAllows = [&](std::size_t n) {
+        if (n < 1 || n > raw.size())
+            return false;
+        const std::string &s = raw[n - 1];
+        std::size_t p = s.find("lint:allow(");
+        if (p == std::string::npos)
+            return false;
+        std::size_t open = p + std::string("lint:allow(").size() - 1;
+        std::size_t close = s.find(')', open);
+        if (close == std::string::npos)
+            return false;
+        std::string list = s.substr(open + 1, close - open - 1);
+        std::istringstream is(list);
+        std::string item;
+        while (std::getline(is, item, ',')) {
+            item.erase(0, item.find_first_not_of(" \t"));
+            item.erase(item.find_last_not_of(" \t") + 1);
+            if (item == rule)
+                return true;
+        }
+        return false;
+    };
+    return lineAllows(line) || lineAllows(line - 1);
+}
+
+SourceFile
+lexText(const std::string &text, const std::string &reportPath)
+{
+    SourceFile f;
+    f.path = reportPath;
+
+    {
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line))
+            f.raw.push_back(line);
+        if (!text.empty() && text.back() == '\n') {
+            // getline drops the final empty segment; nothing to add.
+        }
+    }
+
+    enum State { Code, LineComment, BlockComment, Str, Chr };
+    State st = Code;
+    std::string code;
+    std::string lit;
+    std::size_t litLine = 1;
+    std::size_t lineNo = 1;
+
+    for (std::size_t i = 0; i < text.size(); i++) {
+        char c = text[i];
+        char n = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == LineComment || st == Str || st == Chr)
+                st = Code;  // unterminated literal: recover
+            f.code.push_back(code);
+            code.clear();
+            lineNo++;
+            continue;
+        }
+        switch (st) {
+        case Code:
+            if (c == '/' && n == '/') {
+                st = LineComment;
+                code += "  ";
+                i++;
+            } else if (c == '/' && n == '*') {
+                st = BlockComment;
+                code += "  ";
+                i++;
+            } else if (c == '"') {
+                st = Str;
+                lit.clear();
+                litLine = lineNo;
+                code += ' ';
+            } else if (c == '\'') {
+                // Digit separator (1'000) vs char literal.
+                if (i > 0 && isIdentChar(text[i - 1]) &&
+                    std::isdigit(static_cast<unsigned char>(text[i - 1]))) {
+                    code += c;
+                } else {
+                    st = Chr;
+                    code += ' ';
+                }
+            } else {
+                code += c;
+            }
+            break;
+        case LineComment:
+            code += ' ';
+            break;
+        case BlockComment:
+            code += ' ';
+            if (c == '*' && n == '/') {
+                st = Code;
+                code += ' ';
+                i++;
+            }
+            break;
+        case Str:
+            if (c == '\\' && n != '\0') {
+                lit += c;
+                lit += n;
+                code += "  ";
+                i++;
+            } else if (c == '"') {
+                st = Code;
+                f.strings.push_back({litLine, lit});
+                code += ' ';
+            } else {
+                lit += c;
+                code += ' ';
+            }
+            break;
+        case Chr:
+            if (c == '\\' && n != '\0') {
+                code += "  ";
+                i++;
+            } else if (c == '\'') {
+                st = Code;
+                code += ' ';
+            } else {
+                code += ' ';
+            }
+            break;
+        }
+    }
+    if (!code.empty() || f.code.size() < f.raw.size())
+        f.code.push_back(code);
+    while (f.code.size() < f.raw.size())
+        f.code.emplace_back();
+    return f;
+}
+
+SourceFile
+lexFile(const fs::path &file, const std::string &reportPath)
+{
+    std::ifstream is(file, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return lexText(buf.str(), reportPath);
+}
+
+std::vector<ConfigField>
+parseConfigFields(const SourceFile &f)
+{
+    std::vector<Tok> toks;
+    for (std::size_t i = 0; i < f.code.size(); i++)
+        tokenizeLine(f.code[i], i + 1, toks);
+
+    std::vector<ConfigField> fields;
+    std::size_t i = 0;
+    auto skipBalanced = [&](const char *open, const char *close) {
+        // toks[i] is the opener; advance past its match.
+        int depth = 0;
+        for (; i < toks.size(); i++) {
+            if (toks[i].kind == Tok::Punct && toks[i].text == open)
+                depth++;
+            else if (toks[i].kind == Tok::Punct && toks[i].text == close) {
+                depth--;
+                if (depth == 0) {
+                    i++;
+                    return;
+                }
+            }
+        }
+    };
+
+    while (i < toks.size()) {
+        if (toks[i].kind == Tok::Ident && toks[i].text == "enum") {
+            // enum [class] Name { ... };  — skip entirely.
+            while (i < toks.size() &&
+                   !(toks[i].kind == Tok::Punct && toks[i].text == "{"))
+                i++;
+            skipBalanced("{", "}");
+            continue;
+        }
+        if (!(toks[i].kind == Tok::Ident &&
+              (toks[i].text == "struct" || toks[i].text == "class"))) {
+            i++;
+            continue;
+        }
+        i++;
+        if (i >= toks.size() || toks[i].kind != Tok::Ident)
+            continue;
+        std::string structName = toks[i].text;
+        i++;
+        if (i >= toks.size() ||
+            !(toks[i].kind == Tok::Punct && toks[i].text == "{"))
+            continue;  // forward declaration
+        i++;  // past '{'
+
+        std::vector<Tok> stmt;
+        bool done = false;
+        while (i < toks.size() && !done) {
+            const Tok &t = toks[i];
+            if (t.kind == Tok::Punct && t.text == "{") {
+                bool isFunc = std::any_of(
+                    stmt.begin(), stmt.end(), [](const Tok &s) {
+                        return s.kind == Tok::Punct && s.text == "(";
+                    });
+                skipBalanced("{", "}");
+                if (isFunc)
+                    stmt.clear();  // function definition, no trailing ';'
+                continue;
+            }
+            if (t.kind == Tok::Punct && t.text == "}") {
+                done = true;
+                i++;
+                continue;
+            }
+            if (t.kind == Tok::Punct && t.text == ";") {
+                bool hasParen = std::any_of(
+                    stmt.begin(), stmt.end(), [](const Tok &s) {
+                        return s.kind == Tok::Punct && s.text == "(";
+                    });
+                // Truncate at '=' (default member initializer).
+                std::size_t end = stmt.size();
+                for (std::size_t k = 0; k < stmt.size(); k++) {
+                    if (stmt[k].kind == Tok::Punct && stmt[k].text == "=") {
+                        end = k;
+                        break;
+                    }
+                }
+                const Tok *name = nullptr;
+                std::size_t idents = 0;
+                for (std::size_t k = 0; k < end; k++) {
+                    if (stmt[k].kind == Tok::Ident) {
+                        idents++;
+                        name = &stmt[k];
+                    }
+                }
+                if (!hasParen && name && idents >= 2 &&
+                    name->text != "const" && name->text != "static")
+                    fields.push_back({structName, name->text, name->line});
+                stmt.clear();
+                i++;
+                continue;
+            }
+            stmt.push_back(t);
+            i++;
+        }
+    }
+    return fields;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- R1
+
+const std::set<std::uint64_t> kGeometryLiterals = {8, 63, 64, 4095, 4096};
+
+/** Does @p id smell like address arithmetic? */
+bool
+isAddressishIdent(const std::string &id)
+{
+    std::string l = toLower(id);
+    static const char *const kPlain[] = {
+        "addr", "vaddr", "page", "stripe", "csum", "checksum",
+        "offset", "dax", "parity",
+    };
+    for (const char *k : kPlain)
+        if (l.find(k) != std::string::npos)
+            return true;
+    // "line" needs care: inline / baseline / pipeline / newline /
+    // online / deadline are not address math.
+    static const char *const kNotLine[] = {
+        "inline", "baseline", "pipeline", "newline", "online", "deadline",
+    };
+    for (const char *k : kNotLine) {
+        std::size_t p;
+        while ((p = l.find(k)) != std::string::npos)
+            l.replace(p, std::string(k).size(), "#");
+    }
+    return l.find("line") != std::string::npos;
+}
+
+/** Nearest non-space char before @p col (or '\0'), and the one before
+ *  it (to recognise << and >>). */
+std::pair<char, char>
+prevChars(const std::string &s, std::size_t col)
+{
+    std::size_t i = col;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(s[i - 1])))
+        i--;
+    char a = i > 0 ? s[i - 1] : '\0';
+    char b = i > 1 ? s[i - 2] : '\0';
+    return {a, b};
+}
+
+std::pair<char, char>
+nextChars(const std::string &s, std::size_t col)
+{
+    std::size_t i = col;
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i])))
+        i++;
+    char a = i < s.size() ? s[i] : '\0';
+    char b = i + 1 < s.size() ? s[i + 1] : '\0';
+    return {a, b};
+}
+
+bool
+isArithAdjacent(const std::string &code, std::size_t start, std::size_t end)
+{
+    auto isOp = [](char a, char b) {
+        switch (a) {
+        case '*': case '/': case '%': case '&': case '|': case '^':
+            return true;
+        case '<': return b == '<';
+        case '>': return b == '>';
+        default: return false;
+        }
+    };
+    auto [pa, pb] = prevChars(code, start);
+    // For "<< 20" the nearest-prev char of the literal is the second
+    // '<'; pb is the first.
+    if (isOp(pa, pa == '<' || pa == '>' ? pb : '\0') ||
+        ((pa == '<' || pa == '>') && pb == pa))
+        return true;
+    auto [na, nb] = nextChars(code, end);
+    return isOp(na, nb);
+}
+
+void
+ruleR1(const SourceFile &f, std::vector<Finding> &out)
+{
+    // The geometry constants themselves are defined from raw literals.
+    if (f.path.ends_with("sim/types.hh"))
+        return;
+    for (std::size_t ln = 0; ln < f.code.size(); ln++) {
+        const std::string &code = f.code[ln];
+        std::vector<Tok> toks;
+        tokenizeLine(code, ln + 1, toks);
+        bool addressish = std::any_of(
+            toks.begin(), toks.end(), [](const Tok &t) {
+                return t.kind == Tok::Ident && isAddressishIdent(t.text);
+            });
+        if (!addressish)
+            continue;
+        for (const Tok &t : toks) {
+            if (t.kind != Tok::Number || isFloatLiteral(t.text))
+                continue;
+            std::uint64_t v = numberValue(t.text);
+            if (!kGeometryLiterals.count(v))
+                continue;
+            if (!isArithAdjacent(code, t.col, t.col + t.text.size()))
+                continue;
+            if (f.allows("R1", ln + 1))
+                continue;
+            out.push_back(
+                {f.path, ln + 1, "R1",
+                 "naked geometry literal " + t.text +
+                     " in address math; use kLineBytes / kPageBytes / "
+                     "kChecksumBytes / kChecksumsPerLine "
+                     "(sim/types.hh) or a named constant"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R2
+
+bool
+isStatKey(const std::string &raw)
+{
+    std::string s = raw;
+    s.erase(0, s.find_first_not_of(" \t"));
+    s.erase(s.find_last_not_of(" \t") + 1);
+    if (s.empty() ||
+        !std::islower(static_cast<unsigned char>(s[0])))
+        return false;
+    bool sawDot = false;
+    char prev = '\0';
+    for (char c : s) {
+        if (c == '.') {
+            if (prev == '.' || prev == '\0')
+                return false;
+            sawDot = true;
+        } else if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                   c != '_') {
+            return false;
+        }
+        prev = c;
+    }
+    return sawDot && prev != '.';
+}
+
+std::string
+trimmedKey(const std::string &raw)
+{
+    std::string s = raw;
+    s.erase(0, s.find_first_not_of(" \t"));
+    s.erase(s.find_last_not_of(" \t") + 1);
+    return s;
+}
+
+void
+ruleR2(const std::vector<SourceFile> &files, std::vector<Finding> &out)
+{
+    const SourceFile *registry = nullptr;
+    for (const SourceFile &f : files)
+        if (f.path.ends_with("sim/stats.cc"))
+            registry = &f;
+    if (!registry)
+        return;
+
+    std::map<std::string, std::vector<std::size_t>> registered;
+    std::set<std::string> namespaces;
+    for (const auto &lit : registry->strings) {
+        if (!isStatKey(lit.value))
+            continue;
+        std::string key = trimmedKey(lit.value);
+        registered[key].push_back(lit.line);
+        namespaces.insert(key.substr(0, key.find('.')));
+    }
+
+    for (const auto &[key, lines] : registered) {
+        if (lines.size() > 1 && !registry->allows("R2", lines[1]))
+            out.push_back({registry->path, lines[1], "R2",
+                           "stats key '" + key + "' registered " +
+                               std::to_string(lines.size()) +
+                               " times in Stats::dump (first at line " +
+                               std::to_string(lines[0]) + ")"});
+    }
+
+    for (const SourceFile &f : files) {
+        if (&f == registry)
+            continue;
+        for (const auto &lit : f.strings) {
+            if (!isStatKey(lit.value))
+                continue;
+            std::string key = trimmedKey(lit.value);
+            std::string ns = key.substr(0, key.find('.'));
+            if (!namespaces.count(ns) || registered.count(key))
+                continue;
+            if (f.allows("R2", lit.line))
+                continue;
+            out.push_back({f.path, lit.line, "R2",
+                           "stats key '" + key +
+                               "' is not registered in Stats::dump "
+                               "(src/sim/stats.cc) — typo-split counter?"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R3
+
+void
+ruleR3(const Options &opts, std::vector<Finding> &out)
+{
+    fs::path cfgPath = opts.root / "src" / "sim" / "config.hh";
+    fs::path dumpPath = opts.root / "bench" / "bench_table3.cc";
+    fs::path designPath = opts.root / "DESIGN.md";
+    if (!fs::exists(cfgPath))
+        return;
+
+    SourceFile cfg = lexFile(cfgPath, "src/sim/config.hh");
+    std::vector<ConfigField> fields = parseConfigFields(cfg);
+
+    std::set<std::string> dumpIdents;
+    if (fs::exists(dumpPath)) {
+        SourceFile dump = lexFile(dumpPath, "bench/bench_table3.cc");
+        std::vector<Tok> toks;
+        for (std::size_t i = 0; i < dump.code.size(); i++)
+            tokenizeLine(dump.code[i], i + 1, toks);
+        for (const Tok &t : toks)
+            if (t.kind == Tok::Ident)
+                dumpIdents.insert(t.text);
+    }
+
+    // DESIGN.md section 6 as whole-word text.
+    std::string design6;
+    if (fs::exists(designPath)) {
+        std::ifstream is(designPath);
+        std::string line;
+        bool inSec = false;
+        while (std::getline(is, line)) {
+            if (line.rfind("## ", 0) == 0)
+                inSec = line.rfind("## 6", 0) == 0;
+            else if (inSec)
+                design6 += line + "\n";
+        }
+    }
+    auto inDesign = [&](const std::string &word) {
+        std::size_t p = 0;
+        while ((p = design6.find(word, p)) != std::string::npos) {
+            bool lb = p == 0 || !isIdentChar(design6[p - 1]);
+            std::size_t e = p + word.size();
+            bool rb = e >= design6.size() || !isIdentChar(design6[e]);
+            if (lb && rb)
+                return true;
+            p = e;
+        }
+        return false;
+    };
+
+    for (const ConfigField &fld : fields) {
+        if (cfg.allows("R3", fld.line))
+            continue;
+        if (!dumpIdents.count(fld.name))
+            out.push_back({cfg.path, fld.line, "R3",
+                           "config field '" + fld.structName +
+                               "::" + fld.name +
+                               "' missing from the bench_table3 "
+                               "parameter dump (bench/bench_table3.cc)"});
+        if (!inDesign(fld.name))
+            out.push_back({cfg.path, fld.line, "R3",
+                           "config field '" + fld.structName +
+                               "::" + fld.name +
+                               "' missing from DESIGN.md section 6 "
+                               "(config reference)"});
+    }
+}
+
+// ---------------------------------------------------------------- R4
+
+void
+ruleR4(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.path.ends_with(".hh") && !f.path.ends_with(".h"))
+        return;
+
+    // Guard check: first non-blank code line must open a guard.
+    bool guarded = false;
+    std::string firstDirective;
+    for (const std::string &code : f.code) {
+        std::string t = code;
+        t.erase(0, t.find_first_not_of(" \t"));
+        t.erase(t.find_last_not_of(" \t") + 1);
+        if (t.empty())
+            continue;
+        firstDirective = t;
+        break;
+    }
+    if (firstDirective.rfind("#pragma", 0) == 0 &&
+        firstDirective.find("once") != std::string::npos) {
+        guarded = true;
+    } else if (firstDirective.rfind("#ifndef", 0) == 0) {
+        for (const std::string &code : f.code)
+            if (code.find("#define") != std::string::npos) {
+                guarded = true;
+                break;
+            }
+    }
+    if (!guarded && !f.allows("R4", 1))
+        out.push_back({f.path, 1, "R4",
+                       "header has no #pragma once (preferred) or "
+                       "include guard"});
+
+    // `using namespace` at header scope. Namespace braces do not count
+    // as scope depth; function/class braces do.
+    std::vector<Tok> toks;
+    for (std::size_t i = 0; i < f.code.size(); i++)
+        tokenizeLine(f.code[i], i + 1, toks);
+    int depth = 0;
+    bool pendingNs = false;
+    std::vector<bool> nsBrace;
+    for (std::size_t i = 0; i < toks.size(); i++) {
+        const Tok &t = toks[i];
+        if (t.kind == Tok::Ident && t.text == "namespace") {
+            bool usingDirective =
+                i > 0 && toks[i - 1].kind == Tok::Ident &&
+                toks[i - 1].text == "using";
+            if (usingDirective) {
+                if (depth == 0 && !f.allows("R4", t.line))
+                    out.push_back({f.path, t.line, "R4",
+                                   "'using namespace' at header scope "
+                                   "leaks into every includer"});
+            } else {
+                pendingNs = true;
+            }
+        } else if (t.kind == Tok::Punct && t.text == "{") {
+            nsBrace.push_back(pendingNs);
+            if (!pendingNs)
+                depth++;
+            pendingNs = false;
+        } else if (t.kind == Tok::Punct && t.text == "}") {
+            if (!nsBrace.empty()) {
+                if (!nsBrace.back())
+                    depth--;
+                nsBrace.pop_back();
+            }
+        } else if (t.kind == Tok::Punct && t.text == ";") {
+            pendingNs = false;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R5
+
+bool
+isTimingName(const std::string &id)
+{
+    std::string l = toLower(id);
+    static const char *const kSuffixes[] = {
+        "latency", "energy", "cycles", "ns", "ghz", "nanos", "picojoules",
+    };
+    for (const char *s : kSuffixes) {
+        std::string suf(s);
+        if (l.size() >= suf.size() &&
+            l.compare(l.size() - suf.size(), suf.size(), suf) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+ruleR5(const SourceFile &f, std::vector<Finding> &out)
+{
+    bool covered = false;
+    for (const char *dir : {"/mem/", "/nvm/", "/core/"})
+        if (f.path.find(dir) != std::string::npos ||
+            f.path.rfind(std::string(dir).substr(1), 0) == 0)
+            covered = true;
+    if (!covered)
+        return;
+
+    for (std::size_t ln = 0; ln < f.code.size(); ln++) {
+        std::vector<Tok> toks;
+        tokenizeLine(f.code[ln], ln + 1, toks);
+        for (std::size_t i = 0; i < toks.size(); i++) {
+            const Tok &t = toks[i];
+            if (t.kind == Tok::Number && isFloatLiteral(t.text)) {
+                double v = std::strtod(t.text.c_str(), nullptr);
+                if (v == 0.0 || v == 0.5 || v == 1.0)
+                    continue;
+                if (f.allows("R5", ln + 1))
+                    continue;
+                out.push_back({f.path, ln + 1, "R5",
+                               "inline floating-point constant " + t.text +
+                                   " in a timing/energy module; move it "
+                                   "into sim/config.hh"});
+            } else if (t.kind == Tok::Ident && isTimingName(t.text) &&
+                       i + 2 < toks.size() &&
+                       toks[i + 1].kind == Tok::Punct &&
+                       toks[i + 1].text == "=" &&
+                       toks[i + 2].kind == Tok::Number &&
+                       !isFloatLiteral(toks[i + 2].text) &&
+                       numberValue(toks[i + 2].text) >= 2) {
+                if (f.allows("R5", ln + 1))
+                    continue;
+                out.push_back({f.path, ln + 1, "R5",
+                               "timing constant assigned inline ('" +
+                                   t.text + " = " + toks[i + 2].text +
+                                   "'); parameters belong in "
+                                   "sim/config.hh"});
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- file walk
+
+bool
+isSourceExt(const fs::path &p)
+{
+    std::string e = p.extension().string();
+    return e == ".cc" || e == ".hh" || e == ".cpp" || e == ".h";
+}
+
+void
+collect(const fs::path &root, const fs::path &p,
+        std::vector<fs::path> &out)
+{
+    if (fs::is_regular_file(p)) {
+        if (isSourceExt(p))
+            out.push_back(p);
+        return;
+    }
+    if (!fs::is_directory(p))
+        return;
+    for (const auto &e : fs::directory_iterator(p)) {
+        std::string name = e.path().filename().string();
+        if (name == "lint_fixtures" || name == ".git" ||
+            name.rfind("build", 0) == 0)
+            continue;
+        collect(root, e.path(), out);
+    }
+}
+
+}  // namespace
+
+std::vector<Finding>
+run(const Options &opts)
+{
+    std::vector<std::string> paths = opts.paths;
+    if (paths.empty())
+        paths = {"src", "tests", "bench"};
+
+    std::vector<fs::path> files;
+    for (const std::string &p : paths)
+        collect(opts.root, opts.root / p, files);
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
+    for (const fs::path &p : files) {
+        std::string rel = fs::relative(p, opts.root).generic_string();
+        sources.push_back(lexFile(p, rel));
+    }
+
+    std::vector<Finding> out;
+    for (const SourceFile &f : sources) {
+        ruleR1(f, out);
+        ruleR4(f, out);
+        ruleR5(f, out);
+    }
+    ruleR2(sources, out);
+    ruleR3(opts, out);
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+}  // namespace tvarak::lint

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * tvarak-lint: project-specific static analysis for the simulator.
+ *
+ * The engine walks a source tree and enforces rules that generic
+ * tooling cannot know about — the same class of silent-corruption
+ * hazards TVARAK itself exists to catch:
+ *
+ *   R1  No naked 64/4096/8-style geometry literals in address math;
+ *       use kLineBytes / kPageBytes / kChecksumBytes /
+ *       kChecksumsPerLine from sim/types.hh.
+ *   R2  Every stats-counter key string is registered exactly once in
+ *       src/sim/stats.cc, and every reference elsewhere names a
+ *       registered key (catches typo-split counters).
+ *   R3  Every config field in src/sim/config.hh appears in the
+ *       bench_table3 parameter dump and in DESIGN.md §6
+ *       (config-docs drift check).
+ *   R4  Header hygiene: every .hh starts with `#pragma once` (or a
+ *       classic include guard) and has no `using namespace` at
+ *       header scope.
+ *   R5  Latency/energy constants live in sim/config.hh, never inline
+ *       in mem/, nvm/, or core/.
+ *
+ * A finding on line N is suppressed by `// lint:allow(R#)` (comma
+ * lists allowed) on line N or on the line directly above it.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace tvarak::lint {
+
+/** One rule violation. */
+struct Finding {
+    std::string file;    //!< path as reported (relative to root)
+    std::size_t line;    //!< 1-based
+    std::string rule;    //!< "R1".."R5"
+    std::string message;
+
+    /** `file:line: [R#] message` */
+    std::string str() const;
+};
+
+struct Options {
+    /** Repo root; R2/R3 registry artifacts (src/sim/stats.cc,
+     *  src/sim/config.hh, bench/bench_table3.cc, DESIGN.md) are
+     *  located relative to it. */
+    std::filesystem::path root;
+    /** Directories (or files), relative to root, to scan.
+     *  Empty = {"src", "tests", "bench"}. */
+    std::vector<std::string> paths;
+};
+
+/** Run every rule; findings come back sorted by (file, line, rule). */
+std::vector<Finding> run(const Options &opts);
+
+/** @name Exposed for the self-test / unit tests. */
+/**@{*/
+
+/** Per-line view of one source file with literals/comments separated. */
+struct SourceFile {
+    std::string path;                      //!< as reported in findings
+    std::vector<std::string> raw;          //!< original lines
+    std::vector<std::string> code;         //!< comments+literals blanked
+    struct StringLit {
+        std::size_t line;                  //!< 1-based
+        std::string value;
+    };
+    std::vector<StringLit> strings;        //!< string literal contents
+
+    /** True iff @p rule is suppressed on 1-based line @p line. */
+    bool allows(const std::string &rule, std::size_t line) const;
+};
+
+/** Load and pre-lex @p file; @p reportPath is used in findings. */
+SourceFile lexFile(const std::filesystem::path &file,
+                   const std::string &reportPath);
+
+/** Pre-lex in-memory text (fixture-free unit tests). */
+SourceFile lexText(const std::string &text, const std::string &reportPath);
+
+/** Data-member names of every struct in a config header, with the
+ *  1-based line each was declared on. */
+struct ConfigField {
+    std::string structName;
+    std::string name;
+    std::size_t line;
+};
+std::vector<ConfigField> parseConfigFields(const SourceFile &f);
+
+/**@}*/
+
+}  // namespace tvarak::lint

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * tvarak-lint CLI.
+ *
+ *   tvarak-lint [--root DIR] [paths...]
+ *       Scan DIR (default: cwd) — paths are root-relative directories
+ *       or files, default {src, tests, bench}. Prints one
+ *       `file:line: [R#] message` per finding; exit 1 iff any.
+ *
+ *   tvarak-lint --self-test DIR
+ *       DIR must hold `goodroot/` (expected clean) and `badroot/`
+ *       (expected to trip every rule R1..R5). Exit 0 iff both hold.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace fs = std::filesystem;
+using namespace tvarak::lint;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tvarak-lint [--root DIR] [paths...]\n"
+                 "       tvarak-lint --self-test FIXTURE_DIR\n");
+    return 2;
+}
+
+int
+selfTest(const fs::path &dir)
+{
+    if (!fs::is_directory(dir / "goodroot") ||
+        !fs::is_directory(dir / "badroot")) {
+        std::fprintf(stderr,
+                     "self-test: %s must contain goodroot/ and badroot/\n",
+                     dir.string().c_str());
+        return 2;
+    }
+
+    int failures = 0;
+
+    Options good{dir / "goodroot", {}};
+    for (const Finding &f : run(good)) {
+        std::fprintf(stderr, "self-test: goodroot not clean: %s\n",
+                     f.str().c_str());
+        failures++;
+    }
+
+    Options bad{dir / "badroot", {}};
+    std::set<std::string> hit;
+    for (const Finding &f : run(bad))
+        hit.insert(f.rule);
+    for (const char *rule : {"R1", "R2", "R3", "R4", "R5"}) {
+        if (!hit.count(rule)) {
+            std::fprintf(stderr,
+                         "self-test: badroot did not trip %s\n", rule);
+            failures++;
+        }
+    }
+
+    if (failures == 0) {
+        std::printf("tvarak-lint self-test: OK "
+                    "(goodroot clean, badroot trips R1..R5)\n");
+        return 0;
+    }
+    return 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.root = fs::current_path();
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--root") {
+            if (++i >= argc)
+                return usage();
+            opts.root = argv[i];
+        } else if (arg == "--self-test") {
+            if (++i >= argc)
+                return usage();
+            return selfTest(argv[i]);
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg.rfind("-", 0) == 0) {
+            return usage();
+        } else {
+            opts.paths.push_back(arg);
+        }
+    }
+
+    if (!fs::is_directory(opts.root)) {
+        std::fprintf(stderr, "tvarak-lint: no such directory: %s\n",
+                     opts.root.string().c_str());
+        return 2;
+    }
+
+    std::vector<Finding> findings = run(opts);
+    for (const Finding &f : findings)
+        std::printf("%s\n", f.str().c_str());
+    if (!findings.empty()) {
+        std::fprintf(stderr, "tvarak-lint: %zu finding(s)\n",
+                     findings.size());
+        return 1;
+    }
+    return 0;
+}
