@@ -1,8 +1,11 @@
 #include "bench_common.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 
 namespace tvarak::bench {
 
@@ -15,44 +18,188 @@ evalConfig()
     return cfg;
 }
 
-std::size_t
-parseScale(int argc, char **argv, const char *what)
+namespace {
+
+[[noreturn]] void
+usageError(const char *prog, const char *msg, const char *arg)
 {
-    std::size_t scale = 1;
+    std::fprintf(stderr, "%s: %s%s%s\n", prog, msg, arg ? ": " : "",
+                 arg ? arg : "");
+    std::fprintf(stderr,
+                 "usage: %s [--scale N] [--jobs N] [--json]\n", prog);
+    std::exit(2);
+}
+
+/** Strict decimal parse of a flag value: the whole string must be a
+ *  number, and zero / negative / overflow are rejected. */
+std::size_t
+parseCount(const char *prog, const char *flag, const char *value)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || value[0] == '-' || errno == ERANGE ||
+        v == 0) {
+        std::string msg = std::string("invalid value for ") + flag;
+        usageError(prog, msg.c_str(), value);
+    }
+    return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+BenchArgs
+parseBenchArgs(int argc, char **argv, const char *what,
+               const char *benchName)
+{
+    BenchArgs args;
+    args.benchName = benchName;
+    args.start = std::chrono::steady_clock::now();
     for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-            scale = static_cast<std::size_t>(std::atoll(argv[i + 1]));
-            if (scale == 0)
-                scale = 1;
-            i++;
+        if (std::strcmp(argv[i], "--scale") == 0) {
+            if (i + 1 >= argc)
+                usageError(argv[0], "--scale needs a value", nullptr);
+            args.scale = parseCount(argv[0], "--scale", argv[++i]);
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc)
+                usageError(argv[0], "--jobs needs a value", nullptr);
+            args.jobs = parseCount(argv[0], "--jobs", argv[++i]);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            args.json = true;
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("%s\nusage: %s [--scale N]\n", what, argv[0]);
+            std::printf("%s\nusage: %s [--scale N] [--jobs N] [--json]\n"
+                        "  --scale N  workload size multiplier "
+                        "(default 1)\n"
+                        "  --jobs N   experiment worker threads "
+                        "(default: hardware concurrency)\n"
+                        "  --json     write results/bench_%s.json\n",
+                        what, argv[0], benchName);
             std::exit(0);
+        } else {
+            usageError(argv[0], "unknown argument", argv[i]);
         }
     }
-    return scale;
+    return args;
+}
+
+std::vector<FigureRow>
+sweepRows(const std::vector<WorkloadSpec> &specs,
+          const std::vector<DesignKind> &designs, std::size_t jobs)
+{
+    std::vector<ExperimentJob> batch;
+    batch.reserve(specs.size() * designs.size());
+    for (const WorkloadSpec &spec : specs) {
+        for (DesignKind d : designs)
+            batch.push_back({spec.name, spec.cfg, d, spec.make});
+    }
+
+    std::vector<RunResult> results = runExperiments(batch, jobs);
+
+    std::vector<FigureRow> rows(specs.size());
+    std::size_t k = 0;
+    for (std::size_t s = 0; s < specs.size(); s++) {
+        rows[s].workload = specs[s].name;
+        for (DesignKind d : designs)
+            rows[s].results[d] = results[k++];
+    }
+    return rows;
 }
 
 FigureRow
 sweepDesigns(const std::string &workloadName, const SimConfig &cfg,
              const WorkloadFactory &make,
-             const std::vector<DesignKind> &designs)
+             const std::vector<DesignKind> &designs, std::size_t jobs)
 {
-    FigureRow row;
-    row.workload = workloadName;
-    for (DesignKind d : designs) {
-        std::fprintf(stderr, "  running %-24s under %s...\n",
-                     workloadName.c_str(), designName(d));
-        row.results[d] = runExperiment(cfg, d, make);
-    }
-    return row;
+    return sweepRows({{workloadName, cfg, make}}, designs, jobs).front();
 }
 
 FigureRow
 sweepDesigns(const std::string &workloadName, const SimConfig &cfg,
-             const WorkloadFactory &make)
+             const WorkloadFactory &make, std::size_t jobs)
 {
-    return sweepDesigns(workloadName, cfg, make, allDesigns());
+    return sweepDesigns(workloadName, cfg, make, allDesigns(), jobs);
+}
+
+std::vector<BenchJsonEntry>
+jsonEntries(const std::vector<FigureRow> &rows)
+{
+    std::vector<BenchJsonEntry> entries;
+    for (const FigureRow &row : rows) {
+        for (const auto &[design, res] : row.results) {
+            BenchJsonEntry e;
+            e.workload = row.workload;
+            e.design = designName(design);
+            e.runtimeCycles = res.runtimeCycles;
+            e.normRuntime = normRuntime(row, design);
+            e.energyMj = res.energyMj;
+            e.nvmDataAccesses = res.nvmDataAccesses;
+            e.nvmRedAccesses = res.nvmRedAccesses;
+            e.cacheAccesses = res.cacheAccesses;
+            entries.push_back(std::move(e));
+        }
+    }
+    return entries;
+}
+
+namespace {
+
+/** Minimal JSON string escape: the labels only contain printable
+ *  ASCII, but quote/backslash must never corrupt the file. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+writeBenchJson(const BenchArgs &args,
+               const std::vector<BenchJsonEntry> &entries)
+{
+    if (!args.json)
+        return;
+
+    double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - args.start).count();
+
+    std::filesystem::create_directories("results");
+    std::string path = "results/bench_" + args.benchName + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+
+    std::size_t jobs = args.jobs == 0 ? defaultJobs() : args.jobs;
+    out << "{\n"
+        << "  \"bench\": \"" << jsonEscape(args.benchName) << "\",\n"
+        << "  \"scale\": " << args.scale << ",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"wall_seconds\": " << wall << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < entries.size(); i++) {
+        const BenchJsonEntry &e = entries[i];
+        out << "    {\"workload\": \"" << jsonEscape(e.workload)
+            << "\", \"design\": \"" << jsonEscape(e.design)
+            << "\", \"runtime_cycles\": " << e.runtimeCycles
+            << ", \"norm_runtime\": " << e.normRuntime
+            << ", \"energy_mj\": " << e.energyMj
+            << ", \"nvm_data_accesses\": " << e.nvmDataAccesses
+            << ", \"nvm_red_accesses\": " << e.nvmRedAccesses
+            << ", \"cache_accesses\": " << e.cacheAccesses;
+        if (e.wallSeconds > 0)
+            out << ", \"wall_seconds\": " << e.wallSeconds;
+        out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "  wrote %s\n", path.c_str());
 }
 
 }  // namespace tvarak::bench

@@ -1,19 +1,31 @@
 /**
  * @file
  * Shared plumbing for the figure benches: the evaluation machine
- * configuration (Table III scaled to tractable workload sizes) and a
- * design-sweep helper.
+ * configuration (Table III scaled to tractable workload sizes),
+ * command-line handling, design-sweep helpers built on the parallel
+ * experiment engine, and machine-readable JSON result emission.
  *
- * Every bench accepts an optional `--scale N` argument (default 1)
- * multiplying the workload size, so the tables can be regenerated at
- * larger fixed-work sizes when more time is available.
+ * Every bench accepts:
+ *
+ *   --scale N   multiply the workload size (default 1), so tables can
+ *               be regenerated at larger fixed-work sizes.
+ *   --jobs N    worker threads for the experiment fan-out (default:
+ *               hardware concurrency). Results are bit-identical for
+ *               every N; only wall-clock changes.
+ *   --json      also write results/bench_<name>.json with the
+ *               per-design numbers and the wall time of the sweep.
+ *
+ * Unknown flags and malformed values are usage errors (exit 2) — a
+ * typo must never silently run the wrong experiment.
  */
 
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "redundancy/scheme.hh"
@@ -23,17 +35,77 @@ namespace tvarak::bench {
 /** Table III machine; NVM DIMM capacity sized for the bench suite. */
 SimConfig evalConfig();
 
-/** Parse `--scale N` (and `--help`). Returns the scale factor. */
-std::size_t parseScale(int argc, char **argv, const char *what);
+/** Parsed common command line (see file header for the flags). */
+struct BenchArgs {
+    std::size_t scale = 1;
+    /** Worker threads; 0 = defaultJobs() (hardware concurrency). */
+    std::size_t jobs = 0;
+    bool json = false;
+    /** results/bench_<name>.json target (set by parseBenchArgs). */
+    std::string benchName;
+    /** Start of the run, for the wall-time field of the JSON dump. */
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * Parse `--scale N`, `--jobs N`, `--json` and `--help`. @p what is
+ * the one-line description printed by --help; @p benchName names the
+ * JSON output file. Rejects unknown arguments and malformed or
+ * out-of-range values with a usage message and exit(2).
+ */
+BenchArgs parseBenchArgs(int argc, char **argv, const char *what,
+                         const char *benchName);
+
+/** One workload of a figure: a label, the machine it runs on, and its
+ *  factory. sweepRows() fans specs x designs in a single batch. */
+struct WorkloadSpec {
+    std::string name;
+    SimConfig cfg;
+    WorkloadFactory make;
+};
+
+/** Run every spec under every design in one parallel batch; one
+ *  FigureRow per spec, in spec order. */
+std::vector<FigureRow> sweepRows(const std::vector<WorkloadSpec> &specs,
+                                 const std::vector<DesignKind> &designs,
+                                 std::size_t jobs);
 
 /** Run @p make under all four designs and collect a figure row. */
 FigureRow sweepDesigns(const std::string &workloadName,
-                       const SimConfig &cfg, const WorkloadFactory &make);
+                       const SimConfig &cfg, const WorkloadFactory &make,
+                       std::size_t jobs);
 
 /** Run @p make under a subset of designs. */
 FigureRow sweepDesigns(const std::string &workloadName,
                        const SimConfig &cfg, const WorkloadFactory &make,
-                       const std::vector<DesignKind> &designs);
+                       const std::vector<DesignKind> &designs,
+                       std::size_t jobs);
+
+/** One record of the machine-readable result dump. */
+struct BenchJsonEntry {
+    std::string workload;
+    std::string design;   //!< design or config label ("+red-caching")
+    std::uint64_t runtimeCycles = 0;
+    double normRuntime = 0;    //!< runtime / Baseline runtime
+    double energyMj = 0;
+    std::uint64_t nvmDataAccesses = 0;
+    std::uint64_t nvmRedAccesses = 0;
+    std::uint64_t cacheAccesses = 0;
+    /** Per-experiment wall time; emitted only when > 0 (set by
+     *  bench_selfperf, which times each experiment individually). */
+    double wallSeconds = 0;
+};
+
+/** Flatten figure rows into JSON entries (norm against Baseline). */
+std::vector<BenchJsonEntry>
+jsonEntries(const std::vector<FigureRow> &rows);
+
+/**
+ * If @p args.json is set, write results/bench_<benchName>.json with
+ * @p entries plus the sweep metadata (scale, jobs, wall seconds since
+ * args.start). No-op otherwise.
+ */
+void writeBenchJson(const BenchArgs &args,
+                    const std::vector<BenchJsonEntry> &entries);
 
 }  // namespace tvarak::bench
-

@@ -49,22 +49,24 @@ fioFactory(FioWorkload::Pattern pattern, std::size_t regionBytes)
 int
 main(int argc, char **argv)
 {
-    std::size_t scale = parseScale(
-        argc, argv, "Fig 8(m-p): fio seq/rand x read/write");
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Fig 8(m-p): fio seq/rand x read/write", "fig8_fio");
     SimConfig cfg = evalConfig();
-    std::size_t region = scale * (4ull << 20);
+    std::size_t region = args.scale * (4ull << 20);
 
-    std::vector<FigureRow> rows;
+    std::vector<WorkloadSpec> specs;
     for (auto pattern :
          {FioWorkload::Pattern::SeqRead, FioWorkload::Pattern::SeqWrite,
           FioWorkload::Pattern::RandRead,
           FioWorkload::Pattern::RandWrite}) {
-        rows.push_back(
-            sweepDesigns(FioWorkload::patternName(pattern), cfg,
-                         fioFactory(pattern, region)));
+        specs.push_back({FioWorkload::patternName(pattern), cfg,
+                         fioFactory(pattern, region)});
     }
+    std::vector<FigureRow> rows =
+        sweepRows(specs, allDesigns(), args.jobs);
     printFigureGroup("Figure 8(m-p): fio, 12 threads, 64B accesses",
                      rows);
     printFigureCsv("fig8-fio", rows);
+    writeBenchJson(args, jsonEntries(rows));
     return 0;
 }

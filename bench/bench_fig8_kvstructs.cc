@@ -48,11 +48,12 @@ treeFactory(MapKind kind, TreeWorkload::Mix mix, std::size_t scale)
 int
 main(int argc, char **argv)
 {
-    std::size_t scale = parseScale(
-        argc, argv, "Fig 8(e-h): C/B/RB-Tree key-value structures");
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Fig 8(e-h): C/B/RB-Tree key-value structures",
+        "fig8_kvstructs");
     SimConfig cfg = evalConfig();
 
-    std::vector<FigureRow> rows;
+    std::vector<WorkloadSpec> specs;
     for (MapKind kind :
          {MapKind::CTree, MapKind::BTree, MapKind::RBTree}) {
         for (TreeWorkload::Mix mix :
@@ -60,12 +61,15 @@ main(int argc, char **argv)
               TreeWorkload::Mix::Balanced}) {
             std::string label = std::string(mapKindName(kind)) + "-" +
                 TreeWorkload::mixName(mix);
-            rows.push_back(sweepDesigns(label, cfg,
-                                        treeFactory(kind, mix, scale)));
+            specs.push_back({label, cfg,
+                             treeFactory(kind, mix, args.scale)});
         }
     }
+    std::vector<FigureRow> rows =
+        sweepRows(specs, allDesigns(), args.jobs);
     printFigureGroup(
         "Figure 8(e-h): key-value structures, 12 instances", rows);
     printFigureCsv("fig8-kvstructs", rows);
+    writeBenchJson(args, jsonEntries(rows));
     return 0;
 }

@@ -53,20 +53,24 @@ nstoreFactory(NStoreWorkload::Mix mix, std::size_t scale)
 int
 main(int argc, char **argv)
 {
-    std::size_t scale = parseScale(
-        argc, argv, "Fig 8(i-l): N-Store YCSB, 4 clients, zipf 90/10");
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Fig 8(i-l): N-Store YCSB, 4 clients, zipf 90/10",
+        "fig8_nstore");
     SimConfig cfg = evalConfig();
     cfg.nvm.dimmBytes = 256ull << 20;  // room for the 268 MB table
 
-    std::vector<FigureRow> rows;
+    std::vector<WorkloadSpec> specs;
     for (auto mix :
          {NStoreWorkload::Mix::ReadHeavy, NStoreWorkload::Mix::Balanced,
           NStoreWorkload::Mix::UpdateHeavy}) {
-        rows.push_back(sweepDesigns(
-            std::string("nstore-") + NStoreWorkload::mixName(mix), cfg,
-            nstoreFactory(mix, scale)));
+        specs.push_back(
+            {std::string("nstore-") + NStoreWorkload::mixName(mix), cfg,
+             nstoreFactory(mix, args.scale)});
     }
+    std::vector<FigureRow> rows =
+        sweepRows(specs, allDesigns(), args.jobs);
     printFigureGroup("Figure 8(i-l): N-Store YCSB, 4 clients", rows);
     printFigureCsv("fig8-nstore", rows);
+    writeBenchJson(args, jsonEntries(rows));
     return 0;
 }

@@ -47,19 +47,22 @@ redisFactory(RedisWorkload::Mode mode, std::size_t scale,
 int
 main(int argc, char **argv)
 {
-    std::size_t scale =
-        parseScale(argc, argv, "Fig 8(a-d): Redis set/get, 6 instances");
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Fig 8(a-d): Redis set/get, 6 instances",
+        "fig8_redis");
     SimConfig cfg = evalConfig();
 
-    std::vector<FigureRow> rows;
-    rows.push_back(sweepDesigns(
-        "redis-set-only", cfg,
-        redisFactory(RedisWorkload::Mode::SetOnly, scale, 6)));
-    rows.push_back(sweepDesigns(
-        "redis-get-only", cfg,
-        redisFactory(RedisWorkload::Mode::GetOnly, scale, 6)));
+    std::vector<WorkloadSpec> specs = {
+        {"redis-set-only", cfg,
+         redisFactory(RedisWorkload::Mode::SetOnly, args.scale, 6)},
+        {"redis-get-only", cfg,
+         redisFactory(RedisWorkload::Mode::GetOnly, args.scale, 6)},
+    };
+    std::vector<FigureRow> rows =
+        sweepRows(specs, allDesigns(), args.jobs);
 
     printFigureGroup("Figure 8(a-d): Redis, 6 instances", rows);
     printFigureCsv("fig8-redis", rows);
+    writeBenchJson(args, jsonEntries(rows));
     return 0;
 }

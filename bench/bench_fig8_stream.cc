@@ -47,19 +47,22 @@ streamFactory(StreamWorkload::Kernel kernel, std::size_t chunkBytes)
 int
 main(int argc, char **argv)
 {
-    std::size_t scale =
-        parseScale(argc, argv, "Fig 8(q-t): stream kernels");
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Fig 8(q-t): stream kernels", "fig8_stream");
     SimConfig cfg = evalConfig();
-    std::size_t chunk = scale * (2ull << 20);
+    std::size_t chunk = args.scale * (2ull << 20);
 
-    std::vector<FigureRow> rows;
+    std::vector<WorkloadSpec> specs;
     for (auto kernel :
          {StreamWorkload::Kernel::Copy, StreamWorkload::Kernel::Scale,
           StreamWorkload::Kernel::Add, StreamWorkload::Kernel::Triad}) {
-        rows.push_back(sweepDesigns(StreamWorkload::kernelName(kernel),
-                                    cfg, streamFactory(kernel, chunk)));
+        specs.push_back({StreamWorkload::kernelName(kernel), cfg,
+                         streamFactory(kernel, chunk)});
     }
+    std::vector<FigureRow> rows =
+        sweepRows(specs, allDesigns(), args.jobs);
     printFigureGroup("Figure 8(q-t): stream, 12 threads", rows);
     printFigureCsv("fig8-stream", rows);
+    writeBenchJson(args, jsonEntries(rows));
     return 0;
 }

@@ -25,8 +25,9 @@ using namespace tvarak::bench;
 int
 main(int argc, char **argv)
 {
-    std::size_t scale =
-        parseScale(argc, argv, "Fig 9: TVARAK design-choice ablation");
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Fig 9: TVARAK design-choice ablation",
+        "fig9_ablation");
 
     struct Config {
         const char *name;
@@ -39,35 +40,62 @@ main(int argc, char **argv)
         {"+data-diffs (TVARAK)", true, true, true},
     };
 
-    std::vector<std::string> row_names;
-    std::vector<std::vector<double>> table;
-    std::vector<FigureRow> csv_rows;
-
-    for (auto &w : fig9Workloads(scale)) {
+    // One batch: per workload, the baseline plus every cumulative
+    // configuration. Stride through the flat result array below.
+    const auto workloads = fig9Workloads(args.scale);
+    std::vector<ExperimentJob> batch;
+    for (auto &w : workloads) {
         SimConfig cfg = evalConfig();
         cfg.nvm.dimmBytes = w.dimmBytes;
-        std::fprintf(stderr, "  %s: baseline...\n", w.name);
-        RunResult base =
-            runExperiment(cfg, DesignKind::Baseline, w.factory);
-
-        std::vector<double> row;
-        FigureRow csv_row;
-        csv_row.workload = w.name;
-        csv_row.results[DesignKind::Baseline] = base;
+        batch.push_back({std::string(w.name) + " baseline", cfg,
+                         DesignKind::Baseline, w.factory});
         for (const Config &c : configs) {
             SimConfig vcfg = cfg;
             vcfg.tvarak.useDaxClChecksums = c.daxCl;
             vcfg.tvarak.useRedundancyCaching = c.redCache;
             vcfg.tvarak.useDataDiffs = c.diffs;
-            std::fprintf(stderr, "  %s: %s...\n", w.name, c.name);
-            RunResult r =
-                runExperiment(vcfg, DesignKind::Tvarak, w.factory);
-            row.push_back(static_cast<double>(r.runtimeCycles) /
-                          static_cast<double>(base.runtimeCycles));
+            batch.push_back({std::string(w.name) + " " + c.name, vcfg,
+                             DesignKind::Tvarak, w.factory});
         }
-        row_names.emplace_back(w.name);
+    }
+    std::vector<RunResult> results = runExperiments(batch, args.jobs);
+
+    std::vector<std::string> row_names;
+    std::vector<std::vector<double>> table;
+    std::vector<BenchJsonEntry> entries;
+    const std::size_t stride = 1 + configs.size();
+    for (std::size_t i = 0; i < workloads.size(); i++) {
+        const RunResult &base = results[i * stride];
+        BenchJsonEntry be;
+        be.workload = workloads[i].name;
+        be.design = "baseline";
+        be.runtimeCycles = base.runtimeCycles;
+        be.normRuntime = 1.0;
+        be.energyMj = base.energyMj;
+        be.nvmDataAccesses = base.nvmDataAccesses;
+        be.nvmRedAccesses = base.nvmRedAccesses;
+        be.cacheAccesses = base.cacheAccesses;
+        entries.push_back(be);
+
+        std::vector<double> row;
+        for (std::size_t c = 0; c < configs.size(); c++) {
+            const RunResult &r = results[i * stride + 1 + c];
+            double norm = static_cast<double>(r.runtimeCycles) /
+                static_cast<double>(base.runtimeCycles);
+            row.push_back(norm);
+            BenchJsonEntry e;
+            e.workload = workloads[i].name;
+            e.design = configs[c].name;
+            e.runtimeCycles = r.runtimeCycles;
+            e.normRuntime = norm;
+            e.energyMj = r.energyMj;
+            e.nvmDataAccesses = r.nvmDataAccesses;
+            e.nvmRedAccesses = r.nvmRedAccesses;
+            e.cacheAccesses = r.cacheAccesses;
+            entries.push_back(e);
+        }
+        row_names.emplace_back(workloads[i].name);
         table.push_back(row);
-        csv_rows.push_back(csv_row);
     }
 
     std::vector<std::string> columns;
@@ -87,5 +115,6 @@ main(int argc, char **argv)
             std::printf(",%.4f", v);
         std::printf("\n");
     }
+    writeBenchJson(args, entries);
     return 0;
 }

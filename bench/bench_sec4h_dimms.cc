@@ -41,9 +41,10 @@ streamCopyFactory(std::size_t chunk)
 int
 main(int argc, char **argv)
 {
-    std::size_t scale = parseScale(
-        argc, argv, "Sec IV-H: NVM DIMM count & technology sweep");
-    std::size_t chunk = (1ull << 20) * scale;
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Sec IV-H: NVM DIMM count & technology sweep",
+        "sec4h_dimms");
+    std::size_t chunk = (1ull << 20) * args.scale;
 
     struct Variant {
         const char *name;
@@ -56,17 +57,19 @@ main(int argc, char **argv)
         {"4-dimms-bb-dram", 4, 15.0, 15.0},    // battery-backed DRAM
     };
 
-    std::vector<FigureRow> rows;
+    std::vector<WorkloadSpec> specs;
     for (const Variant &v : variants) {
         SimConfig cfg = evalConfig();
         cfg.nvm.dimms = v.dimms;
         cfg.nvm.readNs = v.readNs;
         cfg.nvm.writeNs = v.writeNs;
-        rows.push_back(sweepDesigns(v.name, cfg,
-                                    streamCopyFactory(chunk)));
+        specs.push_back({v.name, cfg, streamCopyFactory(chunk)});
     }
+    std::vector<FigureRow> rows =
+        sweepRows(specs, allDesigns(), args.jobs);
     printFigureGroup(
         "Section IV-H: stream copy across NVM configurations", rows);
     printFigureCsv("sec4h", rows);
+    writeBenchJson(args, jsonEntries(rows));
     return 0;
 }

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Self-profiling microbench: how fast does the *simulator itself*
+ * run? Each experiment is timed individually on the calling thread
+ * and reported as simulated-cycles-per-wall-second, so hot-path work
+ * in mem/ shows up as a number, not a vibe. The workloads are chosen
+ * to stress the per-access paths differently:
+ *
+ *   stream-triad   streaming fills -> Cache::insert + prefetch path
+ *   ctree-insert   pointer chasing -> accessLine hit path + LRU churn
+ *
+ * Runs each under Baseline and TVARAK. --jobs is accepted for flag
+ * uniformity but measurement is always sequential: co-scheduled
+ * experiments would steal cycles from each other and corrupt the
+ * per-experiment wall times.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "apps/stream/stream.hh"
+#include "apps/trees/tree_workload.hh"
+#include "bench_common.hh"
+
+using namespace tvarak;
+using namespace tvarak::bench;
+
+namespace {
+
+WorkloadFactory
+triadFactory(std::size_t chunk)
+{
+    return [chunk](MemorySystem &mem, DaxFs &fs) -> WorkloadSet {
+        auto scheme = makeScheme(mem.design(), mem);
+        WorkloadSet set;
+        StreamWorkload::Params p;
+        p.kernel = StreamWorkload::Kernel::Triad;
+        p.chunkBytes = chunk;
+        for (int t = 0; t < 12; t++) {
+            set.workloads.push_back(std::make_unique<StreamWorkload>(
+                mem, fs, t, scheme.get(), p));
+        }
+        set.shared = std::shared_ptr<void>(
+            scheme.release(),
+            [](void *q) { delete static_cast<RedundancyScheme *>(q); });
+        set.beforeMeasure = [](MemorySystem &m) { m.dropCaches(); };
+        return set;
+    };
+}
+
+WorkloadFactory
+ctreeFactory(std::size_t scale)
+{
+    return [scale](MemorySystem &mem, DaxFs &fs) -> WorkloadSet {
+        auto scheme = makeScheme(mem.design(), mem);
+        WorkloadSet set;
+        TreeWorkload::Params p;
+        p.kind = MapKind::CTree;
+        p.mix = TreeWorkload::Mix::InsertOnly;
+        p.preload = 16384 * scale;
+        p.ops = 16384 * scale;
+        for (int t = 0; t < 12; t++) {
+            set.workloads.push_back(std::make_unique<TreeWorkload>(
+                mem, fs, t, scheme.get(), p));
+        }
+        set.shared = std::shared_ptr<void>(
+            scheme.release(),
+            [](void *q) { delete static_cast<RedundancyScheme *>(q); });
+        return set;
+    };
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Simulator self-profiling: sim-cycles per wall-sec",
+        "selfperf");
+    SimConfig cfg = evalConfig();
+
+    struct Case {
+        const char *name;
+        WorkloadFactory make;
+    };
+    const std::vector<Case> cases = {
+        {"stream-triad", triadFactory(args.scale * (2ull << 20))},
+        {"ctree-insert", ctreeFactory(args.scale)},
+    };
+    const std::vector<DesignKind> designs = {DesignKind::Baseline,
+                                             DesignKind::Tvarak};
+
+    std::printf("== Simulator self-profiling "
+                "(higher cycles/sec = faster simulator) ==\n");
+    std::printf("%-16s %-16s %14s %10s %16s\n", "workload", "design",
+                "sim Mcycles", "wall s", "Mcycles/sec");
+
+    std::vector<BenchJsonEntry> entries;
+    double totalCycles = 0, totalWall = 0;
+    for (const Case &c : cases) {
+        for (DesignKind d : designs) {
+            std::fprintf(stderr, "  timing %-16s under %s...\n",
+                         c.name, designName(d));
+            auto t0 = std::chrono::steady_clock::now();
+            RunResult r = runExperiment(cfg, d, c.make);
+            double wall = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0).count();
+            double mcycles =
+                static_cast<double>(r.runtimeCycles) / 1e6;
+            std::printf("%-16s %-16s %14.1f %10.3f %16.1f\n", c.name,
+                        designName(d), mcycles, wall, mcycles / wall);
+            totalCycles += mcycles;
+            totalWall += wall;
+
+            BenchJsonEntry e;
+            e.workload = c.name;
+            e.design = designName(d);
+            e.runtimeCycles = r.runtimeCycles;
+            e.normRuntime = 1.0;
+            e.energyMj = r.energyMj;
+            e.nvmDataAccesses = r.nvmDataAccesses;
+            e.nvmRedAccesses = r.nvmRedAccesses;
+            e.cacheAccesses = r.cacheAccesses;
+            e.wallSeconds = wall;
+            entries.push_back(std::move(e));
+        }
+    }
+    std::printf("%-16s %-16s %14.1f %10.3f %16.1f\n", "TOTAL", "-",
+                totalCycles, totalWall, totalCycles / totalWall);
+    writeBenchJson(args, entries);
+    return 0;
+}

@@ -43,10 +43,11 @@ smallInsertFactory()
 int
 main(int argc, char **argv)
 {
-    parseScale(argc, argv, "Table I: design-space trade-offs");
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Table I: design-space trade-offs", "table1");
     SimConfig cfg = evalConfig();
-    FigureRow row =
-        sweepDesigns("ctree-insert-only", cfg, smallInsertFactory());
+    FigureRow row = sweepDesigns("ctree-insert-only", cfg,
+                                 smallInsertFactory(), args.jobs);
 
     std::printf(
         "\n== Table I: trade-offs among DAX NVM redundancy designs ==\n"
@@ -89,5 +90,6 @@ main(int argc, char **argv)
     std::printf("\n(coverage semantics per paper Table I; 'measured "
                 "overhead' is this build's C-Tree insert-only runtime "
                 "vs Baseline)\n");
+    writeBenchJson(args, jsonEntries({row}));
     return 0;
 }

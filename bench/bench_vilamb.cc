@@ -49,21 +49,57 @@ treeFactory(RedundancyScheme *sharedScheme, std::size_t scale)
     };
 }
 
+/** Vilamb runs over the TxB-Page machine model (software,
+ *  page-granular), differing only in *when* it does the work. */
+WorkloadFactory
+vilambFactory(std::size_t epoch, std::size_t scale)
+{
+    return [epoch, scale](MemorySystem &mem, DaxFs &fs) -> WorkloadSet {
+        auto scheme = std::make_shared<VilambAsyncCsums>(mem, epoch);
+        WorkloadSet set;
+        TreeWorkload::Params p;
+        p.kind = MapKind::CTree;
+        p.mix = TreeWorkload::Mix::UpdateOnly;
+        p.preload = 8192 * scale;
+        p.ops = 16384 * scale;
+        for (int t = 0; t < 12; t++) {
+            set.workloads.push_back(std::make_unique<TreeWorkload>(
+                mem, fs, t, scheme.get(), p));
+        }
+        set.shared = scheme;
+        return set;
+    };
+}
+
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::size_t scale = parseScale(
-        argc, argv, "Table I extension: Vilamb epoch sweep vs TVARAK");
+    BenchArgs args = parseBenchArgs(
+        argc, argv, "Table I extension: Vilamb epoch sweep vs TVARAK",
+        "vilamb");
     SimConfig cfg = evalConfig();
+    const std::vector<std::size_t> epochs = {1, 16, 64, 256};
 
-    RunResult base = runExperiment(cfg, DesignKind::Baseline,
-                                   treeFactory(nullptr, scale));
-    RunResult tvarak = runExperiment(cfg, DesignKind::Tvarak,
-                                     treeFactory(nullptr, scale));
-    RunResult txb_page = runExperiment(cfg, DesignKind::TxBPageCsums,
-                                       treeFactory(nullptr, scale));
+    // One batch: the three design rows plus every epoch variant.
+    std::vector<ExperimentJob> batch = {
+        {"baseline", cfg, DesignKind::Baseline,
+         treeFactory(nullptr, args.scale)},
+        {"tvarak", cfg, DesignKind::Tvarak,
+         treeFactory(nullptr, args.scale)},
+        {"txb-page (sync)", cfg, DesignKind::TxBPageCsums,
+         treeFactory(nullptr, args.scale)},
+    };
+    for (std::size_t epoch : epochs) {
+        batch.push_back({"vilamb epoch " + std::to_string(epoch), cfg,
+                         DesignKind::TxBPageCsums,
+                         vilambFactory(epoch, args.scale)});
+    }
+    std::vector<RunResult> results = runExperiments(batch, args.jobs);
+    const RunResult &base = results[0];
+    const RunResult &tvarak = results[1];
+    const RunResult &txb_page = results[2];
 
     std::printf("== Vilamb: configurable overhead (C-Tree update-only, "
                 "runtime / Baseline) ==\n");
@@ -75,33 +111,27 @@ main(int argc, char **argv)
     };
     std::printf("  %-28s %10.3f\n", "TxB-Page-Csums (sync)",
                 norm(txb_page));
-
-    for (std::size_t epoch : {1, 16, 64, 256}) {
-        // Vilamb runs over the TxB-Page machine model (software,
-        // page-granular), differing only in *when* it does the work.
-        RunResult r = runExperiment(
-            cfg, DesignKind::TxBPageCsums,
-            [&](MemorySystem &mem, DaxFs &fs) -> WorkloadSet {
-                auto scheme =
-                    std::make_shared<VilambAsyncCsums>(mem, epoch);
-                WorkloadSet set;
-                TreeWorkload::Params p;
-                p.kind = MapKind::CTree;
-                p.mix = TreeWorkload::Mix::UpdateOnly;
-                p.preload = 8192 * scale;
-                p.ops = 16384 * scale;
-                for (int t = 0; t < 12; t++) {
-                    set.workloads.push_back(
-                        std::make_unique<TreeWorkload>(
-                            mem, fs, t, scheme.get(), p));
-                }
-                set.shared = scheme;
-                return set;
-            });
-        std::printf("  Vilamb, epoch %-13zu %10.3f\n", epoch, norm(r));
+    for (std::size_t k = 0; k < epochs.size(); k++) {
+        std::printf("  Vilamb, epoch %-13zu %10.3f\n", epochs[k],
+                    norm(results[3 + k]));
     }
     std::printf("  %-28s %10.3f\n", "TVARAK (hw, no windows)",
                 norm(tvarak));
     std::printf("\ncsv,vilamb,design,norm_runtime\n");
+
+    std::vector<BenchJsonEntry> entries;
+    for (std::size_t i = 0; i < batch.size(); i++) {
+        BenchJsonEntry e;
+        e.workload = "ctree-update-only";
+        e.design = batch[i].label;
+        e.runtimeCycles = results[i].runtimeCycles;
+        e.normRuntime = norm(results[i]);
+        e.energyMj = results[i].energyMj;
+        e.nvmDataAccesses = results[i].nvmDataAccesses;
+        e.nvmRedAccesses = results[i].nvmRedAccesses;
+        e.cacheAccesses = results[i].cacheAccesses;
+        entries.push_back(std::move(e));
+    }
+    writeBenchJson(args, entries);
     return 0;
 }

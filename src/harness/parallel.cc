@@ -1,0 +1,101 @@
+#include "harness/parallel.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+namespace {
+
+/**
+ * Single-producer work queue over a pre-filled job vector: the queue
+ * is just a cursor, claimed under a mutex so ThreadSanitizer can see
+ * the handoff. Workers claim the next unclaimed index, run it, and
+ * write the result into their private slot of the results array —
+ * no two workers ever touch the same element.
+ */
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::size_t jobCount) : jobCount_(jobCount) {}
+
+    /** Claim the next job index; false when the batch is drained. */
+    bool claim(std::size_t &index)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (next_ >= jobCount_)
+            return false;
+        index = next_++;
+        return true;
+    }
+
+  private:
+    std::mutex mu_;
+    std::size_t next_ = 0;
+    std::size_t jobCount_;
+};
+
+void
+announce(const ExperimentJob &job, std::size_t index, std::size_t total)
+{
+    // stderr is line-buffered per call; POSIX locks the FILE, so
+    // concurrent workers interleave whole lines, never characters.
+    std::fprintf(stderr, "  [%zu/%zu] running %-24s under %s...\n",
+                 index + 1, total, job.label.c_str(),
+                 designName(job.design));
+}
+
+}  // namespace
+
+std::size_t
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<RunResult>
+runExperiments(const std::vector<ExperimentJob> &jobs, std::size_t workers)
+{
+    if (workers == 0)
+        workers = defaultJobs();
+    if (workers > jobs.size())
+        workers = jobs.size();
+
+    std::vector<RunResult> results(jobs.size());
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); i++) {
+            announce(jobs[i], i, jobs.size());
+            results[i] = runExperiment(jobs[i].cfg, jobs[i].design,
+                                       jobs[i].make);
+        }
+        return results;
+    }
+
+    JobQueue queue(jobs.size());
+    {
+        std::vector<std::jthread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; w++) {
+            pool.emplace_back([&queue, &jobs, &results] {
+                std::size_t i;
+                while (queue.claim(i)) {
+                    announce(jobs[i], i, jobs.size());
+                    results[i] = runExperiment(jobs[i].cfg,
+                                               jobs[i].design,
+                                               jobs[i].make);
+                }
+            });
+        }
+        // jthread joins on destruction: leaving the scope is the
+        // barrier that makes `results` safe to read.
+    }
+    return results;
+}
+
+}  // namespace tvarak

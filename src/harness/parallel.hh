@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parallel experiment engine.
+ *
+ * Every experiment builds a fully private MemorySystem and shares no
+ * mutable state with any other experiment (workload factories create
+ * their schemes and pools per machine, and all randomness comes from
+ * per-experiment deterministic RNGs), so a (design x workload) sweep
+ * is embarrassingly parallel. runExperiments() fans a batch of
+ * independent runExperiment() calls out across a fixed-size worker
+ * pool and returns the results in submission order, making the output
+ * bit-identical regardless of the worker count.
+ *
+ * This file (and its .cc) is the only place in the tree allowed to
+ * touch raw threading primitives — tvarak-lint rule R6 enforces the
+ * confinement so the simulator core stays single-threaded by
+ * construction.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace tvarak {
+
+/** One independent experiment: a machine config, a redundancy design,
+ *  and the factory that builds the workload set against the fresh
+ *  machine. The label is used for progress reporting only. */
+struct ExperimentJob {
+    std::string label;
+    SimConfig cfg;
+    DesignKind design = DesignKind::Baseline;
+    WorkloadFactory make;
+};
+
+/**
+ * Worker count used when the caller passes jobs == 0: the hardware
+ * concurrency of this machine (at least 1).
+ */
+std::size_t defaultJobs();
+
+/**
+ * Run every job in @p jobs to completion and return the results in
+ * submission order (results[i] belongs to jobs[i]).
+ *
+ * @p jobs     the batch; each entry runs exactly as
+ *             runExperiment(cfg, design, make) would.
+ * @p workers  worker-thread count; 0 means defaultJobs(). With 1 (or
+ *             a single job) everything runs inline on the caller's
+ *             thread — no pool is created.
+ *
+ * Statistics are bit-identical for every worker count: experiments
+ * are isolated, and the submission-order result array removes any
+ * dependence on completion order.
+ */
+std::vector<RunResult> runExperiments(const std::vector<ExperimentJob> &jobs,
+                                      std::size_t workers = 0);
+
+}  // namespace tvarak

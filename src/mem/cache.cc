@@ -67,18 +67,29 @@ Cache::dataOf(const Line &line) const
 Cache::Line &
 Cache::insert(Addr lineAddr, Victim &victim)
 {
-    panic_if(probe(lineAddr) != nullptr, "%s: double insert of %llx",
-             name_.c_str(), static_cast<unsigned long long>(lineAddr));
+    // One walk over the set's compact tags does triple duty: the
+    // double-insert check, the free-way search, and LRU victim
+    // selection (first free way wins; else min stamp, first index on
+    // ties — identical to scanning with an early break on free ways).
     std::size_t base = setOf(lineAddr) * ways_;
     std::size_t target = base;
+    std::size_t freeWay = ways_;  // sentinel: none seen
     for (std::size_t w = 0; w < ways_; w++) {
-        if (tags_[base + w] == Line::kNoTag) {
+        Addr tag = tags_[base + w];
+        panic_if(tag == lineAddr, "%s: double insert of %llx",
+                 name_.c_str(),
+                 static_cast<unsigned long long>(lineAddr));
+        if (tag == Line::kNoTag) {
+            if (freeWay == ways_)
+                freeWay = w;
+        } else if (freeWay == ways_ &&
+                   lines_[base + w].lruStamp <
+                       lines_[target].lruStamp) {
             target = base + w;
-            break;
         }
-        if (lines_[base + w].lruStamp < lines_[target].lruStamp)
-            target = base + w;
     }
+    if (freeWay != ways_)
+        target = base + freeWay;
     Line &line = lines_[target];
     victim.valid = line.valid();
     if (victim.valid) {
@@ -109,15 +120,6 @@ Cache::invalidate(Addr lineAddr)
         line->sharers = 0;
         line->owner = -1;
         tags_[indexOf(*line)] = Line::kNoTag;
-    }
-}
-
-void
-Cache::forEachLine(const std::function<void(Line &)> &fn)
-{
-    for (auto &line : lines_) {
-        if (line.valid())
-            fn(line);
     }
 }
 

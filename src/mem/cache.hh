@@ -25,7 +25,6 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -103,8 +102,16 @@ class Cache
     std::uint8_t *dataOf(Line &line);
     const std::uint8_t *dataOf(const Line &line) const;
 
-    /** Apply @p fn to every valid line (flush walks). */
-    void forEachLine(const std::function<void(Line &)> &fn);
+    /** Apply @p fn to every valid line (flush walks). Template so the
+     *  visitor inlines — no std::function indirection per line. */
+    template <typename Fn>
+    void forEachLine(Fn &&fn)
+    {
+        for (auto &line : lines_) {
+            if (line.valid())
+                fn(line);
+        }
+    }
 
     /** Drop every line. */
     void reset();
@@ -121,9 +128,12 @@ class Cache
   private:
     std::size_t setOf(Addr lineAddr) const
     {
-        return static_cast<std::size_t>(lineNumber(lineAddr) /
-                                        setDivisor_) &
-            (sets_ - 1);
+        auto n = lineNumber(lineAddr);
+        // Most caches are unbanked (divisor 1): skip the 64-bit
+        // divide on the hottest lookup path.
+        if (setDivisor_ != 1)
+            n /= setDivisor_;
+        return static_cast<std::size_t>(n) & (sets_ - 1);
     }
     std::size_t indexOf(const Line &line) const
     {

@@ -304,19 +304,22 @@ MemorySystem::accessLine(int tid, Addr vaddr, std::size_t offset,
     }
 
     // Functional data movement against the current-value store.
+    // Cycles are charged straight to the already-resolved core —
+    // going through compute(tid, ...) would redo the tid->core
+    // modulo on every single access.
     std::uint8_t *cur = funcPtr(t.paddr, t.isNvm);
     if (isWrite) {
         std::memcpy(cur + offset, buf, len);
         l1_line->dirty = true;
         // Stores drain through the store queue: only a fraction of
         // the miss path stalls the thread.
-        compute(tid, cfg_.storeIssueCycles +
-                         static_cast<Cycles>(
-                             cfg_.storeMissLatencyFactor *
-                             static_cast<double>(lat)));
+        stats_.threadCycles[core] +=
+            cfg_.storeIssueCycles +
+            static_cast<Cycles>(cfg_.storeMissLatencyFactor *
+                                static_cast<double>(lat));
     } else {
         std::memcpy(buf, cur + offset, len);
-        compute(tid, lat);
+        stats_.threadCycles[core] += lat;
     }
 }
 
@@ -367,11 +370,12 @@ MemorySystem::llcEnsure(int core, Addr paddr, bool isNvm, bool isWrite,
         Cache::Victim victim;
         line = &llc.insert(paddr, victim);
         llcHandleVictim(bank, victim);
-        if (!isWrite) {
+        if (!isWrite &&
             // The next-line prefetcher trains on load misses only;
             // store streams drain through the store queue instead.
-            maybePrefetch(static_cast<std::size_t>(core), paddr, isNvm);
-            line = llc.probe(paddr);  // prefetch may reshuffle the set
+            maybePrefetch(static_cast<std::size_t>(core), paddr,
+                          isNvm)) {
+            line = llc.probe(paddr);  // prefetch reshuffled the set
             panic_if(line == nullptr, "demand line lost during prefetch");
         }
     }
@@ -408,14 +412,15 @@ MemorySystem::llcEnsure(int core, Addr paddr, bool isNvm, bool isWrite,
     return line;
 }
 
-void
+bool
 MemorySystem::maybePrefetch(std::size_t core, Addr paddr, bool isNvm)
 {
     std::uint64_t line_no = lineNumber(paddr);
     std::uint64_t prev = lastMissLine_[core];
     lastMissLine_[core] = line_no;
     if (cfg_.prefetchDegree == 0 || line_no != prev + 1)
-        return;
+        return false;
+    bool issued = false;
     for (std::size_t i = 1; i <= cfg_.prefetchDegree; i++) {
         Addr next = paddr + i * kLineBytes;
         if (pageBase(next) != pageBase(paddr))
@@ -423,7 +428,9 @@ MemorySystem::maybePrefetch(std::size_t core, Addr paddr, bool isNvm)
         if (!isNvm && next >= dram_.size())
             break;
         prefetchLine(next, isNvm);
+        issued = true;
     }
+    return issued;
 }
 
 void

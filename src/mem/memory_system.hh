@@ -166,8 +166,10 @@ class MemorySystem
     void markLlcDirty(std::size_t bank, Cache::Line &line);
 
     /** Next-line prefetch into the LLC on sequential demand misses;
-     *  stops at the 4 KB page boundary. Off the demand path. */
-    void maybePrefetch(std::size_t core, Addr paddr, bool isNvm);
+     *  stops at the 4 KB page boundary. Off the demand path.
+     *  @return true if any line was actually prefetched (the caller's
+     *  probed Line may have been reshuffled and must be re-probed). */
+    bool maybePrefetch(std::size_t core, Addr paddr, bool isNvm);
     /** Fill one line into the LLC without demand-latency charging. */
     void prefetchLine(Addr paddr, bool isNvm);
 

@@ -1,0 +1,16 @@
+// Seeded violations: raw threading primitives outside src/harness/ (R6).
+#include <thread>
+
+void
+spawnWorker()
+{
+    std::thread worker([] {});
+    worker.join();
+}
+
+void
+allowedMutexUser()
+{
+    std::mutex mu;  // lint:allow(R6) suppression must hold
+    (void)mu;
+}

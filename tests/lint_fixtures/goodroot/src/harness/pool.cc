@@ -1,0 +1,12 @@
+// src/harness/ is the one subtree allowed raw threading primitives:
+// R6 must stay quiet here.
+#include <mutex>
+#include <thread>
+
+void
+poolWorker()
+{
+    std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    (void)std::thread::hardware_concurrency();
+}

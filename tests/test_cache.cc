@@ -161,12 +161,73 @@ TEST(Cache, SetDivisorSpreadsBankInterleavedLines)
         << "without the divisor the stream collides in a subset of sets";
 }
 
+TEST(Cache, LruVictimOrderAcrossManyWays)
+{
+    // Pin the exact victim sequence of a 4-way set so the single-walk
+    // insert rewrite is locked in by behavior, not benchmarks.
+    Cache c("t", 1, 4);
+    Cache::Victim v;
+    for (Addr n = 0; n < 4; n++)
+        c.insert(n * kLineBytes, v);
+    // Recency (old -> new): 0, 1, 2, 3. Touch everything but 2.
+    c.touch(*c.probe(0));
+    c.touch(*c.probe(1 * kLineBytes));
+    c.touch(*c.probe(3 * kLineBytes));
+    // Recency now: 2, 0, 1, 3 — victims must come out in that order
+    // (each inserted line becomes MRU, so it is never the next victim).
+    const Addr expect[] = {2 * kLineBytes, 0, 1 * kLineBytes,
+                           3 * kLineBytes};
+    for (std::size_t i = 0; i < 4; i++) {
+        c.insert((4 + i) * kLineBytes, v);
+        ASSERT_TRUE(v.valid);
+        EXPECT_EQ(v.addr, expect[i]) << "victim " << i;
+    }
+}
+
+TEST(Cache, ReinsertionAfterInvalidateResetsState)
+{
+    Cache c("t", 1, 2, 1, true);
+    Cache::Victim v;
+    Cache::Line &a = c.insert(0, v);
+    c.insert(kLineBytes, v);
+    a.dirty = true;
+    a.sharers = 0b11;
+    a.owner = 1;
+    c.dataOf(a)[3] = 0x77;
+    c.invalidate(0);
+    // Re-insertion must take the freed way (no eviction) and come
+    // back clean: no stale dirty/sharers/owner/payload.
+    Cache::Line &b = c.insert(0, v);
+    EXPECT_FALSE(v.valid) << "freed way must be reused, not evicted";
+    EXPECT_FALSE(b.dirty);
+    EXPECT_EQ(b.sharers, 0u);
+    EXPECT_EQ(b.owner, -1);
+    EXPECT_EQ(c.dataOf(b)[3], 0u);
+    EXPECT_NE(c.probe(kLineBytes), nullptr);
+    // And it is MRU again: the untouched neighbor is the next victim.
+    c.insert(2 * kLineBytes, v);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, kLineBytes);
+}
+
 TEST(CacheDeathTest, DoubleInsertPanics)
 {
     Cache c("t", 4, 2);
     Cache::Victim v;
     c.insert(0, v);
     EXPECT_DEATH(c.insert(0, v), "double insert");
+}
+
+TEST(CacheDeathTest, DoubleInsertPanicsPastFreeWays)
+{
+    // The duplicate check must scan the whole set, not stop at the
+    // first free way the victim search would settle on.
+    Cache c("t", 1, 4);
+    Cache::Victim v;
+    c.insert(0, v);
+    c.insert(kLineBytes, v);
+    c.invalidate(0);  // frees way 0; duplicate sits in way 1
+    EXPECT_DEATH(c.insert(kLineBytes, v), "double insert");
 }
 
 TEST(CacheDeathTest, UnalignedProbePanics)

@@ -163,7 +163,8 @@ TEST(LintFixtures, BadRootTripsEveryRuleExactly)
     EXPECT_EQ(n["R3"], 2) << "undocumentedKnob missing from dump and doc";
     EXPECT_EQ(n["R4"], 2) << "missing guard + using namespace";
     EXPECT_EQ(n["R5"], 2) << "inline float + inline latency assignment";
-    EXPECT_EQ(findings.size(), 10u);
+    EXPECT_EQ(n["R6"], 2) << "threading header + std::thread member";
+    EXPECT_EQ(findings.size(), 12u);
 }
 
 TEST(LintFixtures, BadRootFindingLocations)
@@ -178,6 +179,8 @@ TEST(LintFixtures, BadRootFindingLocations)
     EXPECT_TRUE(hasFinding(findings, "src/bad_header.hh", 3, "R4"));
     EXPECT_TRUE(hasFinding(findings, "src/mem/bad_timing.cc", 5, "R5"));
     EXPECT_TRUE(hasFinding(findings, "src/mem/bad_timing.cc", 6, "R5"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_threading.cc", 2, "R6"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_threading.cc", 7, "R6"));
 }
 
 TEST(LintFixtures, SuppressedSiteStaysQuiet)
@@ -185,6 +188,8 @@ TEST(LintFixtures, SuppressedSiteStaysQuiet)
     std::vector<Finding> findings = runOn(kFixtures + "/badroot");
     EXPECT_FALSE(hasFinding(findings, "src/bad_addr_math.cc", 19, "R1"))
         << "lint:allow(R1) on the line must suppress the finding";
+    EXPECT_FALSE(hasFinding(findings, "src/bad_threading.cc", 15, "R6"))
+        << "lint:allow(R6) on the line must suppress the finding";
 }
 
 // ------------------------------------------------------------- repo

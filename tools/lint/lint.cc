@@ -764,6 +764,85 @@ ruleR5(const SourceFile &f, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------- R6
+
+const std::set<std::string> kThreadingHeaders = {
+    "thread", "mutex", "shared_mutex", "condition_variable",
+    "stop_token", "future", "semaphore", "barrier", "latch",
+};
+
+const std::set<std::string> kThreadingIdents = {
+    "thread", "jthread", "mutex", "recursive_mutex", "timed_mutex",
+    "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+    "condition_variable", "condition_variable_any", "lock_guard",
+    "unique_lock", "scoped_lock", "shared_lock", "stop_token",
+    "stop_source", "future", "shared_future", "promise", "async",
+    "barrier", "latch", "counting_semaphore", "binary_semaphore",
+};
+
+/** The one subtree allowed to touch raw threading primitives. */
+bool
+isHarnessPath(const std::string &path)
+{
+    return path.find("src/harness/") != std::string::npos ||
+        path.rfind("harness/", 0) == 0;
+}
+
+void
+ruleR6(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (isHarnessPath(f.path))
+        return;
+    for (std::size_t ln = 0; ln < f.code.size(); ln++) {
+        const std::string &code = f.code[ln];
+        std::string hit;
+
+        // #include <thread> and friends (quoted includes are string
+        // literals and cannot name standard threading headers).
+        std::string t = code;
+        t.erase(0, t.find_first_not_of(" \t"));
+        if (t.rfind("#", 0) == 0 &&
+            t.find("include") != std::string::npos) {
+            std::size_t open = t.find('<');
+            std::size_t close = t.find('>');
+            if (open != std::string::npos &&
+                close != std::string::npos && close > open) {
+                std::string hdr = t.substr(open + 1, close - open - 1);
+                if (kThreadingHeaders.count(hdr))
+                    hit = "#include <" + hdr + ">";
+            }
+        }
+
+        // std::thread / std::jthread / std::mutex / ... tokens.
+        if (hit.empty()) {
+            std::vector<Tok> toks;
+            tokenizeLine(code, ln + 1, toks);
+            for (std::size_t i = 0; i + 3 < toks.size(); i++) {
+                if (toks[i].kind == Tok::Ident &&
+                    toks[i].text == "std" &&
+                    toks[i + 1].kind == Tok::Punct &&
+                    toks[i + 1].text == ":" &&
+                    toks[i + 2].kind == Tok::Punct &&
+                    toks[i + 2].text == ":" &&
+                    toks[i + 3].kind == Tok::Ident &&
+                    kThreadingIdents.count(toks[i + 3].text)) {
+                    hit = "std::" + toks[i + 3].text;
+                    break;
+                }
+            }
+        }
+
+        if (hit.empty() || f.allows("R6", ln + 1))
+            continue;
+        out.push_back({f.path, ln + 1, "R6",
+                       "raw threading primitive " + hit +
+                           " outside src/harness/; the simulator core "
+                           "is single-threaded by construction — "
+                           "parallelism goes through the experiment "
+                           "engine (harness/parallel.hh)"});
+    }
+}
+
 // --------------------------------------------------------- file walk
 
 bool
@@ -820,6 +899,7 @@ run(const Options &opts)
         ruleR1(f, out);
         ruleR4(f, out);
         ruleR5(f, out);
+        ruleR6(f, out);
     }
     ruleR2(sources, out);
     ruleR3(opts, out);

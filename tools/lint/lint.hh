@@ -20,6 +20,10 @@
  *       header scope.
  *   R5  Latency/energy constants live in sim/config.hh, never inline
  *       in mem/, nvm/, or core/.
+ *   R6  Raw threading primitives (std::thread, std::jthread,
+ *       std::mutex, locks, futures and their headers) are confined to
+ *       src/harness/ — the simulator core is single-threaded by
+ *       construction; parallelism goes through harness/parallel.hh.
  *
  * A finding on line N is suppressed by `// lint:allow(R#)` (comma
  * lists allowed) on line N or on the line directly above it.
@@ -38,7 +42,7 @@ namespace tvarak::lint {
 struct Finding {
     std::string file;    //!< path as reported (relative to root)
     std::size_t line;    //!< 1-based
-    std::string rule;    //!< "R1".."R5"
+    std::string rule;    //!< "R1".."R6"
     std::string message;
 
     /** `file:line: [R#] message` */
