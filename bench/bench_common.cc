@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "trace/trace.hh"
+
 namespace tvarak::bench {
 
 SimConfig
@@ -26,8 +28,44 @@ usageError(const char *prog, const char *msg, const char *arg)
     std::fprintf(stderr, "%s: %s%s%s\n", prog, msg, arg ? ": " : "",
                  arg ? arg : "");
     std::fprintf(stderr,
-                 "usage: %s [--scale N] [--jobs N] [--json]\n", prog);
+                 "usage: %s [--scale N] [--jobs N] [--json]"
+                 " [--trace-record F | --trace-replay F]\n",
+                 prog);
     std::exit(2);
+}
+
+/** True if argv[i] is `--flag` or `--flag=value`. */
+bool
+matchesFlag(const char *arg, const char *flag)
+{
+    std::size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 &&
+        (arg[n] == '\0' || arg[n] == '=');
+}
+
+/** The value of `--flag=value` or `--flag value`; advances @p i in
+ *  the space-separated form. Empty values are usage errors. */
+std::string
+flagValue(const char *prog, const char *flag, int argc, char **argv,
+          int &i)
+{
+    const char *arg = argv[i];
+    std::size_t n = std::strlen(flag);
+    std::string value;
+    if (arg[n] == '=') {
+        value = arg + n + 1;
+    } else {
+        if (i + 1 >= argc) {
+            std::string msg = std::string(flag) + " needs a value";
+            usageError(prog, msg.c_str(), nullptr);
+        }
+        value = argv[++i];
+    }
+    if (value.empty()) {
+        std::string msg = std::string("empty value for ") + flag;
+        usageError(prog, msg.c_str(), nullptr);
+    }
+    return value;
 }
 
 /** Strict decimal parse of a flag value: the whole string must be a
@@ -66,18 +104,34 @@ parseBenchArgs(int argc, char **argv, const char *what,
             args.jobs = parseCount(argv[0], "--jobs", argv[++i]);
         } else if (std::strcmp(argv[i], "--json") == 0) {
             args.json = true;
+        } else if (matchesFlag(argv[i], "--trace-record")) {
+            args.traceRecord =
+                flagValue(argv[0], "--trace-record", argc, argv, i);
+        } else if (matchesFlag(argv[i], "--trace-replay")) {
+            args.traceReplay =
+                flagValue(argv[0], "--trace-replay", argc, argv, i);
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("%s\nusage: %s [--scale N] [--jobs N] [--json]\n"
+            std::printf("%s\nusage: %s [--scale N] [--jobs N] [--json]"
+                        " [--trace-record F | --trace-replay F]\n"
                         "  --scale N  workload size multiplier "
                         "(default 1)\n"
                         "  --jobs N   experiment worker threads "
                         "(default: hardware concurrency)\n"
-                        "  --json     write results/bench_%s.json\n",
+                        "  --json     write results/bench_%s.json\n"
+                        "  --trace-record F  record once under Baseline "
+                        "into F, replay the other designs\n"
+                        "  --trace-replay F  replay every design from a "
+                        "previously recorded F\n",
                         what, argv[0], benchName);
             std::exit(0);
         } else {
             usageError(argv[0], "unknown argument", argv[i]);
         }
+    }
+    if (!args.traceRecord.empty() && !args.traceReplay.empty()) {
+        usageError(argv[0],
+                   "--trace-record and --trace-replay are exclusive",
+                   nullptr);
     }
     return args;
 }
@@ -105,6 +159,117 @@ sweepRows(const std::vector<WorkloadSpec> &specs,
     return rows;
 }
 
+namespace {
+
+/** One trace file per workload: the flag value as-is for single-spec
+ *  benches, "<file>.<workload>" when a bench sweeps several specs. */
+std::string
+tracePath(const std::string &base,
+          const std::vector<WorkloadSpec> &specs, std::size_t s)
+{
+    return specs.size() == 1 ? base : base + "." + specs[s].name;
+}
+
+/** Replay jobs for @p designs from one trace, appended to @p batch. */
+void
+pushReplayJobs(std::vector<ExperimentJob> &batch,
+               const std::string &label,
+               const std::shared_ptr<trace::TraceData> &trace,
+               const std::vector<DesignKind> &designs, bool skipRecorded)
+{
+    for (DesignKind d : designs) {
+        if (skipRecorded && d == trace->recordedDesign)
+            continue;
+        batch.push_back({label, trace->cfg, d,
+                         trace::makeReplayFactory(trace)});
+    }
+}
+
+/** Record each spec once under Baseline, replay the other designs. */
+std::vector<FigureRow>
+recordAndReplayRows(const std::vector<WorkloadSpec> &specs,
+                    const std::vector<DesignKind> &designs,
+                    const BenchArgs &args)
+{
+    std::vector<FigureRow> rows(specs.size());
+    std::vector<ExperimentJob> batch;
+    for (std::size_t s = 0; s < specs.size(); s++) {
+        std::string path = tracePath(args.traceRecord, specs, s);
+        std::fprintf(stderr, "  recording %s -> %s\n",
+                     specs[s].name.c_str(), path.c_str());
+        trace::RecordResult rec = trace::recordExperiment(
+            specs[s].cfg, DesignKind::Baseline, specs[s].make,
+            specs[s].name);
+        if (!rec.trace->save(path)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         path.c_str());
+            std::exit(1);
+        }
+        rows[s].workload = specs[s].name;
+        rows[s].results[DesignKind::Baseline] = rec.result;
+        pushReplayJobs(batch, specs[s].name, rec.trace, designs, true);
+    }
+
+    std::vector<RunResult> results = runExperiments(batch, args.jobs);
+    std::size_t k = 0;
+    for (std::size_t s = 0; s < specs.size(); s++) {
+        for (DesignKind d : designs) {
+            if (d == DesignKind::Baseline)
+                continue;
+            rows[s].results[d] = results[k++];
+        }
+    }
+    return rows;
+}
+
+/** Replay every design from the trace files of a previous record. */
+std::vector<FigureRow>
+replayRows(const std::vector<WorkloadSpec> &specs,
+           const std::vector<DesignKind> &designs, const BenchArgs &args)
+{
+    std::vector<FigureRow> rows(specs.size());
+    std::vector<ExperimentJob> batch;
+    for (std::size_t s = 0; s < specs.size(); s++) {
+        std::string path = tracePath(args.traceReplay, specs, s);
+        auto trace = trace::TraceData::load(path);
+        if (trace == nullptr) {
+            std::fprintf(stderr, "error: cannot load trace %s\n",
+                         path.c_str());
+            std::exit(1);
+        }
+        if (trace->workloadName != specs[s].name) {
+            std::fprintf(stderr,
+                         "warning: %s was recorded as '%s', replaying "
+                         "as '%s'\n",
+                         path.c_str(), trace->workloadName.c_str(),
+                         specs[s].name.c_str());
+        }
+        rows[s].workload = specs[s].name;
+        pushReplayJobs(batch, specs[s].name, trace, designs, false);
+    }
+
+    std::vector<RunResult> results = runExperiments(batch, args.jobs);
+    std::size_t k = 0;
+    for (std::size_t s = 0; s < specs.size(); s++) {
+        for (DesignKind d : designs)
+            rows[s].results[d] = results[k++];
+    }
+    return rows;
+}
+
+}  // namespace
+
+std::vector<FigureRow>
+sweepRows(const std::vector<WorkloadSpec> &specs,
+          const std::vector<DesignKind> &designs, const BenchArgs &args)
+{
+    if (!args.traceReplay.empty())
+        return replayRows(specs, designs, args);
+    if (!args.traceRecord.empty())
+        return recordAndReplayRows(specs, designs, args);
+    return sweepRows(specs, designs, args.jobs);
+}
+
 FigureRow
 sweepDesigns(const std::string &workloadName, const SimConfig &cfg,
              const WorkloadFactory &make,
@@ -118,6 +283,14 @@ sweepDesigns(const std::string &workloadName, const SimConfig &cfg,
              const WorkloadFactory &make, std::size_t jobs)
 {
     return sweepDesigns(workloadName, cfg, make, allDesigns(), jobs);
+}
+
+FigureRow
+sweepDesigns(const std::string &workloadName, const SimConfig &cfg,
+             const WorkloadFactory &make, const BenchArgs &args)
+{
+    return sweepRows({{workloadName, cfg, make}}, allDesigns(), args)
+        .front();
 }
 
 std::vector<BenchJsonEntry>

@@ -15,6 +15,15 @@
  *   --json      also write results/bench_<name>.json with the
  *               per-design numbers and the wall time of the sweep.
  *
+ *   --trace-record F   record each workload once under Baseline into
+ *                      trace file F (multi-workload benches append
+ *                      ".<workload>"), then produce the remaining
+ *                      design columns by replaying the trace — the
+ *                      record-once / replay-per-design methodology.
+ *   --trace-replay F   skip direct execution entirely: load the trace
+ *                      file(s) written by a previous --trace-record
+ *                      run and replay every design from them.
+ *
  * Unknown flags and malformed values are usage errors (exit 2) — a
  * typo must never silently run the wrong experiment.
  */
@@ -41,6 +50,10 @@ struct BenchArgs {
     /** Worker threads; 0 = defaultJobs() (hardware concurrency). */
     std::size_t jobs = 0;
     bool json = false;
+    /** --trace-record target; empty = run every design directly. */
+    std::string traceRecord;
+    /** --trace-replay source; empty = run or record, per above. */
+    std::string traceReplay;
     /** results/bench_<name>.json target (set by parseBenchArgs). */
     std::string benchName;
     /** Start of the run, for the wall-time field of the JSON dump. */
@@ -70,10 +83,25 @@ std::vector<FigureRow> sweepRows(const std::vector<WorkloadSpec> &specs,
                                  const std::vector<DesignKind> &designs,
                                  std::size_t jobs);
 
+/**
+ * As above, but honoring @p args.traceRecord / @p args.traceReplay:
+ * record each spec once under Baseline and replay the other designs,
+ * or replay every design from previously recorded trace files. With
+ * neither flag set this is plain sweepRows(specs, designs, args.jobs).
+ */
+std::vector<FigureRow> sweepRows(const std::vector<WorkloadSpec> &specs,
+                                 const std::vector<DesignKind> &designs,
+                                 const BenchArgs &args);
+
 /** Run @p make under all four designs and collect a figure row. */
 FigureRow sweepDesigns(const std::string &workloadName,
                        const SimConfig &cfg, const WorkloadFactory &make,
                        std::size_t jobs);
+
+/** All four designs, honoring the trace record/replay flags. */
+FigureRow sweepDesigns(const std::string &workloadName,
+                       const SimConfig &cfg, const WorkloadFactory &make,
+                       const BenchArgs &args);
 
 /** Run @p make under a subset of designs. */
 FigureRow sweepDesigns(const std::string &workloadName,

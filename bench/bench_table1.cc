@@ -47,7 +47,7 @@ main(int argc, char **argv)
         argc, argv, "Table I: design-space trade-offs", "table1");
     SimConfig cfg = evalConfig();
     FigureRow row = sweepDesigns("ctree-insert-only", cfg,
-                                 smallInsertFactory(), args.jobs);
+                                 smallInsertFactory(), args);
 
     std::printf(
         "\n== Table I: trade-offs among DAX NVM redundancy designs ==\n"

@@ -5,6 +5,7 @@
 
 #include "checksum/checksum.hh"
 #include "sim/log.hh"
+#include "trace/sink.hh"
 
 namespace tvarak {
 
@@ -140,6 +141,12 @@ DaxFs::filePage(int fd, std::size_t pageIdx) const
 int
 DaxFs::create(const std::string &name, std::size_t bytes)
 {
+    // FS operations are recorded as single high-level events and
+    // replayed natively; their bodies run with recording suspended so
+    // internal timed accesses are not recorded a second time.
+    trace::TraceSink *sink = mem_.traceSink();
+    bool rec = sink != nullptr && sink->active();
+    trace::SinkSuspend guard(rec ? sink : nullptr);
     fatal_if(byName_.count(name) != 0, "file %s exists", name.c_str());
     std::size_t pages = (bytes + kPageBytes - 1) / kPageBytes;
     fatal_if(pages == 0, "empty file");
@@ -162,6 +169,10 @@ DaxFs::create(const std::string &name, std::size_t bytes)
     files_.push_back(std::move(f));
     byName_[name] = fd;
     writeSuperblock();
+    // Emitted after the body: the event pins the fd allocation, which
+    // replay asserts against (fd assignment is deterministic).
+    if (rec)
+        sink->onFsCreate(name, bytes, fd);
     return fd;
 }
 
@@ -198,6 +209,11 @@ DaxFs::allocVpages(std::size_t pages)
 void
 DaxFs::remove(int fd)
 {
+    trace::TraceSink *sink = mem_.traceSink();
+    bool rec = sink != nullptr && sink->active();
+    if (rec)
+        sink->onFsRemove(fd);
+    trace::SinkSuspend guard(rec ? sink : nullptr);
     File &f = files_[static_cast<std::size_t>(fd)];
     panic_if(f.name.empty(), "remove of a removed file");
     if (f.mapped)
@@ -255,6 +271,11 @@ DaxFs::writePageChecksumRaw(Addr nvmPage)
 Addr
 DaxFs::daxMap(int fd)
 {
+    trace::TraceSink *sink = mem_.traceSink();
+    bool rec = sink != nullptr && sink->active();
+    if (rec)
+        sink->onFsDaxMap(fd);
+    trace::SinkSuspend guard(rec ? sink : nullptr);
     File &f = files_[static_cast<std::size_t>(fd)];
     if (f.mapped)
         return vbase(fd);
@@ -276,6 +297,11 @@ DaxFs::daxMap(int fd)
 void
 DaxFs::daxUnmap(int fd)
 {
+    trace::TraceSink *sink = mem_.traceSink();
+    bool rec = sink != nullptr && sink->active();
+    if (rec)
+        sink->onFsDaxUnmap(fd);
+    trace::SinkSuspend guard(rec ? sink : nullptr);
     File &f = files_[static_cast<std::size_t>(fd)];
     panic_if(!f.mapped, "unmap of unmapped file");
     // Push all dirty application data through TVARAK's update path and
@@ -311,6 +337,11 @@ void
 DaxFs::pwrite(int tid, int fd, std::size_t offset, const void *buf,
               std::size_t len)
 {
+    trace::TraceSink *sink = mem_.traceSink();
+    bool rec = sink != nullptr && sink->active();
+    if (rec)
+        sink->onFsPwrite(tid, fd, offset, buf, len);
+    trace::SinkSuspend guard(rec ? sink : nullptr);
     const File &f = file(fd);
     panic_if(offset + len > f.bytes, "pwrite beyond EOF");
     const auto *in = static_cast<const std::uint8_t *>(buf);
@@ -367,6 +398,11 @@ bool
 DaxFs::pread(int tid, int fd, std::size_t offset, void *buf,
              std::size_t len)
 {
+    trace::TraceSink *sink = mem_.traceSink();
+    bool rec = sink != nullptr && sink->active();
+    if (rec)
+        sink->onFsPread(tid, fd, offset, len);
+    trace::SinkSuspend guard(rec ? sink : nullptr);
     const File &f = file(fd);
     panic_if(offset + len > f.bytes, "pread beyond EOF");
     auto *out = static_cast<std::uint8_t *>(buf);

@@ -83,7 +83,7 @@ printFigureGroup(const std::string &caption,
             auto it = row.results.find(d);
             if (it == row.results.end())
                 continue;
-            std::printf("  %-26s %-18s data=%-12llu red=%-12llu\n",
+            std::printf("  %-26s %-18s data=%-12llu red=%llu\n",
                         row.workload.c_str(), designName(d),
                         static_cast<unsigned long long>(
                             it->second.nvmDataAccesses),

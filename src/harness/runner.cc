@@ -20,8 +20,17 @@ RunResult
 runExperiment(const SimConfig &cfg, DesignKind design,
               const WorkloadFactory &make)
 {
+    return runExperiment(cfg, design, make, RunHooks{});
+}
+
+RunResult
+runExperiment(const SimConfig &cfg, DesignKind design,
+              const WorkloadFactory &make, const RunHooks &hooks)
+{
     MemorySystem mem(cfg, design);
     DaxFs fs(mem);
+    if (hooks.onMachine)
+        hooks.onMachine(mem, fs);
     WorkloadSet set = make(mem, fs);
     panic_if(set.workloads.empty(), "empty workload set");
 
@@ -29,6 +38,8 @@ runExperiment(const SimConfig &cfg, DesignKind design,
         w->setup();
     if (set.beforeMeasure)
         set.beforeMeasure(mem);
+    if (hooks.beforeReset)
+        hooks.beforeReset(mem);
     mem.stats().reset();
 
     std::vector<bool> done(set.workloads.size(), false);
@@ -43,6 +54,8 @@ runExperiment(const SimConfig &cfg, DesignKind design,
             }
         }
     }
+    if (hooks.beforeFlush)
+        hooks.beforeFlush(mem);
     mem.flushAll();
 
     const Stats &s = mem.stats();

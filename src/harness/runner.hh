@@ -46,6 +46,19 @@ using WorkloadFactory =
     std::function<WorkloadSet(MemorySystem &, DaxFs &)>;
 
 /**
+ * Optional observation points in runExperiment, in call order. All
+ * default to absent; the trace recorder (src/trace/) is the client.
+ */
+struct RunHooks {
+    /** After machine + file system construction, before setup(). */
+    std::function<void(MemorySystem &, DaxFs &)> onMachine;
+    /** After beforeMeasure, immediately before the stats reset. */
+    std::function<void(MemorySystem &)> beforeReset;
+    /** After the last step(), immediately before the final flushAll. */
+    std::function<void(MemorySystem &)> beforeFlush;
+};
+
+/**
  * Run @p make's workloads to completion under @p design.
  *
  * Order: build machine -> setup() all -> stats reset -> round-robin
@@ -54,6 +67,11 @@ using WorkloadFactory =
  */
 RunResult runExperiment(const SimConfig &cfg, DesignKind design,
                         const WorkloadFactory &make);
+
+/** As above, with observation hooks. */
+RunResult runExperiment(const SimConfig &cfg, DesignKind design,
+                        const WorkloadFactory &make,
+                        const RunHooks &hooks);
 
 /** The four designs of the evaluation, in paper order. */
 const std::vector<DesignKind> &allDesigns();

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/log.hh"
+#include "trace/sink.hh"
 
 namespace tvarak {
 
@@ -165,6 +166,8 @@ MemorySystem::poke(Addr vaddr, const void *buf, std::size_t len)
 void
 MemorySystem::read(int tid, Addr vaddr, void *buf, std::size_t len)
 {
+    if (traceSink_ != nullptr && traceSink_->active())
+        traceSink_->onRead(tid, vaddr, len);
     auto *out = static_cast<std::uint8_t *>(buf);
     while (len > 0) {
         std::size_t off = lineOffset(vaddr);
@@ -179,6 +182,8 @@ MemorySystem::read(int tid, Addr vaddr, void *buf, std::size_t len)
 void
 MemorySystem::write(int tid, Addr vaddr, const void *buf, std::size_t len)
 {
+    if (traceSink_ != nullptr && traceSink_->active())
+        traceSink_->onWrite(tid, vaddr, buf, len);
     const auto *in = static_cast<const std::uint8_t *>(buf);
     while (len > 0) {
         std::size_t off = lineOffset(vaddr);
@@ -222,6 +227,8 @@ MemorySystem::write32(int tid, Addr vaddr, std::uint32_t value)
 void
 MemorySystem::compute(int tid, Cycles cycles)
 {
+    if (traceSink_ != nullptr && traceSink_->active())
+        traceSink_->onCompute(tid, cycles);
     // Thread ids alias onto cores; work by two tids on one core
     // serializes, so accumulating per core is the fixed-work view.
     stats_.threadCycles[static_cast<std::size_t>(tid) % l1_.size()] +=
@@ -231,6 +238,12 @@ MemorySystem::compute(int tid, Cycles cycles)
 void
 MemorySystem::computeChecksum(int tid, std::size_t bytes)
 {
+    bool rec = traceSink_ != nullptr && traceSink_->active();
+    if (rec)
+        traceSink_->onComputeChecksum(tid, bytes);
+    // Suspend over the body: the internal compute() charge belongs to
+    // this event and must not be recorded separately.
+    trace::SinkSuspend guard(rec ? traceSink_ : nullptr);
     stats_.swChecksumBytes += bytes;
     compute(tid, static_cast<Cycles>(
                      static_cast<double>(bytes) /
@@ -550,6 +563,8 @@ MemorySystem::loadNvmImage(const std::string &path)
 void
 MemorySystem::dropCaches()
 {
+    if (traceSink_ != nullptr && traceSink_->active())
+        traceSink_->onDropCaches();
     flushAll();
     for (auto &c : l1_)
         c.reset();

@@ -45,6 +45,10 @@
 
 namespace tvarak {
 
+namespace trace {
+class TraceSink;
+}  // namespace trace
+
 class MemorySystem
 {
   public:
@@ -123,6 +127,16 @@ class MemorySystem
     /** LLC data-partition ways actually available to applications. */
     std::size_t llcDataWays() const { return llcDataWays_; }
 
+    /** @name Access-trace recording (src/trace/)
+     *  The sink observes the timed API; when unset (the default) the
+     *  only overhead is one pointer compare per call. Components that
+     *  record higher-level events (DaxFs, PmemPool, RawCoverage) reach
+     *  the sink through here too. */
+    /**@{*/
+    void setTraceSink(trace::TraceSink *sink) { traceSink_ = sink; }
+    trace::TraceSink *traceSink() const { return traceSink_; }
+    /**@}*/
+
     /** @name Machine checkpointing
      *  Save/restore the NVM at-rest image (see NvmArray). Restore
      *  re-syncs the current-value store; caches must be cold. */
@@ -200,6 +214,7 @@ class MemorySystem
     std::vector<Addr> daxPageTable_;    //!< vpage -> NVM page | kUnmapped
     Addr dramBrk_;
     std::vector<std::uint64_t> lastMissLine_;  //!< per-core stride state
+    trace::TraceSink *traceSink_ = nullptr;    //!< access-trace recorder
 
     static constexpr Addr kUnmapped = ~Addr{0};
 };

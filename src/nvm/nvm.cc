@@ -236,7 +236,7 @@ NvmArray::rawRead(Addr globalAddr, void *buf, std::size_t len) const
 bool
 NvmArray::saveImage(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::FILE *f = std::fopen(path.c_str(), "wb");  // lint:allow(R7)
     if (f == nullptr)
         return false;
     std::uint64_t hdr[2] = {dimms_.size(), params_.dimmBytes};
@@ -252,7 +252,7 @@ NvmArray::saveImage(const std::string &path) const
 bool
 NvmArray::loadImage(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::FILE *f = std::fopen(path.c_str(), "rb");  // lint:allow(R7)
     if (f == nullptr)
         return false;
     std::uint64_t hdr[2];

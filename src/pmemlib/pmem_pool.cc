@@ -5,6 +5,7 @@
 
 #include "checksum/checksum.hh"
 #include "sim/log.hh"
+#include "trace/sink.hh"
 
 namespace tvarak {
 
@@ -252,10 +253,19 @@ PmemPool::recordDirty(Lane &lane, Addr vaddr, std::size_t len)
 void
 PmemPool::coverImmediate(int tid, std::vector<DirtyRange> ranges)
 {
-    RedundancyScheme *scheme = activeScheme();
-    if (scheme == nullptr || ranges.empty())
+    if (ranges.empty())
         return;
-    scheme->onCommit(tid, ranges);
+    // Recorded as a commit event even when this design has no scheme
+    // (Baseline): a replay under a TxB design re-executes the scheme's
+    // work from the recorded ranges.
+    trace::TraceSink *sink = mem_.traceSink();
+    bool rec = sink != nullptr && sink->active();
+    if (rec && schemeEnabled_)
+        sink->onCommit(tid, ranges, true, false);
+    if (RedundancyScheme *scheme = activeScheme()) {
+        trace::SinkSuspend guard(rec ? sink : nullptr);
+        scheme->onCommit(tid, ranges);
+    }
 }
 
 void
@@ -332,8 +342,17 @@ PmemPool::txCommit(int tid)
     // the lane-state range recorded at txBegin covers the final word
     // (battery-backed caches make the ordering safe, Section III-B).
     mem_.write64(tid, laneStateAddr(lane_idx), kTxIdle);
-    if (RedundancyScheme *scheme = activeScheme())
+    // Unconditional commit event (the txCommits count replays even for
+    // designs without a scheme); dirty ranges ride along only when the
+    // scheme pass below would run, so replay mirrors it exactly.
+    trace::TraceSink *sink = mem_.traceSink();
+    bool rec = sink != nullptr && sink->active();
+    if (rec)
+        sink->onCommit(tid, lane.dirty, schemeEnabled_, true);
+    if (RedundancyScheme *scheme = activeScheme()) {
+        trace::SinkSuspend guard(rec ? sink : nullptr);
         scheme->onCommit(tid, lane.dirty);
+    }
     lane.active = false;
     lane.dirty.clear();
     lane.logOff = 0;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "redundancy/scheme.hh"
+#include "trace/sink.hh"
 
 namespace tvarak {
 
@@ -42,7 +43,9 @@ class RawCoverage
     void
     onWrite(int tid, Addr vaddr, std::size_t len)
     {
-        if (scheme_ == nullptr)
+        trace::TraceSink *sink = mem_.traceSink();
+        bool rec = sink != nullptr && sink->active();
+        if (scheme_ == nullptr && !rec)
             return;
         DirtyRange r;
         r.vaddr = vaddr;
@@ -54,7 +57,14 @@ class RawCoverage
                 (lineNumber(vaddr - dataBase_)) * kChecksumBytes;
         }
         std::vector<DirtyRange> one{r};
-        scheme_->onCommit(tid, one);
+        // Recorded even when this design has no scheme (Baseline), so
+        // replay under a TxB design can re-run the scheme's work.
+        if (rec)
+            sink->onCommit(tid, one, true, false);
+        if (scheme_ != nullptr) {
+            trace::SinkSuspend guard(rec ? sink : nullptr);
+            scheme_->onCommit(tid, one);
+        }
     }
 
     /** Bytes of checksum table needed for @p dataBytes of data. */

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -115,6 +116,14 @@ struct Stats {
     /** Zero every counter (thread/DIMM vectors keep their size). */
     void reset();
 };
+
+/**
+ * Field-by-field comparison of two Stats blocks (exact, including
+ * energies: bit-identical runs must produce bit-identical doubles).
+ * @return empty string when equal, otherwise a one-line description
+ *         of the first differing field with both values.
+ */
+std::string statsDiff(const Stats &a, const Stats &b);
 
 }  // namespace tvarak
 

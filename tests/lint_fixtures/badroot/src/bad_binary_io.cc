@@ -1,0 +1,34 @@
+// Seeded violations: binary file I/O outside trace/harness/tools (R7).
+#include <cstdio>
+#include <fstream>
+
+void
+writeBlob(const char *path)
+{
+    std::FILE *f = std::fopen(path, "wb");
+    std::fclose(f);
+}
+
+void
+readBlob(const char *path)
+{
+    std::ifstream is(path, std::ios::binary);
+    (void)is;
+}
+
+void
+textModeIsFine(const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    std::fclose(f);
+    std::ofstream os(path);  // no binary flag: not a finding
+    (void)os;
+}
+
+void
+allowedDump(const char *path)
+{
+    // lint:allow(R7) suppression must hold
+    std::FILE *f = std::fopen(path, "ab");
+    std::fclose(f);
+}

@@ -1,0 +1,19 @@
+// Binary file I/O is allowed inside src/trace/ (R7 owner subtree).
+#include <cstdio>
+#include <fstream>
+
+bool
+saveRecords(const char *path)
+{
+    std::FILE *f = std::fopen(path, "wb");
+    if (f == nullptr)
+        return false;
+    return std::fclose(f) == 0;
+}
+
+bool
+loadRecords(const char *path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is.good();
+}

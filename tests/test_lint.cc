@@ -164,7 +164,8 @@ TEST(LintFixtures, BadRootTripsEveryRuleExactly)
     EXPECT_EQ(n["R4"], 2) << "missing guard + using namespace";
     EXPECT_EQ(n["R5"], 2) << "inline float + inline latency assignment";
     EXPECT_EQ(n["R6"], 2) << "threading header + std::thread member";
-    EXPECT_EQ(findings.size(), 12u);
+    EXPECT_EQ(n["R7"], 2) << "binary fopen + std::ios::binary stream";
+    EXPECT_EQ(findings.size(), 14u);
 }
 
 TEST(LintFixtures, BadRootFindingLocations)
@@ -181,6 +182,8 @@ TEST(LintFixtures, BadRootFindingLocations)
     EXPECT_TRUE(hasFinding(findings, "src/mem/bad_timing.cc", 6, "R5"));
     EXPECT_TRUE(hasFinding(findings, "src/bad_threading.cc", 2, "R6"));
     EXPECT_TRUE(hasFinding(findings, "src/bad_threading.cc", 7, "R6"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_binary_io.cc", 8, "R7"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_binary_io.cc", 15, "R7"));
 }
 
 TEST(LintFixtures, SuppressedSiteStaysQuiet)
@@ -190,6 +193,8 @@ TEST(LintFixtures, SuppressedSiteStaysQuiet)
         << "lint:allow(R1) on the line must suppress the finding";
     EXPECT_FALSE(hasFinding(findings, "src/bad_threading.cc", 15, "R6"))
         << "lint:allow(R6) on the line must suppress the finding";
+    EXPECT_FALSE(hasFinding(findings, "src/bad_binary_io.cc", 32, "R7"))
+        << "lint:allow(R7) on the line above must suppress the finding";
 }
 
 // ------------------------------------------------------------- repo

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Golden-file tests for the harness report printers. The bench
+ * drivers' human tables and csv lines are parsed by plotting scripts
+ * and eyeballed in CI logs, so the exact formatting (column widths,
+ * precision, normalization) is pinned here against synthetic rows
+ * with hand-checkable values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+
+namespace tvarak {
+namespace {
+
+RunResult
+makeResult(DesignKind d, Cycles cycles, double energyMj,
+           std::uint64_t data, std::uint64_t red, std::uint64_t cache)
+{
+    RunResult r;
+    r.design = d;
+    r.runtimeCycles = cycles;
+    r.energyMj = energyMj;
+    r.nvmDataAccesses = data;
+    r.nvmRedAccesses = red;
+    r.cacheAccesses = cache;
+    return r;
+}
+
+/** Two workloads; "beta" lacks the TxB designs (the "-" cells). */
+std::vector<FigureRow>
+sampleRows()
+{
+    FigureRow alpha;
+    alpha.workload = "alpha";
+    alpha.results[DesignKind::Baseline] =
+        makeResult(DesignKind::Baseline, 1000, 1.0, 100, 0, 1000);
+    alpha.results[DesignKind::Tvarak] =
+        makeResult(DesignKind::Tvarak, 1250, 1.5, 100, 50, 1200);
+    alpha.results[DesignKind::TxBObjectCsums] =
+        makeResult(DesignKind::TxBObjectCsums, 1500, 2.0, 100, 100,
+                   1400);
+    alpha.results[DesignKind::TxBPageCsums] =
+        makeResult(DesignKind::TxBPageCsums, 2000, 4.0, 100, 300, 1600);
+
+    FigureRow beta;
+    beta.workload = "beta";
+    beta.results[DesignKind::Baseline] =
+        makeResult(DesignKind::Baseline, 500, 0.5, 40, 0, 800);
+    beta.results[DesignKind::Tvarak] =
+        makeResult(DesignKind::Tvarak, 600, 0.8, 40, 10, 880);
+    return {alpha, beta};
+}
+
+TEST(Report, NormRuntime)
+{
+    auto rows = sampleRows();
+    EXPECT_DOUBLE_EQ(normRuntime(rows[0], DesignKind::Baseline), 1.0);
+    EXPECT_DOUBLE_EQ(normRuntime(rows[0], DesignKind::Tvarak), 1.25);
+    EXPECT_DOUBLE_EQ(normRuntime(rows[1], DesignKind::Tvarak), 1.2);
+}
+
+TEST(Report, FigureGroupGolden)
+{
+    testing::internal::CaptureStdout();
+    printFigureGroup("Fig X: sample", sampleRows());
+    std::string out = testing::internal::GetCapturedStdout();
+    const std::string golden = R"(
+== Fig X: sample ==
+
+  Runtime (normalized to Baseline)
+  workload                             Baseline             Tvarak   TxB-Object-Csums     TxB-Page-Csums
+  alpha                                   1.000              1.250              1.500              2.000
+  beta                                    1.000              1.200                  -                  -
+
+  Energy (normalized to Baseline)
+  workload                             Baseline             Tvarak   TxB-Object-Csums     TxB-Page-Csums
+  alpha                                   1.000              1.500              2.000              4.000
+  beta                                    1.000              1.600                  -                  -
+
+  NVM accesses (normalized to Baseline)
+  workload                             Baseline             Tvarak   TxB-Object-Csums     TxB-Page-Csums
+  alpha                                   1.000              1.500              2.000              4.000
+  beta                                    1.000              1.250                  -                  -
+
+  Cache accesses (normalized to Baseline)
+  workload                             Baseline             Tvarak   TxB-Object-Csums     TxB-Page-Csums
+  alpha                                   1.000              1.200              1.400              1.600
+  beta                                    1.000              1.100                  -                  -
+
+  NVM access split (absolute, data + redundancy)
+  alpha                      Baseline           data=100          red=0
+  alpha                      Tvarak             data=100          red=50
+  alpha                      TxB-Object-Csums   data=100          red=100
+  alpha                      TxB-Page-Csums     data=100          red=300
+  beta                       Baseline           data=40           red=0
+  beta                       Tvarak             data=40           red=10
+)";
+    EXPECT_EQ(out, golden);
+}
+
+TEST(Report, FigureCsvGolden)
+{
+    testing::internal::CaptureStdout();
+    printFigureCsv("fig_x", sampleRows());
+    std::string out = testing::internal::GetCapturedStdout();
+    const std::string golden = R"(
+csv,fig_x,workload,design,runtime_cycles,norm_runtime,energy_mj,nvm_data,nvm_red,cache_accesses
+csv,fig_x,alpha,Baseline,1000,1.0000,1.0000,100,0,1000
+csv,fig_x,alpha,Tvarak,1250,1.2500,1.5000,100,50,1200
+csv,fig_x,alpha,TxB-Object-Csums,1500,1.5000,2.0000,100,100,1400
+csv,fig_x,alpha,TxB-Page-Csums,2000,2.0000,4.0000,100,300,1600
+csv,fig_x,beta,Baseline,500,1.0000,0.5000,40,0,800
+csv,fig_x,beta,Tvarak,600,1.2000,0.8000,40,10,880
+)";
+    EXPECT_EQ(out, golden);
+}
+
+TEST(Report, RuntimeTableGolden)
+{
+    testing::internal::CaptureStdout();
+    printRuntimeTable("Fig Y: sensitivity", {"cfg-a", "cfg-b"},
+                      {"stream", "ctree"},
+                      {{1.0, 1.125}, {1.25, 1.5}});
+    std::string out = testing::internal::GetCapturedStdout();
+    const std::string golden = R"(
+== Fig Y: sensitivity ==
+  workload                              cfg-a            cfg-b
+  stream                                1.000            1.125
+  ctree                                 1.250            1.500
+)";
+    EXPECT_EQ(out, golden);
+}
+
+}  // namespace
+}  // namespace tvarak

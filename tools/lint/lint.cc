@@ -843,6 +843,77 @@ ruleR6(const SourceFile &f, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------- R7
+
+/** Subtrees allowed to own on-disk binary formats: the trace codec,
+ *  the harness (NVM image save/load), and the standalone tools. */
+bool
+isBinaryIoPath(const std::string &path)
+{
+    return isHarnessPath(path) ||
+        path.find("src/trace/") != std::string::npos ||
+        path.rfind("trace/", 0) == 0 ||
+        path.find("tools/") != std::string::npos;
+}
+
+/** A C stdio mode string that opens in binary mode ("wb", "r+b", …). */
+bool
+isBinaryModeString(const std::string &s)
+{
+    if (s.empty() || s.find('b') == std::string::npos)
+        return false;
+    for (char c : s)
+        if (c != 'r' && c != 'w' && c != 'a' && c != 'b' && c != '+')
+            return false;
+    return true;
+}
+
+void
+ruleR7(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (isBinaryIoPath(f.path))
+        return;
+    for (std::size_t ln = 0; ln < f.code.size(); ln++) {
+        std::vector<Tok> toks;
+        tokenizeLine(f.code[ln], ln + 1, toks);
+        bool hasFopen = false;
+        bool hasBinaryTag = false;
+        std::string streamName;
+        for (const Tok &t : toks) {
+            if (t.kind != Tok::Ident)
+                continue;
+            if (t.text == "fopen" || t.text == "freopen")
+                hasFopen = true;
+            else if (t.text == "ofstream" || t.text == "ifstream" ||
+                     t.text == "fstream")
+                streamName = t.text;
+            else if (t.text == "binary")
+                hasBinaryTag = true;
+        }
+
+        std::string hit;
+        if (hasFopen) {
+            for (const auto &lit : f.strings) {
+                if (lit.line == ln + 1 &&
+                    isBinaryModeString(lit.value)) {
+                    hit = "fopen(..., \"" + lit.value + "\")";
+                    break;
+                }
+            }
+        }
+        if (hit.empty() && !streamName.empty() && hasBinaryTag)
+            hit = "std::" + streamName + " with std::ios::binary";
+
+        if (hit.empty() || f.allows("R7", ln + 1))
+            continue;
+        out.push_back({f.path, ln + 1, "R7",
+                       "binary file I/O (" + hit +
+                           ") outside src/trace/, src/harness/ and "
+                           "tools/; on-disk formats are owned by the "
+                           "trace codec and the image/tool helpers"});
+    }
+}
+
 // --------------------------------------------------------- file walk
 
 bool
@@ -900,6 +971,7 @@ run(const Options &opts)
         ruleR4(f, out);
         ruleR5(f, out);
         ruleR6(f, out);
+        ruleR7(f, out);
     }
     ruleR2(sources, out);
     ruleR3(opts, out);

@@ -24,6 +24,10 @@
  *       std::mutex, locks, futures and their headers) are confined to
  *       src/harness/ — the simulator core is single-threaded by
  *       construction; parallelism goes through harness/parallel.hh.
+ *   R7  Binary file I/O (fopen in a binary mode, std::ofstream /
+ *       std::ifstream / std::fstream with std::ios::binary) is
+ *       confined to src/trace/, src/harness/ and tools/ — every
+ *       on-disk format has exactly one owner.
  *
  * A finding on line N is suppressed by `// lint:allow(R#)` (comma
  * lists allowed) on line N or on the line directly above it.
@@ -42,7 +46,7 @@ namespace tvarak::lint {
 struct Finding {
     std::string file;    //!< path as reported (relative to root)
     std::size_t line;    //!< 1-based
-    std::string rule;    //!< "R1".."R6"
+    std::string rule;    //!< "R1".."R7"
     std::string message;
 
     /** `file:line: [R#] message` */
