@@ -200,6 +200,10 @@ TvarakEngine::handleLlcRedVictim(const Cache::Victim &victim)
         directory_.erase(it);
     }
     if (dirty) {
+        if (nvm_.writeBlocked(victim.addr)) {
+            stats_.degradedWritesDropped++;
+            return;
+        }
         classifyRedNvmAccess(victim.addr);
         nvm_.access(victim.addr, true, data.data(), true);
     }
@@ -307,6 +311,12 @@ Cycles
 TvarakEngine::verifyFill(std::size_t bank, Addr nvmAddr,
                          std::uint8_t *lineData)
 {
+    if (verificationBlocked(nvmAddr)) {
+        // The checksum storage died with its DIMM; until the rebuild
+        // sweep recomputes it there is nothing to verify against.
+        stats_.degradedRedSkips++;
+        return params_.rangeMatchLatency;
+    }
     Cycles cycles = params_.rangeMatchLatency;
     stats_.readVerifications++;
 
@@ -456,12 +466,24 @@ TvarakEngine::updateRedundancy(std::size_t bank, Addr nvmAddr,
         break;
     }
     std::uint8_t old[kLineBytes];
-    nvm_.rawRead(nvmAddr, old, kLineBytes);
+    bool degraded = nvm_.anyDegraded();
+    if (degraded && nvm_.lineDegraded(nvmAddr)) {
+        // The old value no longer exists at rest; what reconstruction
+        // *would have returned* plays its role, so that the RAID-5
+        // degraded-write chain parity' = parity ^ old ^ new keeps
+        // reconstructing the newest acknowledged value even though the
+        // data write itself will be dropped.
+        reconstructFromParity(nvmAddr, old);
+    } else {
+        nvm_.rawRead(nvmAddr, old, kLineBytes);
+    }
     std::uint8_t diff[kLineBytes];
     xorLineInto(diff, old, newData);
 
     // Checksum update.
-    if (params_.useDaxClChecksums) {
+    if (degraded && verificationBlocked(nvmAddr)) {
+        stats_.degradedRedSkips++;  // rebuild will recompute the slot
+    } else if (params_.useDaxClChecksums) {
         Addr csum_line = layout_.daxClCsumLine(nvmAddr);
         std::uint8_t buf[kLineBytes];
         redLineAccess(bank, csum_line, false, buf, false);
@@ -478,6 +500,12 @@ TvarakEngine::updateRedundancy(std::size_t bank, Addr nvmAddr,
     // caller's subsequent data write.
     if (!lineIsZero(diff)) {
         Addr parity_line = layout_.parityLineOf(nvmAddr);
+        if (degraded && nvm_.lineDegraded(parity_line)) {
+            // Parity died with its DIMM; its whole stripe is readable
+            // directly, and the rebuild sweep recomputes the line.
+            stats_.degradedRedSkips++;
+            return;
+        }
         std::uint8_t pbuf[kLineBytes];
         redLineAccess(bank, parity_line, false, pbuf, false);
         xorLine(pbuf, diff);
@@ -525,21 +553,8 @@ TvarakEngine::recoverLine(Addr nvmAddr, bool verifyChecksum)
     if (check && lineChecksum(candidate.data()) == expected)
         return candidate;
 
-    // Rebuild from parity: the authoritative parity line (which may be
-    // dirty in the redundancy caches) XOR the sibling lines at rest.
-    std::uint8_t acc[kLineBytes];
-    peekRedLine(layout_.parityLineOf(line_addr), acc);
-    std::vector<Addr> pages;
-    layout_.stripeDataPages(line_addr, pages);
-    std::size_t offset = lineInPage(line_addr) * kLineBytes;
-    for (Addr page : pages) {
-        if (page == pageBase(line_addr))
-            continue;
-        std::uint8_t sib[kLineBytes];
-        nvm_.rawRead(page + offset, sib, kLineBytes);
-        xorLine(acc, sib);
-    }
-    std::memcpy(candidate.data(), acc, kLineBytes);
+    // Rebuild from parity (the RAID-5 degraded read).
+    reconstructFromParity(line_addr, candidate.data());
     if (check) {
         panic_if(lineChecksum(candidate.data()) != expected,
                  "unrecoverable corruption at %llx (double fault?)",
@@ -548,6 +563,97 @@ TvarakEngine::recoverLine(Addr nvmAddr, bool verifyChecksum)
     // Repair the media so subsequent reads are clean.
     nvm_.rawWrite(line_addr, candidate.data(), kLineBytes);
     return candidate;
+}
+
+void
+TvarakEngine::reconstructFromParity(Addr nvmAddr, std::uint8_t *out)
+{
+    Addr line_addr = lineBase(nvmAddr);
+    panic_if(layout_.isParityPage(line_addr),
+             "parity lines are recomputed from members, not from parity");
+    // The authoritative parity line (which may be dirty in the
+    // redundancy caches) XOR the sibling lines at rest.
+    peekRedLine(layout_.parityLineOf(line_addr), out);
+    std::vector<Addr> pages;
+    layout_.stripeDataPages(line_addr, pages);
+    std::size_t offset = lineInPage(line_addr) * kLineBytes;
+    for (Addr page : pages) {
+        if (page == pageBase(line_addr))
+            continue;
+        std::uint8_t sib[kLineBytes];
+        nvm_.rawRead(page + offset, sib, kLineBytes);
+        xorLine(out, sib);
+    }
+}
+
+//
+// Whole-DIMM failure support
+//
+
+void
+TvarakEngine::invalidateRedLinesOfDimm(std::size_t dimm)
+{
+    std::vector<Addr> doomed;
+    auto collect = [&](Cache::Line &line) {
+        if (nvm_.dimmOf(line.addr) == dimm)
+            doomed.push_back(line.addr);
+    };
+    for (auto &c : ctrlCaches_)
+        c.forEachLine(collect);
+    for (auto &p : llcRedPartitions_)
+        p.forEachLine(collect);
+    for (Addr a : doomed) {
+        for (auto &c : ctrlCaches_)
+            c.invalidate(a);
+        llcRedPartitions_[homeBank(a)].invalidate(a);
+        directory_.erase(a);
+    }
+}
+
+bool
+TvarakEngine::verificationBlocked(Addr nvmAddr) const
+{
+    if (!nvm_.anyDegraded())
+        return false;
+    if (params_.useDaxClChecksums)
+        return nvm_.lineDegraded(layout_.daxClCsumLine(nvmAddr));
+    // Naive mode re-reads the whole page: the page shares one DIMM, so
+    // its last line (highest media address) degrades first under the
+    // monotonic rebuild watermark.
+    Addr page = pageBase(nvmAddr);
+    return nvm_.lineDegraded(lineBase(layout_.pageCsumAddr(nvmAddr))) ||
+        nvm_.lineDegraded(page + (kLinesPerPage - 1) * kLineBytes);
+}
+
+Cycles
+TvarakEngine::verifyReconstructed(std::size_t bank, Addr nvmAddr,
+                                  std::uint8_t *lineData)
+{
+    // Naive page-checksum mode can never verify a degraded line: the
+    // line's own page is (by definition) partially lost, and the page
+    // checksum needs all of it.
+    if (!params_.useDaxClChecksums || verificationBlocked(nvmAddr)) {
+        stats_.degradedRedSkips++;
+        return params_.rangeMatchLatency;
+    }
+    Cycles cycles = params_.rangeMatchLatency;
+    stats_.readVerifications++;
+    Addr csum_line = layout_.daxClCsumLine(nvmAddr);
+    std::uint8_t buf[kLineBytes];
+    cycles += redLineAccess(bank, csum_line, false, buf, true);
+    std::uint64_t expected = load64(
+        buf + static_cast<std::size_t>(layout_.daxClCsumAddr(nvmAddr) -
+                                       csum_line));
+    cycles += params_.computeLatency;
+    if (lineChecksum(lineData) == expected)
+        return cycles;
+    // A reconstruction that fails its checksum means a second fault
+    // hit the stripe while the DIMM was down: with the redundancy
+    // budget exhausted the line is lost, but *detectably* so — serve
+    // loud poison, never the silently-wrong reconstruction.
+    stats_.corruptionsDetected++;
+    std::memset(lineData, NvmDimm::kPoisonByte, kLineBytes);
+    return cycles;
 }
 
 //
@@ -581,8 +687,12 @@ TvarakEngine::flushRedundancy()
         part.forEachLine([&](Cache::Line &line) {
             if (!line.dirty)
                 return;
-            classifyRedNvmAccess(line.addr);
-            nvm_.access(line.addr, true, part.dataOf(line), true);
+            if (nvm_.writeBlocked(line.addr)) {
+                stats_.degradedWritesDropped++;
+            } else {
+                classifyRedNvmAccess(line.addr);
+                nvm_.access(line.addr, true, part.dataOf(line), true);
+            }
             line.dirty = false;
         });
     }
@@ -624,6 +734,24 @@ TvarakEngine::initDaxClChecksums(Addr nvmPage)
         std::uint8_t bytes[kChecksumBytes];
         store64(bytes, csum);
         nvm_.rawWrite(entry, bytes, kChecksumBytes);
+    }
+    for (std::size_t l = 0; l < kLinesPerPage; l += kChecksumsPerLine) {
+        Addr csum_line = layout_.daxClCsumLine(nvmPage + l * kLineBytes);
+        for (std::size_t c = 0; c < banks_; c++)
+            ctrlCaches_[c].invalidate(csum_line);
+        llcRedPartitions_[homeBank(csum_line)].invalidate(csum_line);
+        directory_.erase(csum_line);
+    }
+}
+
+void
+TvarakEngine::clearDaxClChecksums(Addr nvmPage)
+{
+    panic_if(pageOffset(nvmPage) != 0, "unaligned page");
+    std::uint8_t zeros[kChecksumBytes] = {};
+    for (std::size_t l = 0; l < kLinesPerPage; l++) {
+        Addr entry = layout_.daxClCsumAddr(nvmPage + l * kLineBytes);
+        nvm_.rawWrite(entry, zeros, kChecksumBytes);
     }
     for (std::size_t l = 0; l < kLinesPerPage; l += kChecksumsPerLine) {
         Addr csum_line = layout_.daxClCsumLine(nvmPage + l * kLineBytes);

@@ -126,6 +126,39 @@ class TvarakEngine
     std::array<std::uint8_t, kLineBytes> recoverLine(
         Addr nvmAddr, bool verifyChecksum = true);
 
+    /** @name Whole-DIMM failure support */
+    /**@{*/
+    /**
+     * Reconstruct the at-rest content of data line @p nvmAddr from the
+     * authoritative parity line XOR the at-rest stripe siblings (the
+     * RAID-5 degraded read). Untimed; @p nvmAddr must not be a parity
+     * page (a parity line is recomputed from its members instead).
+     */
+    void reconstructFromParity(Addr nvmAddr, std::uint8_t *out);
+    /**
+     * Drop every cached redundancy line whose home is @p dimm: the
+     * backing storage is gone and the rebuild engine will recompute
+     * checksums and parity from data, so cached copies — dirty ones
+     * included — are dead weight that writebacks could not land anyway.
+     */
+    void invalidateRedLinesOfDimm(std::size_t dimm);
+    /**
+     * True iff @p nvmAddr's fill verification cannot run because the
+     * checksum storage it needs is itself degraded (checksum metadata
+     * is not parity protected). Callers skip and count the skip.
+     */
+    bool verificationBlocked(Addr nvmAddr) const;
+    /**
+     * Checksum-verify a line that was served by reconstruction
+     * (degraded read). Detection only: on mismatch the line is counted
+     * and poisoned — there is no second redundancy copy to recover
+     * from while the DIMM is down.
+     * @return demand-path cycles.
+     */
+    Cycles verifyReconstructed(std::size_t bank, Addr nvmAddr,
+                               std::uint8_t *lineData);
+    /**@}*/
+
     /** Write back all dirty redundancy state (battery-flush / unmap). */
     void flushRedundancy();
 
@@ -138,6 +171,11 @@ class TvarakEngine
      *  media content (checksum "downgrade" at dax-map time; untimed,
      *  performed by software per the paper). */
     void initDaxClChecksums(Addr nvmPage);
+
+    /** Zero a page's DAX-CL-checksum slots (dax-unmap time: coverage
+     *  moved back to the page-granular checksum, so the slots return
+     *  to their never-mapped state). */
+    void clearDaxClChecksums(Addr nvmPage);
 
     /** Authoritative (cache-coherent) read of a redundancy line,
      *  untimed; used by scrub/verification utilities. */

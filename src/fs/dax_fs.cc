@@ -73,8 +73,20 @@ DaxFs::writeSuperblock()
         for (std::size_t i = 0; i < kPageBytes; i++)
             acc[i] ^= buf[i];
     }
-    mem_.nvmArray().rawWrite(mem_.layout().parityPageOf(sb_page),
-                             acc.data(), kPageBytes);
+    Addr parity_page = mem_.layout().parityPageOf(sb_page);
+    mem_.nvmArray().rawWrite(parity_page, acc.data(), kPageBytes);
+    // The raw writes bypass the caches: keep the current-value store
+    // in sync for lines no cache holds (the superblock is never read
+    // through the timed path, and degraded-mode reconstruction in the
+    // current-value world depends on this parity being fresh).
+    std::uint8_t line_buf[kLineBytes];
+    for (std::size_t l = 0; l < kLinesPerPage; l++) {
+        for (Addr page : {sb_page, parity_page}) {
+            Addr line = page + l * kLineBytes;
+            mem_.nvmArray().rawRead(line, line_buf, kLineBytes);
+            mem_.refreshCurIfUncached(line, line_buf);
+        }
+    }
 }
 
 void
@@ -289,6 +301,16 @@ DaxFs::daxMap(int fd)
         Addr nvm_page = pageOfVpage(f.firstVpage + p);
         mem_.tvarak().initDaxClChecksums(nvm_page);
         mem_.tvarak().registerDaxPage(nvm_page);
+        if (mem_.design() == DesignKind::Tvarak) {
+            // Coverage moved to the DAX-CL-checksums: return the page
+            // checksum slot to a canonical zero, so the at-rest
+            // metadata image is a pure function of the mapping state
+            // (which is what the rebuild engine reproduces).
+            std::uint64_t zero = 0;
+            mem_.nvmArray().rawWrite(
+                mem_.layout().pageCsumAddr(nvm_page), &zero,
+                kChecksumBytes);
+        }
     }
     f.mapped = true;
     return vbase(fd);
@@ -311,6 +333,7 @@ DaxFs::daxUnmap(int fd)
     for (std::size_t p = 0; p < f.pages; p++) {
         Addr nvm_page = pageOfVpage(f.firstVpage + p);
         mem_.tvarak().unregisterDaxPage(nvm_page);
+        mem_.tvarak().clearDaxClChecksums(nvm_page);
         writePageChecksumRaw(nvm_page);
     }
     f.mapped = false;
@@ -461,59 +484,99 @@ DaxFs::recoverPage(int fd, std::size_t pageIdx)
 // Integrity utilities
 //
 
+bool
+DaxFs::fdLive(int fd) const
+{
+    return fd >= 0 && static_cast<std::size_t>(fd) < files_.size() &&
+        !files_[static_cast<std::size_t>(fd)].name.empty();
+}
+
+bool
+DaxFs::scrubbable(int fd) const
+{
+    const File &f = file(fd);
+    if (f.name.empty())
+        return false;
+    // Coverage of a *mapped* file depends on the active design:
+    // TVARAK maintains DAX-CL-checksums, TxB-Page-Csums maintains
+    // page checksums, TxB-Object-Csums is scrubbed via
+    // PmemPool::verifyObjects, and Baseline has no coverage (Table I).
+    DesignKind design = mem_.design();
+    return !f.mapped || design == DesignKind::Tvarak ||
+        design == DesignKind::TxBPageCsums;
+}
+
+std::size_t
+DaxFs::scrubPage(int fd, std::size_t pageIdx, bool repair)
+{
+    const File &f = file(fd);
+    panic_if(f.name.empty(), "scrubPage on removed fd %d", fd);
+    panic_if(pageIdx >= f.pages, "scrubPage page out of range");
+    Addr nvm_page = pageOfVpage(f.firstVpage + pageIdx);
+    NvmArray &nvm = mem_.nvmArray();
+    const Layout &layout = mem_.layout();
+    Stats &stats = mem_.stats();
+    bool degraded = nvm.anyDegraded();
+    // A degraded page is served by reconstruction until the rebuild
+    // engine passes it; its media is not expected to verify. The
+    // rebuild watermark is monotonic over each DIMM's media, so the
+    // page's last line degrades first.
+    if (degraded && nvm.lineDegraded(nvm_page + kPageBytes - kLineBytes))
+        return 0;
+    std::size_t bad_lines = 0;
+    if (f.mapped && mem_.design() == DesignKind::Tvarak) {
+        for (std::size_t l = 0; l < kLinesPerPage; l++) {
+            Addr line = nvm_page + l * kLineBytes;
+            Addr csum_line = layout.daxClCsumLine(line);
+            if (degraded && nvm.lineDegraded(csum_line))
+                continue;  // checksum storage itself is degraded
+            std::uint8_t data[kLineBytes];
+            nvm.rawRead(line, data, kLineBytes);
+            std::uint8_t cbuf[kLineBytes];
+            mem_.tvarak().peekRedLine(csum_line, cbuf);
+            std::uint64_t expected;
+            std::memcpy(&expected,
+                        cbuf + (layout.daxClCsumAddr(line) - csum_line),
+                        kChecksumBytes);
+            stats.scrubLines++;
+            if (lineChecksum(data) != expected) {
+                bad_lines++;
+                if (repair) {
+                    mem_.tvarak().recoverLine(line, true);
+                    stats.scrubRepairs++;
+                }
+            }
+        }
+        return bad_lines;
+    }
+    Addr slot = layout.pageCsumAddr(nvm_page);
+    if (degraded && nvm.lineDegraded(lineBase(slot)))
+        return 0;
+    std::uint8_t page[kPageBytes];
+    nvm.rawRead(nvm_page, page, kPageBytes);
+    std::uint64_t expected;
+    nvm.rawRead(slot, &expected, kChecksumBytes);
+    stats.scrubLines += kLinesPerPage;
+    if (pageChecksum(page) != expected) {
+        bad_lines++;
+        if (repair) {
+            recoverPage(fd, pageIdx);
+            stats.scrubRepairs++;
+        }
+    }
+    return bad_lines;
+}
+
 std::size_t
 DaxFs::scrub(bool repair)
 {
     std::size_t bad_lines = 0;
     for (std::size_t fd = 0; fd < files_.size(); fd++) {
-        const File &f = files_[fd];
-        // Coverage of a *mapped* file depends on the active design:
-        // TVARAK maintains DAX-CL-checksums, TxB-Page-Csums maintains
-        // page checksums, TxB-Object-Csums is scrubbed via
-        // PmemPool::verifyObjects, and Baseline has no coverage
-        // (Table I).
-        DesignKind design = mem_.design();
-        if (f.mapped && design != DesignKind::Tvarak &&
-            design != DesignKind::TxBPageCsums) {
+        int ifd = static_cast<int>(fd);
+        if (!fdLive(ifd) || !scrubbable(ifd))
             continue;
-        }
-        bool use_cl_csums = f.mapped && design == DesignKind::Tvarak;
-        for (std::size_t p = 0; p < f.pages; p++) {
-            Addr nvm_page = pageOfVpage(f.firstVpage + p);
-            if (use_cl_csums) {
-                for (std::size_t l = 0; l < kLinesPerPage; l++) {
-                    Addr line = nvm_page + l * kLineBytes;
-                    std::uint8_t data[kLineBytes];
-                    mem_.nvmArray().rawRead(line, data, kLineBytes);
-                    Addr csum_line = mem_.layout().daxClCsumLine(line);
-                    std::uint8_t cbuf[kLineBytes];
-                    mem_.tvarak().peekRedLine(csum_line, cbuf);
-                    std::uint64_t expected;
-                    std::memcpy(
-                        &expected,
-                        cbuf + (mem_.layout().daxClCsumAddr(line) -
-                                csum_line),
-                        kChecksumBytes);
-                    if (lineChecksum(data) != expected) {
-                        bad_lines++;
-                        if (repair)
-                            mem_.tvarak().recoverLine(line, true);
-                    }
-                }
-            } else {
-                std::uint8_t page[kPageBytes];
-                mem_.nvmArray().rawRead(nvm_page, page, kPageBytes);
-                std::uint64_t expected;
-                mem_.nvmArray().rawRead(
-                    mem_.layout().pageCsumAddr(nvm_page), &expected,
-                    kChecksumBytes);
-                if (pageChecksum(page) != expected) {
-                    bad_lines++;
-                    if (repair)
-                        recoverPage(static_cast<int>(fd), p);
-                }
-            }
-        }
+        for (std::size_t p = 0; p < files_[fd].pages; p++)
+            bad_lines += scrubPage(ifd, p, repair);
     }
     return bad_lines;
 }
@@ -533,6 +596,18 @@ DaxFs::verifyParity()
     for (std::size_t s = 0; s < used_stripes; s++) {
         Addr first = layout.dataBase() +
             static_cast<Addr>(s) * layout.dimms() * kPageBytes;
+        if (mem_.nvmArray().anyDegraded()) {
+            // A stripe with a degraded member cannot satisfy the
+            // invariant on media until the rebuild engine passes it.
+            bool skip = false;
+            for (std::size_t m = 0; m < layout.dimms() && !skip; m++) {
+                Addr last_line = first +
+                    static_cast<Addr>(m + 1) * kPageBytes - kLineBytes;
+                skip = mem_.nvmArray().lineDegraded(last_line);
+            }
+            if (skip)
+                continue;
+        }
         Addr parity = layout.parityPageOf(first);
         mem_.nvmArray().rawRead(parity, acc.data(), kPageBytes);
         layout.stripeDataPages(first, pages);

@@ -104,6 +104,28 @@ class DaxFs
     /** NVM-global address of file page @p pageIdx. */
     Addr filePage(int fd, std::size_t pageIdx) const;
 
+    /** Number of files ever created (fds; removed slots included). */
+    std::size_t fileSlots() const { return files_.size(); }
+    /** True iff @p fd still names a live file. */
+    bool fdLive(int fd) const;
+    /** Allocation high-water mark in vpages (superblock excluded).
+     *  Page-checksum slots of vpages at or above this were never
+     *  written; the rebuild engine restores them to zero. */
+    std::size_t vpageCursor() const { return nextDataPage_; }
+
+    /**
+     * Scrub one page of one file against its at-rest redundancy
+     * (the per-page unit the background Scrubber iterates). Skips —
+     * without counting — pages whose data or checksum storage is
+     * degraded: those are served by reconstruction until the rebuild
+     * engine passes them. Updates the scrubLines/scrubRepairs stats.
+     * @return number of corrupted lines found.
+     */
+    std::size_t scrubPage(int fd, std::size_t pageIdx, bool repair);
+    /** True iff @p fd's redundancy coverage is scrubbable under the
+     *  active design (Table I). */
+    bool scrubbable(int fd) const;
+
     /** Rebuild one file page from parity (untimed).
      *  @return true if the page verifies after repair. */
     bool recoverPage(int fd, std::size_t pageIdx);

@@ -1,0 +1,56 @@
+#include "fs/scrubber.hh"
+
+#include "pmemlib/pmem_pool.hh"
+#include "sim/types.hh"
+
+namespace tvarak {
+
+Scrubber::Scrubber(DaxFs &fs, bool repair) : fs_(fs), repair_(repair) {}
+
+bool
+Scrubber::seek()
+{
+    // The namespace can change between steps: clamp and skip instead
+    // of assuming the cursor is still valid.
+    while (fd_ < fs_.fileSlots()) {
+        int fd = static_cast<int>(fd_);
+        if (fs_.fdLive(fd) && fs_.scrubbable(fd) &&
+            page_ < fs_.filePages(fd)) {
+            return true;
+        }
+        fd_++;
+        page_ = 0;
+    }
+    return false;
+}
+
+std::size_t
+Scrubber::step(std::size_t lineBudget)
+{
+    std::size_t bad = 0;
+    std::size_t lines = 0;
+    while (lines < lineBudget) {
+        if (!seek()) {
+            // Pass complete: wrap, and give object-granular coverage
+            // its (unbudgetable) sweep.
+            passes_++;
+            if (pool_ != nullptr)
+                badObjectsTotal_ += pool_->verifyObjects();
+            fd_ = 0;
+            page_ = 0;
+            if (!seek())
+                break;  // nothing scrubbable at all
+        }
+        bad += fs_.scrubPage(static_cast<int>(fd_), page_, repair_);
+        lines += kLinesPerPage;
+        page_++;
+        if (page_ >= fs_.filePages(static_cast<int>(fd_))) {
+            fd_++;
+            page_ = 0;
+        }
+    }
+    badLinesTotal_ += bad;
+    return bad;
+}
+
+}  // namespace tvarak

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scrubber: rate-limited background integrity scrubbing.
+ *
+ * Generalizes DaxFs::scrub() into an incremental service that runs
+ * under all four designs while a workload executes: each step() call
+ * verifies at most a budgeted number of lines against their at-rest
+ * redundancy (DaxFs::scrubPage picks the coverage per Table I —
+ * DAX-CL-checksums for TVARAK-mapped files, page checksums otherwise)
+ * and optionally repairs mismatches from parity. A cursor of
+ * (fd, page) persists across steps; when it wraps, one *pass* is
+ * complete. Under TxB-Object-Csums an attached PmemPool is swept with
+ * verifyObjects() at the end of each pass (object-granular coverage
+ * cannot be line-budgeted).
+ *
+ * Degraded pages are skipped (inside DaxFs::scrubPage) — they are
+ * served by reconstruction until the rebuild engine passes them — so
+ * the scrubber can keep running across a whole-DIMM failure.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "fs/dax_fs.hh"
+
+namespace tvarak {
+
+class PmemPool;
+
+class Scrubber
+{
+  public:
+    /** @param repair  rebuild corrupted lines from parity in place. */
+    Scrubber(DaxFs &fs, bool repair);
+
+    /** Sweep @p pool's objects at each pass end (TxB-Object-Csums). */
+    void attachPool(const PmemPool *pool) { pool_ = pool; }
+
+    /**
+     * Scrub forward by at most @p lineBudget lines. Files created or
+     * removed between steps are picked up on the fly.
+     * @return corrupted lines found in this step.
+     */
+    std::size_t step(std::size_t lineBudget);
+
+    /** Complete passes over the namespace so far. */
+    std::size_t passes() const { return passes_; }
+    /** Corrupted lines found since construction. */
+    std::size_t badLinesTotal() const { return badLinesTotal_; }
+    /** Object-checksum mismatches found by pool sweeps. */
+    std::size_t badObjectsTotal() const { return badObjectsTotal_; }
+
+  private:
+    /** Advance the cursor to the next live, scrubbable page. */
+    bool seek();
+
+    DaxFs &fs_;
+    const PmemPool *pool_ = nullptr;
+    bool repair_;
+    std::size_t fd_ = 0;    //!< cursor: file slot
+    std::size_t page_ = 0;  //!< cursor: page within fd_
+    std::size_t passes_ = 0;
+    std::size_t badLinesTotal_ = 0;
+    std::size_t badObjectsTotal_ = 0;
+};
+
+}  // namespace tvarak

@@ -56,6 +56,14 @@ double cacheValue(const RunResult &r)
     return static_cast<double>(r.cacheAccesses);
 }
 
+bool
+sawResilienceEvents(const Stats &s)
+{
+    return s.corruptionsDetected || s.recoveries || s.degradedReads ||
+        s.degradedWritesDropped || s.degradedRedSkips || s.rebuildLines ||
+        s.scrubLines || s.scrubRepairs;
+}
+
 }  // namespace
 
 double
@@ -89,6 +97,46 @@ printFigureGroup(const std::string &caption,
                             it->second.nvmDataAccesses),
                         static_cast<unsigned long long>(
                             it->second.nvmRedAccesses));
+        }
+    }
+
+    printResilienceSection(rows);
+}
+
+void
+printResilienceSection(const std::vector<FigureRow> &rows)
+{
+    bool any = false;
+    for (const FigureRow &row : rows)
+        for (const auto &kv : row.results)
+            any = any || sawResilienceEvents(kv.second.stats);
+    if (!any)
+        return;
+
+    std::printf("\n  Resilience events (absolute; faults, recovery, "
+                "degraded mode)\n");
+    for (const FigureRow &row : rows) {
+        for (DesignKind d : allDesigns()) {
+            auto it = row.results.find(d);
+            if (it == row.results.end() ||
+                !sawResilienceEvents(it->second.stats))
+                continue;
+            const Stats &s = it->second.stats;
+            std::printf("  %-26s %-18s det=%-8llu rec=%-8llu "
+                        "dread=%-8llu wdrop=%-8llu rskip=%-8llu "
+                        "rebuild=%-10llu scrub=%-10llu fix=%llu\n",
+                        row.workload.c_str(), designName(d),
+                        static_cast<unsigned long long>(
+                            s.corruptionsDetected),
+                        static_cast<unsigned long long>(s.recoveries),
+                        static_cast<unsigned long long>(s.degradedReads),
+                        static_cast<unsigned long long>(
+                            s.degradedWritesDropped),
+                        static_cast<unsigned long long>(
+                            s.degradedRedSkips),
+                        static_cast<unsigned long long>(s.rebuildLines),
+                        static_cast<unsigned long long>(s.scrubLines),
+                        static_cast<unsigned long long>(s.scrubRepairs));
         }
     }
 }

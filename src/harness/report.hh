@@ -26,6 +26,15 @@ struct FigureRow {
 void printFigureGroup(const std::string &caption,
                       const std::vector<FigureRow> &rows);
 
+/**
+ * Print the resilience-event counters (detection, recovery, degraded
+ * mode, rebuild, scrubbing) for every (workload, design) run that saw
+ * at least one such event. Runs where nothing failed print nothing, so
+ * fault-free benches keep their familiar output; printFigureGroup
+ * appends this section automatically when any counter is nonzero.
+ */
+void printResilienceSection(const std::vector<FigureRow> &rows);
+
 /** Print a single quantity table (used by Fig 9 / Fig 10 benches). */
 void printRuntimeTable(const std::string &caption,
                        const std::vector<std::string> &columnNames,

@@ -44,6 +44,7 @@ runExperiment(const SimConfig &cfg, DesignKind design,
 
     std::vector<bool> done(set.workloads.size(), false);
     std::size_t remaining = set.workloads.size();
+    std::size_t passes = 0;
     while (remaining > 0) {
         for (std::size_t i = 0; i < set.workloads.size(); i++) {
             if (done[i])
@@ -53,6 +54,9 @@ runExperiment(const SimConfig &cfg, DesignKind design,
                 remaining--;
             }
         }
+        passes++;
+        if (hooks.onStep)
+            hooks.onStep(mem, passes);
     }
     if (hooks.beforeFlush)
         hooks.beforeFlush(mem);

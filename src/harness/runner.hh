@@ -54,6 +54,11 @@ struct RunHooks {
     std::function<void(MemorySystem &, DaxFs &)> onMachine;
     /** After beforeMeasure, immediately before the stats reset. */
     std::function<void(MemorySystem &)> beforeReset;
+    /** After every round-robin scheduling pass over the workload set,
+     *  with the number of passes completed so far (1-based). Lets a
+     *  driver inject faults or run maintenance (rebuild, scrubbing)
+     *  interleaved with the measured run. */
+    std::function<void(MemorySystem &, std::size_t)> onStep;
     /** After the last step(), immediately before the final flushAll. */
     std::function<void(MemorySystem &)> beforeFlush;
 };

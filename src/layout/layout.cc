@@ -115,6 +115,18 @@ Layout::nthDataPage(std::size_t index) const
 }
 
 std::size_t
+Layout::dataPageIndexOf(Addr a) const
+{
+    panic_if(isParityPage(a), "dataPageIndexOf on a parity page");
+    std::size_t s = stripeOf(a);
+    std::size_t member =
+        static_cast<std::size_t>((a - dataBase_) / kPageBytes) % dimms_;
+    std::size_t parity_member = dimms_ - 1 - (s % dimms_);
+    std::size_t k = member < parity_member ? member : member - 1;
+    return s * (dimms_ - 1) + k;
+}
+
+std::size_t
 Layout::allocatableDataPages() const
 {
     return stripes_ * (dimms_ - 1);

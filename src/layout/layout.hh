@@ -82,6 +82,8 @@ class Layout
      * @param index  n-th data page, 0-based.
      */
     Addr nthDataPage(std::size_t index) const;
+    /** Inverse of nthDataPage(); panics on a parity page. */
+    std::size_t dataPageIndexOf(Addr a) const;
     /** Number of allocatable (non-parity) data pages. */
     std::size_t allocatableDataPages() const;
 

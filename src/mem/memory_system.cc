@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "checksum/checksum.hh"
 #include "sim/log.hh"
 #include "trace/sink.hh"
 
@@ -367,11 +368,16 @@ MemorySystem::llcEnsure(int core, Addr paddr, bool isNvm, bool isWrite,
         if (isNvm) {
             Addr g = nvmGlobal(paddr);
             std::uint8_t media[kLineBytes];
-            lat += nvm_.access(g, false, media, isRedundancyAddr(g));
-            if (design_ == DesignKind::Tvarak && engine_.isDaxData(g)) {
-                Cycles verify = engine_.verifyFill(bank, g, media);
-                if (cfg_.tvarak.syncVerification)
-                    lat += verify;
+            if (nvm_.anyDegraded() && nvm_.lineDegraded(g)) {
+                lat += degradedFill(bank, g, media);
+            } else {
+                lat += nvm_.access(g, false, media, isRedundancyAddr(g));
+                if (design_ == DesignKind::Tvarak &&
+                    engine_.isDaxData(g)) {
+                    Cycles verify = engine_.verifyFill(bank, g, media);
+                    if (cfg_.tvarak.syncVerification)
+                        lat += verify;
+                }
             }
             // The fill's view becomes the architectural value.
             std::memcpy(funcPtr(paddr, true), media, kLineBytes);
@@ -459,9 +465,13 @@ MemorySystem::prefetchLine(Addr paddr, bool isNvm)
     if (isNvm) {
         Addr g = nvmGlobal(paddr);
         std::uint8_t media[kLineBytes];
-        nvm_.access(g, false, media, isRedundancyAddr(g));
-        if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
-            engine_.verifyFill(bank, g, media);
+        if (nvm_.anyDegraded() && nvm_.lineDegraded(g)) {
+            degradedFill(bank, g, media);
+        } else {
+            nvm_.access(g, false, media, isRedundancyAddr(g));
+            if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
+                engine_.verifyFill(bank, g, media);
+        }
         std::memcpy(funcPtr(paddr, true), media, kLineBytes);
     } else {
         stats_.dramReads++;
@@ -502,6 +512,16 @@ MemorySystem::writebackNvmLine(std::size_t bank, Addr paddr,
     std::uint8_t *cur = funcPtr(paddr, true);
     if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
         engine_.updateRedundancy(bank, g, cur, source);
+    if (nvm_.anyDegraded() && nvm_.writeBlocked(g)) {
+        // The home DIMM is dead: the data write is dropped — but the
+        // redundancy update above already absorbed the new value into
+        // parity, so a degraded read reconstructs it. The write is
+        // lost only where no scheme maintains parity, and then it is
+        // *detectably* lost (checksums) or pinned as unprotected
+        // (Baseline).
+        stats_.degradedWritesDropped++;
+        return;
+    }
     nvm_.access(g, true, cur, isRedundancyAddr(g));
 }
 
@@ -543,6 +563,183 @@ MemorySystem::llcHandleVictim(std::size_t bank,
     }
 }
 
+void
+MemorySystem::failDimm(std::size_t dimm)
+{
+    // Order matters: the array flips the DIMM state and poisons its
+    // media first, so everything below sees the degraded world.
+    nvm_.failDimm(dimm);
+    // Cached redundancy lines homed on the dead DIMM could never be
+    // written back; the rebuild engine recomputes them from data.
+    engine_.invalidateRedLinesOfDimm(dimm);
+    // Current values that no cache still holds are architecturally
+    // lost until reconstructed. Poison them so any path that consumes
+    // one without going through a (reconstructing) fill is loudly
+    // wrong, never silently stale. LLC inclusion makes the LLC probe
+    // cover the private levels too.
+    for (Addr m = 0; m < cfg_.nvm.dimmBytes; m += kLineBytes) {
+        Addr paddr = kNvmPhysBase + nvm_.globalAddrOf(dimm, m);
+        if (llc_[bankOf(paddr)].probe(paddr) == nullptr) {
+            std::memset(funcPtr(paddr, true), NvmDimm::kPoisonByte,
+                        kLineBytes);
+        }
+    }
+}
+
+void
+MemorySystem::replaceDimm(std::size_t dimm)
+{
+    nvm_.replaceDimm(dimm);
+}
+
+void
+MemorySystem::memberLine(Addr nvmAddr, std::uint8_t *out, bool charge)
+{
+    if (design_ == DesignKind::Tvarak && engine_.isDaxData(nvmAddr)) {
+        // TVARAK maintains parity against at-rest values.
+        nvm_.rawRead(nvmAddr, out, kLineBytes);
+    } else {
+        // Software schemes update parity synchronously with the data
+        // write (DaxFs pwrite; TxB schemes at commit), i.e. against
+        // current values.
+        std::memcpy(out, funcPtr(kNvmPhysBase + nvmAddr, true),
+                    kLineBytes);
+    }
+    if (charge)
+        nvm_.charge(nvmAddr, false, false);
+}
+
+bool
+MemorySystem::stripeIsEngineWorld(Addr line)
+{
+    if (design_ != DesignKind::Tvarak)
+        return false;
+    std::vector<Addr> pages;
+    layout_.stripeDataPages(line, pages);
+    for (Addr p : pages) {
+        if (engine_.isDaxData(p))
+            return true;
+    }
+    return false;
+}
+
+bool
+MemorySystem::reconstructLine(Addr nvmAddr, std::uint8_t *out, bool charge)
+{
+    Addr line = lineBase(nvmAddr);
+    if (layout_.isMetaAddr(line)) {
+        // Checksum metadata is not parity protected: its content is
+        // gone with the DIMM. Loud poison turns every downstream
+        // checksum consumer's mismatch into a *detected* loss instead
+        // of a silent wrong answer; the rebuild engine recomputes the
+        // slots from data.
+        std::memset(out, NvmDimm::kPoisonByte, kLineBytes);
+        return false;
+    }
+    if (!layout_.isDataAddr(line)) {
+        // Capacity beyond the last full stripe is never allocated.
+        std::memset(out, 0, kLineBytes);
+        return true;
+    }
+    Addr off = pageOffset(line);
+    std::vector<Addr> pages;
+    layout_.stripeDataPages(line, pages);
+    bool engine_world = stripeIsEngineWorld(line);
+    if (layout_.isParityPage(line)) {
+        // A parity member is the XOR of its stripe's data members, in
+        // whichever world maintains this stripe's parity.
+        std::memset(out, 0, kLineBytes);
+        for (Addr page : pages) {
+            std::uint8_t sib[kLineBytes];
+            if (engine_world)
+                nvm_.rawRead(page + off, sib, kLineBytes);
+            else
+                memberLine(page + off, sib, false);
+            if (charge)
+                nvm_.charge(page + off, false, false);
+            xorLine(out, sib);
+        }
+        return true;
+    }
+    Addr parity_line = layout_.parityLineOf(line);
+    if (engine_world) {
+        // At-rest world: the engine reads parity through its coherent
+        // caches and the siblings from raw media.
+        engine_.reconstructFromParity(line, out);
+        if (charge) {
+            nvm_.charge(parity_line, false, true);
+            for (Addr page : pages) {
+                if (page != pageBase(line))
+                    nvm_.charge(page + off, false, false);
+            }
+        }
+        return true;
+    }
+    std::memcpy(out, funcPtr(kNvmPhysBase + parity_line, true),
+                kLineBytes);
+    if (charge)
+        nvm_.charge(parity_line, false, true);
+    for (Addr page : pages) {
+        if (page == pageBase(line))
+            continue;
+        std::uint8_t sib[kLineBytes];
+        memberLine(page + off, sib, charge);
+        xorLine(out, sib);
+    }
+    return true;
+}
+
+Cycles
+MemorySystem::degradedFill(std::size_t bank, Addr g, std::uint8_t *media)
+{
+    stats_.degradedReads++;
+    reconstructLine(g, media, true);
+    // The surviving DIMMs are read in parallel: one device latency on
+    // the demand path (per-member occupancy and energy are charged by
+    // reconstructLine above).
+    Cycles lat = nvm_.readLatency();
+    if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
+        lat += engine_.verifyReconstructed(bank, g, media);
+    return lat;
+}
+
+void
+MemorySystem::refreshCurIfUncached(Addr nvmAddr, const std::uint8_t *data)
+{
+    Addr paddr = kNvmPhysBase + lineBase(nvmAddr);
+    if (llc_[bankOf(paddr)].probe(paddr) == nullptr)
+        std::memcpy(funcPtr(paddr, true), data, kLineBytes);
+}
+
+void
+MemorySystem::rebuildRead(Addr nvmAddr, std::uint8_t *out)
+{
+    Addr line = lineBase(nvmAddr);
+    if (nvm_.anyDegraded() && nvm_.lineDegraded(line))
+        reconstructLine(line, out, false);
+    else
+        memberLine(line, out, false);
+}
+
+void
+MemorySystem::refreshDegradedCurrent()
+{
+    std::uint8_t buf[kLineBytes];
+    for (std::size_t d = 0; d < cfg_.nvm.dimms; d++) {
+        if (nvm_.dimmState(d) == NvmArray::DimmState::Healthy)
+            continue;
+        Addr start = nvm_.dimmState(d) == NvmArray::DimmState::Rebuilding
+            ? nvm_.rebuildWatermark(d)
+            : 0;
+        for (Addr m = start; m < cfg_.nvm.dimmBytes; m += kLineBytes) {
+            Addr g = nvm_.globalAddrOf(d, m);
+            reconstructLine(g, buf, false);
+            std::memcpy(funcPtr(kNvmPhysBase + g, true), buf,
+                        kLineBytes);
+        }
+    }
+}
+
 bool
 MemorySystem::saveNvmImage(const std::string &path)
 {
@@ -576,6 +773,10 @@ MemorySystem::dropCaches()
     // Re-sync the current-value store with the media so the cold
     // state is exactly what fills will observe.
     nvm_.rawRead(0, nvmCur_.data(), nvmCur_.size());
+    // A degraded DIMM's media reads as poison; re-derive whatever is
+    // recoverable so cold fills observe the reconstructed values.
+    if (nvm_.anyDegraded())
+        refreshDegradedCurrent();
 }
 
 void

@@ -97,6 +97,47 @@ class MemorySystem
     bool translate(Addr vaddr, Addr &paddr, bool &isNvm) const;
     /**@}*/
 
+    /** @name Whole-DIMM failure lifecycle (tentpole of the fault model)
+     *  failDimm() kills a device mid-workload: its media content is
+     *  gone, cached lines survive in SRAM, and every subsequent fill
+     *  of a lost line is reconstructed on the fly from cross-DIMM
+     *  parity + surviving data (a *degraded read*, charged one device
+     *  latency since the surviving DIMMs are read in parallel).
+     *  replaceDimm() installs a fresh device; the RebuildEngine
+     *  (src/redundancy/rebuild.*) then sweeps it back to full
+     *  redundancy while the workload keeps running. */
+    /**@{*/
+    void failDimm(std::size_t dimm);
+    void replaceDimm(std::size_t dimm);
+    /**
+     * Best-effort reconstruction of @p nvmAddr's content without its
+     * home DIMM. Data lines come from parity + stripe siblings (the
+     * TVARAK engine's at-rest world for registered pages, the
+     * current-value world otherwise); parity lines are recomputed from
+     * their stripe members; metadata is not parity protected and comes
+     * back as poison.
+     *
+     * @param charge  account the surviving-DIMM reads (energy,
+     *                occupancy) — true on architectural paths, false
+     *                for untimed maintenance.
+     * @return false iff the content is unrecoverable (metadata).
+     */
+    bool reconstructLine(Addr nvmAddr, std::uint8_t *out, bool charge);
+    /**
+     * Install @p data as the current value of @p nvmAddr unless some
+     * cache still holds the line (then the cached value is newer).
+     * Used by the rebuild engine as it un-degrades lines.
+     */
+    void refreshCurIfUncached(Addr nvmAddr, const std::uint8_t *data);
+    /**
+     * Degraded-aware untimed read of data line @p nvmAddr in its
+     * redundancy world (at-rest media for TVARAK-registered lines,
+     * current value otherwise); reconstructs if the line is degraded.
+     * Used by the rebuild engine to recompute checksum metadata.
+     */
+    void rebuildRead(Addr nvmAddr, std::uint8_t *out);
+    /**@}*/
+
     /** Write back every dirty line everywhere (battery flush). */
     void flushAll();
 
@@ -189,6 +230,22 @@ class MemorySystem
 
     /** Handle an eviction from an LLC data partition. */
     void llcHandleVictim(std::size_t bank, const Cache::Victim &victim);
+
+    /** Degraded-mode fill of @p g: reconstruct instead of reading the
+     *  dead DIMM. @return demand-path cycles. */
+    Cycles degradedFill(std::size_t bank, Addr g, std::uint8_t *media);
+
+    /** One stripe member's value for reconstruction (at-rest for
+     *  TVARAK-registered pages, current otherwise). */
+    void memberLine(Addr nvmAddr, std::uint8_t *out, bool charge);
+
+    /** True iff @p line's stripe has a TVARAK-registered member, i.e.
+     *  the engine maintains the stripe's parity in the at-rest world
+     *  (raw superblock writes keep that invariant too). */
+    bool stripeIsEngineWorld(Addr line);
+
+    /** Re-derive current values of all degraded lines (cold caches). */
+    void refreshDegradedCurrent();
 
     /** Write one dirty NVM line back to media (TVARAK update hook). */
     void writebackNvmLine(std::size_t bank, Addr paddr,

@@ -40,6 +40,7 @@ NvmDimm::computeEcc(Addr lineAddr) const
 void
 NvmDimm::firmwareRead(Addr mediaAddr, void *buf)
 {
+    panic_if(failed_, "firmware read of a failed DIMM");
     panic_if(lineOffset(mediaAddr) != 0, "unaligned firmware read");
     checkAddr(mediaAddr, kLineBytes);
     Addr src = mediaAddr;
@@ -59,6 +60,7 @@ NvmDimm::firmwareRead(Addr mediaAddr, void *buf)
 void
 NvmDimm::firmwareWrite(Addr mediaAddr, const void *buf)
 {
+    panic_if(failed_, "firmware write of a failed DIMM");
     panic_if(lineOffset(mediaAddr) != 0, "unaligned firmware write");
     checkAddr(mediaAddr, kLineBytes);
     Addr dst = mediaAddr;
@@ -93,6 +95,8 @@ void
 NvmDimm::rawWrite(Addr mediaAddr, const void *buf, std::size_t len)
 {
     checkAddr(mediaAddr, len);
+    if (failed_)
+        return;  // writes to a dead device vanish
     std::memcpy(media_.data() + mediaAddr, buf, len);
     for (Addr a = lineBase(mediaAddr); a < mediaAddr + len;
          a += kLineBytes) {
@@ -144,12 +148,37 @@ NvmDimm::clearInjectedBugs()
     writeBugs_.clear();
 }
 
+void
+NvmDimm::fail()
+{
+    failed_ = true;
+    // The content is gone. Poison instead of zero so that any path
+    // that wrongly consumes a dead line produces loudly wrong bytes
+    // (which the system checksums then flag) rather than plausible
+    // zeroes.
+    std::fill(media_.begin(), media_.end(), kPoisonByte);
+    std::fill(ecc_.begin(), ecc_.end(), std::uint8_t{0});
+    clearInjectedBugs();
+}
+
+void
+NvmDimm::replace()
+{
+    panic_if(!failed_, "replacing a healthy DIMM");
+    failed_ = false;
+    std::fill(media_.begin(), media_.end(), std::uint8_t{0});
+    std::uint8_t zero_ecc = computeEcc(0);
+    std::fill(ecc_.begin(), ecc_.end(), zero_ecc);
+}
+
 NvmArray::NvmArray(const NvmParams &params, const SimConfig &cfg,
                    Stats &stats)
     : params_(params), stats_(stats)
 {
     for (std::size_t i = 0; i < params.dimms; i++)
         dimms_.push_back(std::make_unique<NvmDimm>(params.dimmBytes));
+    state_.assign(dimms_.size(), DimmState::Healthy);
+    watermark_.assign(dimms_.size(), 0);
     readCycles_ = cfg.nsToCycles(params.readNs);
     writeCycles_ = cfg.nsToCycles(params.writeNs);
     readBusy_ =
@@ -171,12 +200,83 @@ NvmArray::mediaAddrOf(Addr globalAddr) const
         pageOffset(globalAddr);
 }
 
+Addr
+NvmArray::globalAddrOf(std::size_t dimm, Addr mediaAddr) const
+{
+    return (pageNumber(mediaAddr) * dimms_.size() + dimm) * kPageBytes +
+        pageOffset(mediaAddr);
+}
+
+void
+NvmArray::failDimm(std::size_t dimm)
+{
+    panic_if(dimm >= dimms_.size(), "failDimm: bad DIMM index %zu", dimm);
+    for (std::size_t i = 0; i < dimms_.size(); i++) {
+        panic_if(i != dimm && state_[i] != DimmState::Healthy,
+                 "double device fault: DIMM %zu already degraded", i);
+    }
+    panic_if(state_[dimm] != DimmState::Healthy,
+             "failDimm: DIMM %zu is not healthy", dimm);
+    state_[dimm] = DimmState::Failed;
+    degradedDimms_++;
+    dimms_[dimm]->fail();
+}
+
+void
+NvmArray::replaceDimm(std::size_t dimm)
+{
+    panic_if(dimm >= dimms_.size(), "replaceDimm: bad DIMM index %zu",
+             dimm);
+    panic_if(state_[dimm] != DimmState::Failed,
+             "replaceDimm: DIMM %zu has not failed", dimm);
+    state_[dimm] = DimmState::Rebuilding;
+    watermark_[dimm] = 0;
+    dimms_[dimm]->replace();
+}
+
+void
+NvmArray::setRebuildWatermark(std::size_t dimm, Addr mediaAddr)
+{
+    panic_if(state_[dimm] != DimmState::Rebuilding,
+             "watermark on a DIMM that is not rebuilding");
+    panic_if(mediaAddr < watermark_[dimm], "rebuild watermark moved back");
+    watermark_[dimm] = mediaAddr;
+}
+
+void
+NvmArray::finishRebuild(std::size_t dimm)
+{
+    panic_if(state_[dimm] != DimmState::Rebuilding,
+             "finishRebuild on a DIMM that is not rebuilding");
+    state_[dimm] = DimmState::Healthy;
+    watermark_[dimm] = 0;
+    degradedDimms_--;
+}
+
+bool
+NvmArray::lineDegradedSlow(Addr globalAddr) const
+{
+    std::size_t d = dimmOf(globalAddr);
+    switch (state_[d]) {
+      case DimmState::Healthy:
+        return false;
+      case DimmState::Failed:
+        return true;
+      case DimmState::Rebuilding:
+        return mediaAddrOf(globalAddr) >= watermark_[d];
+    }
+    return false;  // unreachable
+}
+
 Cycles
 NvmArray::access(Addr globalAddr, bool isWrite, void *buf, bool redundancy)
 {
     std::size_t d = dimmOf(globalAddr);
     Addr media = mediaAddrOf(globalAddr);
     if (isWrite) {
+        panic_if(degradedDimms_ != 0 && writeBlocked(globalAddr),
+                 "firmware write to failed DIMM %zu (caller must drop "
+                 "blocked writes)", d);
         dimms_[d]->firmwareWrite(media, buf);
         stats_.nvmEnergy += params_.writeEnergy;
         stats_.dimmBusyCycles[d] += writeBusy_;
@@ -186,6 +286,9 @@ NvmArray::access(Addr globalAddr, bool isWrite, void *buf, bool redundancy)
             stats_.nvmDataWrites++;
         return writeCycles_;
     }
+    panic_if(degradedDimms_ != 0 && lineDegraded(globalAddr),
+             "firmware read of degraded line on DIMM %zu (caller must "
+             "reconstruct)", d);
     dimms_[d]->firmwareRead(media, buf);
     stats_.nvmEnergy += params_.readEnergy;
     stats_.dimmBusyCycles[d] += readBusy_;

@@ -78,6 +78,23 @@ class NvmDimm
     void clearInjectedBugs();
     /**@}*/
 
+    /** @name Whole-device failure lifecycle
+     *  fail() models the DIMM dying: the media content is gone (filled
+     *  with a poison byte so that any read which should have been
+     *  reconstructed instead returns loud garbage), pending injected
+     *  bugs are dropped, and firmware accesses panic — the memory
+     *  system must route around a failed device. Raw reads still
+     *  return the poison (downstream checksum checks turn it into a
+     *  *detected* loss); raw writes are silently discarded. replace()
+     *  installs a fresh, zeroed device in the slot. */
+    /**@{*/
+    void fail();
+    void replace();
+    bool failed() const { return failed_; }
+    /** The byte a failed device's media reads as. */
+    static constexpr std::uint8_t kPoisonByte = 0xDB;
+    /**@}*/
+
     std::size_t bytes() const { return media_.size(); }
     /** Number of firmware bugs that have fired so far. */
     std::uint64_t bugsTriggered() const { return bugsTriggered_; }
@@ -97,6 +114,7 @@ class NvmDimm
     std::unordered_map<Addr, Bug> writeBugs_;
     std::unordered_map<Addr, Bug> readBugs_;
     std::uint64_t bugsTriggered_ = 0;
+    bool failed_ = false;
 };
 
 /** The set of NVM DIMMs plus timing/energy/bandwidth accounting. */
@@ -131,6 +149,53 @@ class NvmArray
     std::size_t dimmOf(Addr globalAddr) const;
     /** Map an NVM-global address to its media-local address. */
     Addr mediaAddrOf(Addr globalAddr) const;
+    /** Inverse mapping: NVM-global address of (@p dimm, @p mediaAddr). */
+    Addr globalAddrOf(std::size_t dimm, Addr mediaAddr) const;
+
+    /** @name Whole-DIMM failure & rebuild state
+     *  The array tracks one lifecycle per DIMM:
+     *  Healthy -> (failDimm) Failed -> (replaceDimm) Rebuilding ->
+     *  (finishRebuild) Healthy. While Rebuilding, a watermark over the
+     *  device's media addresses separates restored content (below)
+     *  from not-yet-rebuilt content (above): reads of the latter must
+     *  still be reconstructed from parity. Only a single simultaneous
+     *  device fault is modelled (RAID-5 geometry). */
+    /**@{*/
+    enum class DimmState { Healthy, Failed, Rebuilding };
+    /** Take a DIMM offline; its media content is lost. */
+    void failDimm(std::size_t dimm);
+    /** Swap in a fresh zeroed device; rebuild starts at watermark 0. */
+    void replaceDimm(std::size_t dimm);
+    /** Advance the rebuild watermark (line-aligned media address). */
+    void setRebuildWatermark(std::size_t dimm, Addr mediaAddr);
+    /** Rebuild complete: the DIMM is Healthy again. */
+    void finishRebuild(std::size_t dimm);
+    DimmState dimmState(std::size_t dimm) const { return state_[dimm]; }
+    Addr rebuildWatermark(std::size_t dimm) const
+    {
+        return watermark_[dimm];
+    }
+    /** Fast path check: is any DIMM not Healthy? */
+    bool anyDegraded() const { return degradedDimms_ != 0; }
+    /**
+     * Read-side degradation: true iff a firmware read of this line
+     * cannot return its content (device Failed, or Rebuilding and the
+     * line is above the watermark) and it must be reconstructed.
+     */
+    bool lineDegraded(Addr globalAddr) const
+    {
+        if (degradedDimms_ == 0)
+            return false;
+        return lineDegradedSlow(globalAddr);
+    }
+    /** Write-side: true iff a write to this line must be dropped
+     *  (device Failed; a Rebuilding device accepts writes). */
+    bool writeBlocked(Addr globalAddr) const
+    {
+        return degradedDimms_ != 0 &&
+            state_[dimmOf(globalAddr)] == DimmState::Failed;
+    }
+    /**@}*/
 
     NvmDimm &dimm(std::size_t i) { return *dimms_[i]; }
     const NvmDimm &dimm(std::size_t i) const { return *dimms_[i]; }
@@ -156,9 +221,14 @@ class NvmArray
     Cycles writeLatency() const { return writeCycles_; }
 
   private:
+    bool lineDegradedSlow(Addr globalAddr) const;
+
     NvmParams params_;
     Stats &stats_;
     std::vector<std::unique_ptr<NvmDimm>> dimms_;
+    std::vector<DimmState> state_;
+    std::vector<Addr> watermark_;
+    std::size_t degradedDimms_ = 0;  //!< DIMMs not in Healthy state
     Cycles readCycles_;
     Cycles writeCycles_;
     Cycles readBusy_;

@@ -1,0 +1,137 @@
+#include "redundancy/rebuild.hh"
+
+#include <cstring>
+
+#include "checksum/checksum.hh"
+#include "layout/layout.hh"
+#include "sim/log.hh"
+
+namespace tvarak {
+
+RebuildEngine::RebuildEngine(MemorySystem &mem, DaxFs *fs)
+    : mem_(mem), fs_(fs), dimmBytes_(mem.config().nvm.dimmBytes)
+{
+    NvmArray &nvm = mem_.nvmArray();
+    bool found = false;
+    for (std::size_t d = 0; d < mem_.config().nvm.dimms; d++) {
+        if (nvm.dimmState(d) == NvmArray::DimmState::Rebuilding) {
+            panic_if(found, "two DIMMs in rebuild");
+            dimm_ = d;
+            found = true;
+        }
+    }
+    panic_if(!found, "RebuildEngine with no replaced DIMM");
+    cursor_ = nvm.rebuildWatermark(dimm_);
+}
+
+std::uint64_t
+RebuildEngine::pageCsumSlotValue(std::size_t slotIdx)
+{
+    const Layout &layout = mem_.layout();
+    Addr page = layout.dataBase() +
+        static_cast<Addr>(slotIdx) * kPageBytes;
+    if (page >= layout.end())
+        return 0;  // padding slots beyond the trimmed data region
+    if (layout.isParityPage(page))
+        return 0;  // parity pages carry no page checksum
+    if (mem_.design() == DesignKind::Tvarak &&
+        mem_.tvarak().isDaxData(page)) {
+        // Coverage moved to the DAX-CL-checksums at map time.
+        return 0;
+    }
+    std::size_t vpage = layout.dataPageIndexOf(page);
+    if (vpage == 0)
+        return 0;  // the superblock page is never checksummed
+    if (fs_ != nullptr && vpage >= fs_->vpageCursor())
+        return 0;  // never allocated, never written
+    std::uint8_t buf[kPageBytes];
+    for (std::size_t l = 0; l < kLinesPerPage; l++)
+        mem_.rebuildRead(page + l * kLineBytes, buf + l * kLineBytes);
+    return pageChecksum(buf);
+}
+
+std::uint64_t
+RebuildEngine::daxClSlotValue(std::size_t slotIdx)
+{
+    const Layout &layout = mem_.layout();
+    Addr line = layout.dataBase() +
+        static_cast<Addr>(slotIdx) * kLineBytes;
+    if (line >= layout.end() || layout.isParityPage(line))
+        return 0;
+    if (!mem_.tvarak().isDaxData(line))
+        return 0;  // slots return to zero at dax-unmap
+    std::uint8_t buf[kLineBytes];
+    mem_.rebuildRead(line, buf);
+    return lineChecksum(buf);
+}
+
+void
+RebuildEngine::rebuildMetaLine(Addr g, std::uint8_t *out)
+{
+    const Layout &layout = mem_.layout();
+    for (std::size_t j = 0; j < kLineBytes / kChecksumBytes; j++) {
+        Addr slot_addr = g + j * kChecksumBytes;
+        std::uint64_t v = slot_addr < layout.daxClBase()
+            ? pageCsumSlotValue(slot_addr / kChecksumBytes)
+            : daxClSlotValue((slot_addr - layout.daxClBase()) /
+                             kChecksumBytes);
+        std::memcpy(out + j * kChecksumBytes, &v, kChecksumBytes);
+    }
+}
+
+std::size_t
+RebuildEngine::step(std::size_t lineBudget)
+{
+    if (done_)
+        return 0;
+    NvmArray &nvm = mem_.nvmArray();
+    const Layout &layout = mem_.layout();
+    std::size_t rebuilt = 0;
+    std::uint8_t buf[kLineBytes];
+    while (rebuilt < lineBudget && cursor_ < dimmBytes_) {
+        Addr g = nvm.globalAddrOf(dimm_, cursor_);
+        if (layout.isMetaAddr(g)) {
+            // Checksum metadata is not parity protected: recompute it
+            // from the (possibly still degraded) data it covers. The
+            // recompute reads model software work and are untimed;
+            // only the media write is charged.
+            rebuildMetaLine(g, buf);
+        } else if (layout.isDataAddr(g)) {
+            bool parity = layout.isParityPage(g);
+            mem_.reconstructLine(g, buf, true);
+            nvm.access(g, true, buf, parity);
+            mem_.stats().rebuildLines++;
+            mem_.refreshCurIfUncached(g, buf);
+            nvm.setRebuildWatermark(dimm_, cursor_ + kLineBytes);
+            cursor_ += kLineBytes;
+            rebuilt++;
+            continue;
+        } else {
+            // Beyond the trimmed layout: the fresh device is already
+            // zero; just advance the watermark.
+            nvm.setRebuildWatermark(dimm_, cursor_ + kLineBytes);
+            cursor_ += kLineBytes;
+            continue;
+        }
+        nvm.access(g, true, buf, true);
+        mem_.stats().rebuildLines++;
+        mem_.refreshCurIfUncached(g, buf);
+        nvm.setRebuildWatermark(dimm_, cursor_ + kLineBytes);
+        cursor_ += kLineBytes;
+        rebuilt++;
+    }
+    if (cursor_ >= dimmBytes_) {
+        nvm.finishRebuild(dimm_);
+        done_ = true;
+    }
+    return rebuilt;
+}
+
+void
+RebuildEngine::runToCompletion()
+{
+    while (!done_)
+        step(~std::size_t{0});
+}
+
+}  // namespace tvarak

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * RebuildEngine: online reconstruction of a replaced NVM DIMM.
+ *
+ * After MemorySystem::replaceDimm() installs a fresh (zeroed) device,
+ * the rebuild engine sweeps its media in address order and rewrites
+ * every line to the content it must hold, while the workload keeps
+ * running against the array:
+ *
+ *  - data-region lines are reconstructed from cross-DIMM parity +
+ *    surviving stripe members (MemorySystem::reconstructLine, which
+ *    picks the right redundancy world per line);
+ *  - parity lines are recomputed from their stripe's data members;
+ *  - checksum metadata is *not* parity protected and is recomputed
+ *    from the (degraded-aware) data it covers: DAX-CL-checksum slots
+ *    of registered pages get the line checksum, page-checksum slots of
+ *    allocated unmapped pages get the page checksum, everything else
+ *    returns to its canonical zero.
+ *
+ * Progress is published through NvmArray::setRebuildWatermark: lines
+ * below the watermark are fully redundant again (reads hit the media,
+ * writes land), lines above it still take the degraded path. step()
+ * rebuilds a bounded number of lines so callers can interleave
+ * foreground work, which is exactly how the fault campaign exercises
+ * the degraded/rebuilding window.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fs/dax_fs.hh"
+#include "mem/memory_system.hh"
+#include "sim/types.hh"
+
+namespace tvarak {
+
+class RebuildEngine
+{
+  public:
+    /**
+     * @param fs  used to tell never-written page-checksum slots from
+     *            live ones; may be null, in which case every slot of a
+     *            non-registered data page is recomputed (safe, but not
+     *            bit-exact for never-allocated pages).
+     * @pre exactly one DIMM is in the Rebuilding state.
+     */
+    explicit RebuildEngine(MemorySystem &mem, DaxFs *fs = nullptr);
+
+    /** Rebuild up to @p lineBudget media lines.
+     *  @return lines actually rebuilt (0 once done). */
+    std::size_t step(std::size_t lineBudget);
+
+    /** Drain the remaining sweep in one call. */
+    void runToCompletion();
+
+    bool done() const { return done_; }
+    std::size_t dimm() const { return dimm_; }
+    /** Next media address the sweep will rebuild. */
+    Addr cursor() const { return cursor_; }
+
+  private:
+    /** Rebuild one line of the checksum-metadata region. */
+    void rebuildMetaLine(Addr g, std::uint8_t *out);
+    /** The value an 8 B page-checksum slot must hold. */
+    std::uint64_t pageCsumSlotValue(std::size_t slotIdx);
+    /** The value an 8 B DAX-CL-checksum slot must hold. */
+    std::uint64_t daxClSlotValue(std::size_t slotIdx);
+
+    MemorySystem &mem_;
+    DaxFs *fs_;
+    std::size_t dimm_ = 0;
+    Addr cursor_ = 0;  //!< media address within the DIMM
+    Addr dimmBytes_;
+    bool done_ = false;
+};
+
+}  // namespace tvarak

@@ -46,6 +46,8 @@ Stats::reset()
     readVerifications = redundancyUpdates = 0;
     diffCaptures = diffEvictions = redundancyInvalidations = 0;
     corruptionsDetected = recoveries = 0;
+    degradedReads = degradedWritesDropped = degradedRedSkips = 0;
+    rebuildLines = scrubLines = scrubRepairs = 0;
     swChecksumBytes = txCommits = 0;
 }
 
@@ -83,6 +85,12 @@ Stats::dump(std::ostream &os) const
        << "red.invalidations         " << redundancyInvalidations << "\n"
        << "red.corruptionsDetected   " << corruptionsDetected << "\n"
        << "red.recoveries            " << recoveries << "\n"
+       << "red.degradedReads         " << degradedReads << "\n"
+       << "red.degradedWritesDropped " << degradedWritesDropped << "\n"
+       << "red.degradedRedSkips      " << degradedRedSkips << "\n"
+       << "red.rebuildLines          " << rebuildLines << "\n"
+       << "red.scrubLines            " << scrubLines << "\n"
+       << "red.scrubRepairs          " << scrubRepairs << "\n"
        << "sw.checksumBytes          " << swChecksumBytes << "\n"
        << "sw.txCommits              " << txCommits << "\n";
 }
@@ -168,6 +176,12 @@ statsDiff(const Stats &a, const Stats &b)
     TVARAK_DIFF_FIELD(redundancyInvalidations);
     TVARAK_DIFF_FIELD(corruptionsDetected);
     TVARAK_DIFF_FIELD(recoveries);
+    TVARAK_DIFF_FIELD(degradedReads);
+    TVARAK_DIFF_FIELD(degradedWritesDropped);
+    TVARAK_DIFF_FIELD(degradedRedSkips);
+    TVARAK_DIFF_FIELD(rebuildLines);
+    TVARAK_DIFF_FIELD(scrubLines);
+    TVARAK_DIFF_FIELD(scrubRepairs);
     TVARAK_DIFF_FIELD(swChecksumBytes);
     TVARAK_DIFF_FIELD(txCommits);
 #undef TVARAK_DIFF_FIELD

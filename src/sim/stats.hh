@@ -76,6 +76,16 @@ struct Stats {
     std::uint64_t recoveries = 0;       //!< lines/pages rebuilt from parity
     /**@}*/
 
+    /** @name Degraded mode / rebuild / scrub (whole-DIMM failure) */
+    /**@{*/
+    std::uint64_t degradedReads = 0;    //!< fills reconstructed via parity
+    std::uint64_t degradedWritesDropped = 0;  //!< writebacks to dead DIMM
+    std::uint64_t degradedRedSkips = 0; //!< csum/parity updates skipped
+    std::uint64_t rebuildLines = 0;     //!< lines restored by RebuildEngine
+    std::uint64_t scrubLines = 0;       //!< lines verified by the scrubber
+    std::uint64_t scrubRepairs = 0;     //!< lines/pages the scrubber fixed
+    /**@}*/
+
     /** @name Software-scheme events */
     /**@{*/
     std::uint64_t swChecksumBytes = 0;      //!< bytes checksummed in sw

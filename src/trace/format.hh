@@ -96,19 +96,39 @@ putVarint(std::vector<std::uint8_t> &buf, std::uint64_t value)
     buf.push_back(static_cast<std::uint8_t>(value));
 }
 
-/** LEB128 unsigned varint decode; advances @p p (bounded by @p end). */
-inline std::uint64_t
-getVarint(const std::uint8_t *&p, const std::uint8_t *end)
+/**
+ * LEB128 unsigned varint decode; advances @p p (bounded by @p end).
+ *
+ * @return false if the encoding runs off @p end with its continuation
+ * bit still set (truncation) or spans more than the ten groups a
+ * 64-bit value can need (a corrupt continuation run). The shift is
+ * capped below the word size, so garbage input is never undefined
+ * behaviour.
+ */
+inline bool
+getVarintChecked(const std::uint8_t *&p, const std::uint8_t *end,
+                 std::uint64_t &value)
 {
-    std::uint64_t value = 0;
+    value = 0;
     unsigned shift = 0;
     while (p < end) {
         std::uint8_t b = *p++;
         value |= static_cast<std::uint64_t>(b & 0x7F) << shift;
         if ((b & 0x80) == 0)
-            break;
+            return true;
         shift += 7;
+        if (shift >= 64)
+            return false;
     }
+    return false;
+}
+
+/** Unchecked decode for streams validated at load time. */
+inline std::uint64_t
+getVarint(const std::uint8_t *&p, const std::uint8_t *end)
+{
+    std::uint64_t value = 0;
+    getVarintChecked(p, end, value);
     return value;
 }
 

@@ -92,6 +92,142 @@ getCacheParams(const std::uint8_t *&p, const std::uint8_t *end,
 
 }  // namespace
 
+/**
+ * Structural validation of a record stream: every head byte carries a
+ * known opcode, every varint is well formed (no truncated or runaway
+ * continuation runs), every inline payload and name fits in the
+ * remaining bytes, and the record count matches the header's event
+ * count. Runs once at load so the replay-side cursor can decode
+ * without per-field error handling; a trace that fails here is
+ * rejected with a diagnostic instead of reaching the simulator.
+ *
+ * @return false with @p err set to a one-line reason.
+ */
+static bool
+validateRecords(const TraceData &trace, std::string &err)
+{
+    const std::uint8_t *p = trace.records.data();
+    const std::uint8_t *end = p + trace.records.size();
+    std::uint64_t events = 0;
+    std::uint64_t u = 0;
+
+    auto fail = [&](const char *what) {
+        err = "record " + std::to_string(events) + " (byte offset " +
+            std::to_string(p - trace.records.data()) + "): " + what;
+        return false;
+    };
+
+    while (p < end) {
+        std::uint8_t head = *p++;
+        auto op = static_cast<Op>(head >> 4);
+        if ((head & 0xF) == kTidEscape && !getVarintChecked(p, end, u))
+            return fail("bad escaped tid");
+        switch (op) {
+          case Op::Read:
+            if (!getVarintChecked(p, end, u) ||
+                !getVarintChecked(p, end, u)) {
+                return fail("bad read address/length");
+            }
+            break;
+          case Op::Write: {
+            std::uint64_t len = 0;
+            if (!getVarintChecked(p, end, u) ||
+                !getVarintChecked(p, end, len)) {
+                return fail("bad write address/length");
+            }
+            if (static_cast<std::uint64_t>(end - p) < len)
+                return fail("truncated write payload");
+            p += len;
+            break;
+          }
+          case Op::Compute:
+          case Op::ComputeChecksum:
+          case Op::Marker:
+            if (!getVarintChecked(p, end, u))
+                return fail("bad scalar operand");
+            break;
+          case Op::DropCaches:
+            break;
+          case Op::Commit: {
+            if (p >= end)
+                return fail("truncated commit flags");
+            p++;
+            std::uint64_t n = 0;
+            if (!getVarintChecked(p, end, n))
+                return fail("bad commit range count");
+            for (std::uint64_t i = 0; i < n; i++) {
+                if (p >= end)
+                    return fail("truncated commit range");
+                std::uint8_t rf = *p++;
+                if (!getVarintChecked(p, end, u) ||
+                    !getVarintChecked(p, end, u)) {
+                    return fail("bad commit range address/length");
+                }
+                if ((rf & kRangeHasObj) != 0 &&
+                    (rf & kRangeObjIsOwnLine) == 0 &&
+                    (!getVarintChecked(p, end, u) ||
+                     !getVarintChecked(p, end, u))) {
+                    return fail("bad commit range object");
+                }
+                if ((rf & kRangeHasCsum) != 0 &&
+                    !getVarintChecked(p, end, u)) {
+                    return fail("bad commit range checksum slot");
+                }
+            }
+            break;
+          }
+          case Op::FsCreate: {
+            std::uint64_t nameLen = 0;
+            if (!getVarintChecked(p, end, nameLen))
+                return fail("bad file name length");
+            if (static_cast<std::uint64_t>(end - p) < nameLen)
+                return fail("truncated file name");
+            p += nameLen;
+            if (!getVarintChecked(p, end, u) ||
+                !getVarintChecked(p, end, u)) {
+                return fail("bad file size/descriptor");
+            }
+            break;
+          }
+          case Op::FsDaxMap:
+          case Op::FsDaxUnmap:
+          case Op::FsRemove:
+            if (!getVarintChecked(p, end, u))
+                return fail("bad file descriptor");
+            break;
+          case Op::FsPwrite: {
+            std::uint64_t len = 0;
+            if (!getVarintChecked(p, end, u) ||
+                !getVarintChecked(p, end, u) ||
+                !getVarintChecked(p, end, len)) {
+                return fail("bad pwrite operands");
+            }
+            if (static_cast<std::uint64_t>(end - p) < len)
+                return fail("truncated pwrite payload");
+            p += len;
+            break;
+          }
+          case Op::FsPread:
+            if (!getVarintChecked(p, end, u) ||
+                !getVarintChecked(p, end, u) ||
+                !getVarintChecked(p, end, u)) {
+                return fail("bad pread operands");
+            }
+            break;
+          default:
+            return fail("unknown opcode");
+        }
+        events++;
+    }
+    if (events != trace.eventCount) {
+        err = "event count mismatch (header says " +
+            std::to_string(trace.eventCount) + ", stream holds " +
+            std::to_string(events) + ")";
+        return false;
+    }
+    return true;
+}
+
 std::vector<std::uint8_t>
 serializeConfig(const SimConfig &cfg)
 {
@@ -287,6 +423,12 @@ TraceData::load(const std::string &path)
         return nullptr;
     }
     trace->records.assign(p, end);
+    std::string err;
+    if (!validateRecords(*trace, err)) {
+        warn("trace: %s: corrupt record stream: %s", path.c_str(),
+             err.c_str());
+        return nullptr;
+    }
     return trace;
 }
 

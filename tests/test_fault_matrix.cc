@@ -17,6 +17,7 @@
 #include "apps/redis/redis.hh"
 #include "apps/trees/pmem_map.hh"
 #include "pmemlib/pmem_pool.hh"
+#include "redundancy/scheme.hh"
 #include "test_util.hh"
 
 namespace tvarak {
@@ -143,6 +144,257 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &info) {
         return std::string(bugName(std::get<0>(info.param))) +
             mapKindName(std::get<1>(info.param));
+    });
+
+/*
+ * The same firmware bugs against every design: each detects at its own
+ * granularity (or, for Baseline, detectably does not detect).
+ *
+ *   Tvarak            read-time: the fill verifies the DAX-CL checksum
+ *                     and transparently recovers from parity.
+ *   TxB-Page-Csums    quiesce-time: a page-granular scrub finds the
+ *                     mismatch; repair is parity-based per page.
+ *   TxB-Object-Csums  quiesce-time: the object-checksum sweep (plus
+ *                     the parity cross-check) finds it; the design has
+ *                     no locate-and-repair for mapped lines, so the
+ *                     test restores from a pre-fault good copy.
+ *   Baseline          never: reads serve wrong bytes silently, pinned
+ *                     by corruptionsDetected == 0.
+ *
+ * Misdirected reads are transient — the bug corrupts a fill, not the
+ * media — so no at-rest sweep can see them: only TVARAK's fill-time
+ * verification catches the wrong bytes. For the other designs the test
+ * pins silence AND that the at-rest state is clean once the polluted
+ * cache copy is dropped.
+ *
+ * Observation reads go through mem.read at the value's address rather
+ * than the map, so a corrupted line never feeds a tree traversal.
+ */
+class DesignMatrix
+    : public ::testing::TestWithParam<std::tuple<Bug, DesignKind>>
+{};
+
+TEST_P(DesignMatrix, DetectionAtDesignGranularity)
+{
+    auto [bug, design] = GetParam();
+    MemorySystem mem(test::smallConfig(), design);
+    DaxFs fs(mem);
+    auto scheme = makeScheme(design, mem);
+    PmemPool pool(mem, fs, "p", 4ull << 20, scheme.get(), 1);
+    auto map = makeMap(MapKind::CTree, mem, pool, 48);
+    int fd = fs.open("p");
+    ASSERT_GE(fd, 0);
+
+    std::uint8_t value[48];
+    for (std::uint64_t k = 0; k < 64; k++) {
+        std::memset(value, static_cast<int>('a' + k % 26),
+                    sizeof(value));
+        map->insert(0, k, value);
+    }
+    mem.flushAll();
+
+    const std::uint64_t victim_key = 29;
+    Addr vaddr = map->valueAddr(0, victim_key);
+    ASSERT_NE(vaddr, 0u);
+    Addr paddr;
+    bool is_nvm;
+    ASSERT_TRUE(mem.translate(vaddr, paddr, is_nvm) && is_nvm);
+    Addr g = lineBase(paddr - kNvmPhysBase);
+    auto &nvm = mem.nvmArray();
+    auto &dimm = nvm.dimm(nvm.dimmOf(g));
+
+    auto pageIdxOf = [&](Addr va) {
+        Addr pa;
+        bool nv;
+        EXPECT_TRUE(mem.translate(va, pa, nv) && nv);
+        for (std::size_t p = 0; p < fs.filePages(fd); p++)
+            if (fs.filePage(fd, p) == pageBase(pa - kNvmPhysBase))
+                return p;
+        ADD_FAILURE() << "value page not in pool file";
+        return std::size_t{0};
+    };
+
+    // Acknowledged contents, and a line-granular good copy for the
+    // designs that detect but cannot locate-and-repair.
+    std::uint8_t acked[48];
+    std::uint8_t wk_acked[48] = {};
+    std::memset(acked, static_cast<int>('a' + victim_key % 26),
+                sizeof(acked));
+    struct Saved {
+        Addr vline;
+        Addr global;
+        std::uint8_t bytes[kLineBytes];
+    };
+    std::vector<Saved> saved;
+    auto snapshot = [&](Addr va) {
+        Saved s;
+        s.vline = lineBase(va);
+        Addr pa;
+        bool nv;
+        ASSERT_TRUE(mem.translate(s.vline, pa, nv) && nv);
+        s.global = pa - kNvmPhysBase;
+        mem.peek(s.vline, s.bytes, kLineBytes);
+        saved.push_back(s);
+    };
+    auto restore = [&] {
+        for (const Saved &s : saved) {
+            nvm.rawWrite(s.global, s.bytes, kLineBytes);
+            mem.refreshFromMedia(s.vline, kLineBytes);
+        }
+    };
+
+    std::uint64_t wk = 0;  // misdirected write's redirected writer
+    Addr wk_vaddr = 0;
+    switch (bug) {
+      case Bug::LostWrite:
+        dimm.injectLostWrite(nvm.mediaAddrOf(g));
+        std::memset(value, 'Z', sizeof(value));
+        map->update(0, victim_key, value);
+        mem.flushAll();
+        std::memset(acked, 'Z', sizeof(acked));
+        snapshot(vaddr);
+        break;
+      case Bug::MisdirectedWrite: {
+        wk = victim_key + 1;
+        wk_vaddr = map->valueAddr(0, wk);
+        Addr wp;
+        ASSERT_TRUE(mem.translate(wk_vaddr, wp, is_nvm));
+        Addr og = lineBase(wp - kNvmPhysBase);
+        while (nvm.dimmOf(og) != nvm.dimmOf(g)) {
+            wk++;
+            wk_vaddr = map->valueAddr(0, wk);
+            ASSERT_NE(wk_vaddr, 0u);
+            ASSERT_TRUE(mem.translate(wk_vaddr, wp, is_nvm));
+            og = lineBase(wp - kNvmPhysBase);
+        }
+        dimm.injectMisdirectedWrite(nvm.mediaAddrOf(og),
+                                    nvm.mediaAddrOf(g));
+        std::memset(value, 'Y', sizeof(value));
+        map->update(0, wk, value);
+        mem.flushAll();
+        std::memset(wk_acked, 'Y', sizeof(wk_acked));
+        snapshot(vaddr);
+        snapshot(wk_vaddr);
+        break;
+      }
+      case Bug::MisdirectedRead: {
+        Addr other = lineInPage(g) + 1 < kLinesPerPage
+            ? g + kLineBytes
+            : g - kLineBytes;
+        dimm.injectMisdirectedRead(nvm.mediaAddrOf(g),
+                                   nvm.mediaAddrOf(other));
+        break;
+      }
+    }
+    mem.dropCaches();
+
+    // Cold observation read of the victim's payload.
+    std::uint8_t got[48] = {};
+    std::uint64_t before = mem.stats().corruptionsDetected;
+    mem.read(0, vaddr, got, sizeof(got));
+    bool observed_correct =
+        std::memcmp(acked, got, sizeof(acked)) == 0;
+
+    switch (design) {
+      case DesignKind::Tvarak:
+        // Detected at the fill and transparently recovered.
+        EXPECT_TRUE(observed_correct) << bugName(bug);
+        EXPECT_GT(mem.stats().corruptionsDetected, before)
+            << bugName(bug);
+        if (wk_vaddr != 0) {
+            mem.read(0, wk_vaddr, got, sizeof(got));
+            EXPECT_EQ(std::memcmp(wk_acked, got, sizeof(got)), 0);
+        }
+        mem.flushAll();
+        EXPECT_EQ(fs.scrub(false), 0u);
+        EXPECT_EQ(fs.verifyParity(), 0u);
+        break;
+      case DesignKind::TxBPageCsums: {
+        // Silent at read time...
+        EXPECT_FALSE(observed_correct)
+            << bugName(bug);
+        EXPECT_EQ(mem.stats().corruptionsDetected, before);
+        if (bug == Bug::MisdirectedRead) {
+            // ...and gone before any sweep can run: at-rest is clean.
+            mem.dropCaches();
+            EXPECT_EQ(fs.scrub(false), 0u);
+        } else {
+            // ...caught at page granularity at the next quiesce.
+            EXPECT_GT(fs.scrubPage(fd, pageIdxOf(vaddr), false), 0u)
+                << bugName(bug);
+            fs.scrubPage(fd, pageIdxOf(vaddr), true);
+            if (wk_vaddr != 0)
+                fs.scrubPage(fd, pageIdxOf(wk_vaddr), true);
+            EXPECT_EQ(fs.scrubPage(fd, pageIdxOf(vaddr), false), 0u);
+            mem.dropCaches();
+        }
+        mem.read(0, vaddr, got, sizeof(got));
+        EXPECT_EQ(std::memcmp(acked, got, sizeof(got)), 0)
+            << bugName(bug);
+        EXPECT_EQ(fs.verifyParity(), 0u);
+        break;
+      }
+      case DesignKind::TxBObjectCsums: {
+        EXPECT_FALSE(observed_correct)
+            << bugName(bug);
+        EXPECT_EQ(mem.stats().corruptionsDetected, before);
+        if (bug == Bug::MisdirectedRead) {
+            mem.dropCaches();
+            EXPECT_EQ(pool.verifyObjects(), 0u);
+        } else {
+            // Caught at object granularity by the quiesce sweep.
+            mem.dropCaches();
+            EXPECT_GT(pool.verifyObjects() + fs.verifyParity(), 0u)
+                << bugName(bug);
+            restore();
+            EXPECT_EQ(pool.verifyObjects(), 0u);
+        }
+        mem.read(0, vaddr, got, sizeof(got));
+        EXPECT_EQ(std::memcmp(acked, got, sizeof(got)), 0)
+            << bugName(bug);
+        EXPECT_EQ(fs.verifyParity(), 0u);
+        break;
+      }
+      case DesignKind::Baseline:
+        // Pinned: wrong bytes served, nothing ever notices.
+        EXPECT_FALSE(observed_correct)
+            << bugName(bug);
+        EXPECT_EQ(mem.stats().corruptionsDetected, 0u);
+        if (bug == Bug::MisdirectedRead)
+            mem.dropCaches();
+        else
+            restore();
+        mem.read(0, vaddr, got, sizeof(got));
+        EXPECT_EQ(std::memcmp(acked, got, sizeof(got)), 0)
+            << bugName(bug);
+        EXPECT_EQ(mem.stats().corruptionsDetected, 0u);
+        break;
+    }
+
+    // The map itself survived: the victim is still reachable with its
+    // acknowledged value.
+    std::uint8_t final_got[48] = {};
+    ASSERT_TRUE(map->get(0, victim_key, final_got)) << bugName(bug);
+    EXPECT_EQ(std::memcmp(acked, final_got, sizeof(acked)), 0)
+        << bugName(bug);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, DesignMatrix,
+    ::testing::Combine(::testing::Values(Bug::LostWrite,
+                                         Bug::MisdirectedWrite,
+                                         Bug::MisdirectedRead),
+                       ::testing::Values(DesignKind::Baseline,
+                                         DesignKind::Tvarak,
+                                         DesignKind::TxBObjectCsums,
+                                         DesignKind::TxBPageCsums)),
+    [](const auto &info) {
+        std::string d = designName(std::get<1>(info.param));
+        std::string out = std::string(bugName(std::get<0>(info.param)));
+        for (char c : d)
+            if (c != '-')
+                out.push_back(c);
+        return out;
     });
 
 TEST(FaultRedis, LostWriteOnHashtableEntry)

@@ -103,6 +103,48 @@ TEST(Report, FigureGroupGolden)
     EXPECT_EQ(out, golden);
 }
 
+/**
+ * Rows with fault activity grow a resilience section; the all-zero
+ * rows of FigureGroupGolden above pin that fault-free benches do not.
+ */
+TEST(Report, ResilienceSectionGolden)
+{
+    auto rows = sampleRows();
+    Stats &tv = rows[0].results[DesignKind::Tvarak].stats;
+    tv.corruptionsDetected = 3;
+    tv.recoveries = 3;
+    tv.degradedReads = 19390;
+    tv.degradedWritesDropped = 12;
+    tv.degradedRedSkips = 7;
+    tv.rebuildLines = 1572864;
+    tv.scrubLines = 4096;
+    tv.scrubRepairs = 1;
+    Stats &pg = rows[1].results[DesignKind::Tvarak].stats;
+    pg.scrubLines = 128;
+
+    testing::internal::CaptureStdout();
+    printResilienceSection(rows);
+    std::string out = testing::internal::GetCapturedStdout();
+    const std::string golden = R"(
+  Resilience events (absolute; faults, recovery, degraded mode)
+  alpha                      Tvarak             det=3        rec=3        dread=19390    wdrop=12       rskip=7        rebuild=1572864    scrub=4096       fix=1
+  beta                       Tvarak             det=0        rec=0        dread=0        wdrop=0        rskip=0        rebuild=0          scrub=128        fix=0
+)";
+    EXPECT_EQ(out, golden);
+
+    // Event-free rows print nothing at all (no header, no blank line).
+    testing::internal::CaptureStdout();
+    printResilienceSection(sampleRows());
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+
+    // printFigureGroup appends the section when events are present.
+    testing::internal::CaptureStdout();
+    printFigureGroup("Fig Z: faulty", rows);
+    out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("Resilience events"), std::string::npos);
+    EXPECT_NE(out.find("rebuild=1572864"), std::string::npos);
+}
+
 TEST(Report, FigureCsvGolden)
 {
     testing::internal::CaptureStdout();

@@ -212,11 +212,18 @@ splitCannedName(const std::string &name, std::string &id,
     return id == "stream" || id == "ctree";
 }
 
+/** Load @p path or exit with the usage status: a truncated, corrupt
+ *  or otherwise unusable trace is a command-line input error (load
+ *  already printed the specific diagnostic), not a simulator fault. */
 std::shared_ptr<trace::TraceData>
 loadOrDie(const std::string &path)
 {
     auto t = trace::TraceData::load(path);
-    fatal_if(t == nullptr, "cannot load trace %s", path.c_str());
+    if (t == nullptr) {
+        std::fprintf(stderr, "tvarak-trace: cannot load trace %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
     return t;
 }
 
