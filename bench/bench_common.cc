@@ -29,6 +29,7 @@ usageError(const char *prog, const char *msg, const char *arg)
                  arg ? arg : "");
     std::fprintf(stderr,
                  "usage: %s [--scale N] [--jobs N] [--json]"
+                 " [--design NAME]..."
                  " [--trace-record F | --trace-replay F]\n",
                  prog);
     std::exit(2);
@@ -110,19 +111,44 @@ parseBenchArgs(int argc, char **argv, const char *what,
         } else if (matchesFlag(argv[i], "--trace-replay")) {
             args.traceReplay =
                 flagValue(argv[0], "--trace-replay", argc, argv, i);
+        } else if (matchesFlag(argv[i], "--design")) {
+            std::string name =
+                flagValue(argv[0], "--design", argc, argv, i);
+            const Design *d = findDesign(name);
+            if (d == nullptr) {
+                std::string msg = "unknown design '" + name +
+                    "' (registered: " + registeredNameList() + ")";
+                usageError(argv[0], msg.c_str(), nullptr);
+            }
+            for (const Design *prev : args.designs) {
+                if (prev->kind() == d->kind()) {
+                    // Figure rows are keyed by DesignKind, so two
+                    // designs sharing one (e.g. tvarak variants) would
+                    // silently overwrite each other's column.
+                    std::string msg = std::string("design '") +
+                        d->cliName() + "' duplicates '" +
+                        prev->cliName() + "' (same result column)";
+                    usageError(argv[0], msg.c_str(), nullptr);
+                }
+            }
+            args.designs.push_back(d);
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("%s\nusage: %s [--scale N] [--jobs N] [--json]"
+                        " [--design NAME]..."
                         " [--trace-record F | --trace-replay F]\n"
                         "  --scale N  workload size multiplier "
                         "(default 1)\n"
                         "  --jobs N   experiment worker threads "
                         "(default: hardware concurrency)\n"
                         "  --json     write results/bench_%s.json\n"
+                        "  --design NAME  sweep only the named design "
+                        "(repeatable; registered: %s)\n"
                         "  --trace-record F  record once under Baseline "
                         "into F, replay the other designs\n"
                         "  --trace-replay F  replay every design from a "
                         "previously recorded F\n",
-                        what, argv[0], benchName);
+                        what, argv[0], benchName,
+                        registeredNameList().c_str());
             std::exit(0);
         } else {
             usageError(argv[0], "unknown argument", argv[i]);
@@ -133,17 +159,34 @@ parseBenchArgs(int argc, char **argv, const char *what,
                    "--trace-record and --trace-replay are exclusive",
                    nullptr);
     }
+    if (!args.designs.empty()) {
+        // Baseline is the normalization reference of every report.
+        bool haveBaseline = false;
+        for (const Design *d : args.designs)
+            haveBaseline =
+                haveBaseline || d->kind() == DesignKind::Baseline;
+        if (!haveBaseline) {
+            args.designs.insert(args.designs.begin(),
+                                &designOf(DesignKind::Baseline));
+        }
+    }
     return args;
+}
+
+std::vector<const Design *>
+selectedDesigns(const BenchArgs &args)
+{
+    return args.designs.empty() ? paperDesigns() : args.designs;
 }
 
 std::vector<FigureRow>
 sweepRows(const std::vector<WorkloadSpec> &specs,
-          const std::vector<DesignKind> &designs, std::size_t jobs)
+          const std::vector<const Design *> &designs, std::size_t jobs)
 {
     std::vector<ExperimentJob> batch;
     batch.reserve(specs.size() * designs.size());
     for (const WorkloadSpec &spec : specs) {
-        for (DesignKind d : designs)
+        for (const Design *d : designs)
             batch.push_back({spec.name, spec.cfg, d, spec.make});
     }
 
@@ -153,10 +196,20 @@ sweepRows(const std::vector<WorkloadSpec> &specs,
     std::size_t k = 0;
     for (std::size_t s = 0; s < specs.size(); s++) {
         rows[s].workload = specs[s].name;
-        for (DesignKind d : designs)
-            rows[s].results[d] = results[k++];
+        for (const Design *d : designs)
+            rows[s].results[d->kind()] = results[k++];
     }
     return rows;
+}
+
+std::vector<FigureRow>
+sweepRows(const std::vector<WorkloadSpec> &specs,
+          const std::vector<DesignKind> &designs, std::size_t jobs)
+{
+    std::vector<const Design *> resolved;
+    for (DesignKind d : designs)
+        resolved.push_back(&designOf(d));
+    return sweepRows(specs, resolved, jobs);
 }
 
 namespace {
@@ -175,10 +228,11 @@ void
 pushReplayJobs(std::vector<ExperimentJob> &batch,
                const std::string &label,
                const std::shared_ptr<trace::TraceData> &trace,
-               const std::vector<DesignKind> &designs, bool skipRecorded)
+               const std::vector<const Design *> &designs,
+               bool skipRecorded)
 {
-    for (DesignKind d : designs) {
-        if (skipRecorded && d == trace->recordedDesign)
+    for (const Design *d : designs) {
+        if (skipRecorded && d->kind() == trace->recordedDesign)
             continue;
         batch.push_back({label, trace->cfg, d,
                          trace::makeReplayFactory(trace)});
@@ -188,7 +242,7 @@ pushReplayJobs(std::vector<ExperimentJob> &batch,
 /** Record each spec once under Baseline, replay the other designs. */
 std::vector<FigureRow>
 recordAndReplayRows(const std::vector<WorkloadSpec> &specs,
-                    const std::vector<DesignKind> &designs,
+                    const std::vector<const Design *> &designs,
                     const BenchArgs &args)
 {
     std::vector<FigureRow> rows(specs.size());
@@ -213,10 +267,10 @@ recordAndReplayRows(const std::vector<WorkloadSpec> &specs,
     std::vector<RunResult> results = runExperiments(batch, args.jobs);
     std::size_t k = 0;
     for (std::size_t s = 0; s < specs.size(); s++) {
-        for (DesignKind d : designs) {
-            if (d == DesignKind::Baseline)
+        for (const Design *d : designs) {
+            if (d->kind() == DesignKind::Baseline)
                 continue;
-            rows[s].results[d] = results[k++];
+            rows[s].results[d->kind()] = results[k++];
         }
     }
     return rows;
@@ -225,7 +279,8 @@ recordAndReplayRows(const std::vector<WorkloadSpec> &specs,
 /** Replay every design from the trace files of a previous record. */
 std::vector<FigureRow>
 replayRows(const std::vector<WorkloadSpec> &specs,
-           const std::vector<DesignKind> &designs, const BenchArgs &args)
+           const std::vector<const Design *> &designs,
+           const BenchArgs &args)
 {
     std::vector<FigureRow> rows(specs.size());
     std::vector<ExperimentJob> batch;
@@ -251,8 +306,8 @@ replayRows(const std::vector<WorkloadSpec> &specs,
     std::vector<RunResult> results = runExperiments(batch, args.jobs);
     std::size_t k = 0;
     for (std::size_t s = 0; s < specs.size(); s++) {
-        for (DesignKind d : designs)
-            rows[s].results[d] = results[k++];
+        for (const Design *d : designs)
+            rows[s].results[d->kind()] = results[k++];
     }
     return rows;
 }
@@ -260,9 +315,9 @@ replayRows(const std::vector<WorkloadSpec> &specs,
 }  // namespace
 
 std::vector<FigureRow>
-sweepRows(const std::vector<WorkloadSpec> &specs,
-          const std::vector<DesignKind> &designs, const BenchArgs &args)
+sweepRows(const std::vector<WorkloadSpec> &specs, const BenchArgs &args)
 {
+    std::vector<const Design *> designs = selectedDesigns(args);
     if (!args.traceReplay.empty())
         return replayRows(specs, designs, args);
     if (!args.traceRecord.empty())
@@ -289,8 +344,7 @@ FigureRow
 sweepDesigns(const std::string &workloadName, const SimConfig &cfg,
              const WorkloadFactory &make, const BenchArgs &args)
 {
-    return sweepRows({{workloadName, cfg, make}}, allDesigns(), args)
-        .front();
+    return sweepRows({{workloadName, cfg, make}}, args).front();
 }
 
 std::vector<BenchJsonEntry>

@@ -24,6 +24,11 @@
  *                      file(s) written by a previous --trace-record
  *                      run and replay every design from them.
  *
+ *   --design NAME      sweep only the named registered design
+ *                      (repeatable; e.g. --design vilamb). Baseline is
+ *                      added automatically as the normalization
+ *                      reference. Default: the four paper designs.
+ *
  * Unknown flags and malformed values are usage errors (exit 2) — a
  * typo must never silently run the wrong experiment.
  */
@@ -37,6 +42,7 @@
 #include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "redundancy/registry.hh"
 #include "redundancy/scheme.hh"
 
 namespace tvarak::bench {
@@ -54,6 +60,9 @@ struct BenchArgs {
     std::string traceRecord;
     /** --trace-replay source; empty = run or record, per above. */
     std::string traceReplay;
+    /** Designs selected via repeatable --design flags (Baseline is
+     *  auto-prepended); empty = the four paper designs. */
+    std::vector<const Design *> designs;
     /** results/bench_<name>.json target (set by parseBenchArgs). */
     std::string benchName;
     /** Start of the run, for the wall-time field of the JSON dump. */
@@ -77,28 +86,37 @@ struct WorkloadSpec {
     WorkloadFactory make;
 };
 
+/** @p args.designs if --design was given, else the four paper
+ *  designs — the design set every sweep helper runs. */
+std::vector<const Design *> selectedDesigns(const BenchArgs &args);
+
 /** Run every spec under every design in one parallel batch; one
  *  FigureRow per spec, in spec order. */
+std::vector<FigureRow> sweepRows(const std::vector<WorkloadSpec> &specs,
+                                 const std::vector<const Design *> &designs,
+                                 std::size_t jobs);
+
+/** Shim: the canonical designs for @p designs. */
 std::vector<FigureRow> sweepRows(const std::vector<WorkloadSpec> &specs,
                                  const std::vector<DesignKind> &designs,
                                  std::size_t jobs);
 
 /**
- * As above, but honoring @p args.traceRecord / @p args.traceReplay:
- * record each spec once under Baseline and replay the other designs,
- * or replay every design from previously recorded trace files. With
- * neither flag set this is plain sweepRows(specs, designs, args.jobs).
+ * As above, over selectedDesigns(args) and honoring
+ * @p args.traceRecord / @p args.traceReplay: record each spec once
+ * under Baseline and replay the other designs, or replay every design
+ * from previously recorded trace files. With neither flag set this is
+ * plain sweepRows(specs, selectedDesigns(args), args.jobs).
  */
 std::vector<FigureRow> sweepRows(const std::vector<WorkloadSpec> &specs,
-                                 const std::vector<DesignKind> &designs,
                                  const BenchArgs &args);
 
-/** Run @p make under all four designs and collect a figure row. */
+/** Run @p make under the four paper designs; collect a figure row. */
 FigureRow sweepDesigns(const std::string &workloadName,
                        const SimConfig &cfg, const WorkloadFactory &make,
                        std::size_t jobs);
 
-/** All four designs, honoring the trace record/replay flags. */
+/** selectedDesigns(args), honoring the trace record/replay flags. */
 FigureRow sweepDesigns(const std::string &workloadName,
                        const SimConfig &cfg, const WorkloadFactory &make,
                        const BenchArgs &args);

@@ -64,20 +64,22 @@ main(int argc, char **argv)
         SimConfig cfg = evalConfig();
         cfg.nvm.dimmBytes = w.dimmBytes;
         batch.push_back({std::string(w.name) + " baseline", cfg,
-                         DesignKind::Baseline, w.factory});
+                         &designOf(DesignKind::Baseline), w.factory});
         for (std::size_t n : ways) {
             SimConfig vcfg = cfg;
             vcfg.tvarak.redundancyWays = n;
             batch.push_back({std::string(w.name) + " red-ways " +
                                  std::to_string(n),
-                             vcfg, DesignKind::Tvarak, w.factory});
+                             vcfg, &designOf(DesignKind::Tvarak),
+                             w.factory});
         }
         for (std::size_t n : ways) {
             SimConfig vcfg = cfg;
             vcfg.tvarak.diffWays = n;
             batch.push_back({std::string(w.name) + " diff-ways " +
                                  std::to_string(n),
-                             vcfg, DesignKind::Tvarak, w.factory});
+                             vcfg, &designOf(DesignKind::Tvarak),
+                             w.factory});
         }
     }
     std::vector<RunResult> results = runExperiments(batch, args.jobs);

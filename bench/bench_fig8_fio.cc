@@ -63,7 +63,7 @@ main(int argc, char **argv)
                          fioFactory(pattern, region)});
     }
     std::vector<FigureRow> rows =
-        sweepRows(specs, allDesigns(), args);
+        sweepRows(specs, args);
     printFigureGroup("Figure 8(m-p): fio, 12 threads, 64B accesses",
                      rows);
     printFigureCsv("fig8-fio", rows);

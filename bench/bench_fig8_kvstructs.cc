@@ -66,7 +66,7 @@ main(int argc, char **argv)
         }
     }
     std::vector<FigureRow> rows =
-        sweepRows(specs, allDesigns(), args);
+        sweepRows(specs, args);
     printFigureGroup(
         "Figure 8(e-h): key-value structures, 12 instances", rows);
     printFigureCsv("fig8-kvstructs", rows);

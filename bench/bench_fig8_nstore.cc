@@ -68,7 +68,7 @@ main(int argc, char **argv)
              nstoreFactory(mix, args.scale)});
     }
     std::vector<FigureRow> rows =
-        sweepRows(specs, allDesigns(), args);
+        sweepRows(specs, args);
     printFigureGroup("Figure 8(i-l): N-Store YCSB, 4 clients", rows);
     printFigureCsv("fig8-nstore", rows);
     writeBenchJson(args, jsonEntries(rows));

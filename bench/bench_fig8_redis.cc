@@ -59,7 +59,7 @@ main(int argc, char **argv)
          redisFactory(RedisWorkload::Mode::GetOnly, args.scale, 6)},
     };
     std::vector<FigureRow> rows =
-        sweepRows(specs, allDesigns(), args);
+        sweepRows(specs, args);
 
     printFigureGroup("Figure 8(a-d): Redis, 6 instances", rows);
     printFigureCsv("fig8-redis", rows);

@@ -60,7 +60,7 @@ main(int argc, char **argv)
                          streamFactory(kernel, chunk)});
     }
     std::vector<FigureRow> rows =
-        sweepRows(specs, allDesigns(), args);
+        sweepRows(specs, args);
     printFigureGroup("Figure 8(q-t): stream, 12 threads", rows);
     printFigureCsv("fig8-stream", rows);
     writeBenchJson(args, jsonEntries(rows));

@@ -29,15 +29,18 @@ main(int argc, char **argv)
         argc, argv, "Fig 9: TVARAK design-choice ablation",
         "fig9_ablation");
 
+    // The cumulative ablation points are registered design variants
+    // (each pins the deprecated TvarakParams::use* switches itself);
+    // the classic Fig-9 column labels stay as output labels.
     struct Config {
         const char *name;
-        bool daxCl, redCache, diffs;
+        const Design *design;
     };
     const std::vector<Config> configs = {
-        {"naive", false, false, false},
-        {"+dax-cl-csums", true, false, false},
-        {"+red-caching", true, true, false},
-        {"+data-diffs (TVARAK)", true, true, true},
+        {"naive", findDesign("tvarak-naive")},
+        {"+dax-cl-csums", findDesign("tvarak-no-red-cache")},
+        {"+red-caching", findDesign("tvarak-no-diffs")},
+        {"+data-diffs (TVARAK)", findDesign("tvarak")},
     };
 
     // One batch: per workload, the baseline plus every cumulative
@@ -48,14 +51,10 @@ main(int argc, char **argv)
         SimConfig cfg = evalConfig();
         cfg.nvm.dimmBytes = w.dimmBytes;
         batch.push_back({std::string(w.name) + " baseline", cfg,
-                         DesignKind::Baseline, w.factory});
+                         &designOf(DesignKind::Baseline), w.factory});
         for (const Config &c : configs) {
-            SimConfig vcfg = cfg;
-            vcfg.tvarak.useDaxClChecksums = c.daxCl;
-            vcfg.tvarak.useRedundancyCaching = c.redCache;
-            vcfg.tvarak.useDataDiffs = c.diffs;
-            batch.push_back({std::string(w.name) + " " + c.name, vcfg,
-                             DesignKind::Tvarak, w.factory});
+            batch.push_back({std::string(w.name) + " " + c.name, cfg,
+                             c.design, w.factory});
         }
     }
     std::vector<RunResult> results = runExperiments(batch, args.jobs);

@@ -66,7 +66,7 @@ main(int argc, char **argv)
         specs.push_back({v.name, cfg, streamCopyFactory(chunk)});
     }
     std::vector<FigureRow> rows =
-        sweepRows(specs, allDesigns(), args);
+        sweepRows(specs, args);
     printFigureGroup(
         "Section IV-H: stream copy across NVM configurations", rows);
     printFigureCsv("sec4h", rows);

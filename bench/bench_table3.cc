@@ -61,7 +61,9 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     cfg.tvarak.computeLatency),
                 cfg.tvarak.redundancyWays, cfg.tvarak.diffWays);
-    std::printf("                 features: useDaxClChecksums=%s, "
+    std::printf("                 features (pinned by the selected "
+                "design; see tvarak-naive/-no-red-cache/-no-diffs):\n"
+                "                 useDaxClChecksums=%s, "
                 "useRedundancyCaching=%s, useDataDiffs=%s\n",
                 cfg.tvarak.useDaxClChecksums ? "true" : "false",
                 cfg.tvarak.useRedundancyCaching ? "true" : "false",

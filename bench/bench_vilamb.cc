@@ -82,19 +82,22 @@ main(int argc, char **argv)
     SimConfig cfg = evalConfig();
     const std::vector<std::size_t> epochs = {1, 16, 64, 256};
 
-    // One batch: the three design rows plus every epoch variant.
+    // One batch: the three design rows plus every epoch variant. The
+    // epoch rows run on the registered Vilamb design's machine (same
+    // model as TxB-Page-Csums) with the factory overriding the scheme
+    // for the sweep.
+    const Design *vilamb = findDesign("vilamb");
     std::vector<ExperimentJob> batch = {
-        {"baseline", cfg, DesignKind::Baseline,
+        {"baseline", cfg, &designOf(DesignKind::Baseline),
          treeFactory(nullptr, args.scale)},
-        {"tvarak", cfg, DesignKind::Tvarak,
+        {"tvarak", cfg, &designOf(DesignKind::Tvarak),
          treeFactory(nullptr, args.scale)},
-        {"txb-page (sync)", cfg, DesignKind::TxBPageCsums,
+        {"txb-page (sync)", cfg, &designOf(DesignKind::TxBPageCsums),
          treeFactory(nullptr, args.scale)},
     };
     for (std::size_t epoch : epochs) {
         batch.push_back({"vilamb epoch " + std::to_string(epoch), cfg,
-                         DesignKind::TxBPageCsums,
-                         vilambFactory(epoch, args.scale)});
+                         vilamb, vilambFactory(epoch, args.scale)});
     }
     std::vector<RunResult> results = runExperiments(batch, args.jobs);
     const RunResult &base = results[0];

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "checksum/checksum.hh"
+#include "redundancy/registry.hh"
 #include "sim/log.hh"
 #include "trace/sink.hh"
 
@@ -301,7 +302,7 @@ DaxFs::daxMap(int fd)
         Addr nvm_page = pageOfVpage(f.firstVpage + p);
         mem_.tvarak().initDaxClChecksums(nvm_page);
         mem_.tvarak().registerDaxPage(nvm_page);
-        if (mem_.design() == DesignKind::Tvarak) {
+        if (mem_.designObj().engineCoversDaxData()) {
             // Coverage moved to the DAX-CL-checksums: return the page
             // checksum slot to a canonical zero, so the at-rest
             // metadata image is a pure function of the mapping state
@@ -498,12 +499,11 @@ DaxFs::scrubbable(int fd) const
     if (f.name.empty())
         return false;
     // Coverage of a *mapped* file depends on the active design:
-    // TVARAK maintains DAX-CL-checksums, TxB-Page-Csums maintains
-    // page checksums, TxB-Object-Csums is scrubbed via
-    // PmemPool::verifyObjects, and Baseline has no coverage (Table I).
-    DesignKind design = mem_.design();
-    return !f.mapped || design == DesignKind::Tvarak ||
-        design == DesignKind::TxBPageCsums;
+    // TVARAK maintains DAX-CL-checksums, page-checksum schemes
+    // (TxB-Page-Csums, Vilamb) maintain the page checksum slots,
+    // TxB-Object-Csums is scrubbed via PmemPool::verifyObjects, and
+    // Baseline has no coverage (Table I).
+    return !f.mapped || mem_.designObj().coversMappedFiles();
 }
 
 std::size_t
@@ -524,7 +524,7 @@ DaxFs::scrubPage(int fd, std::size_t pageIdx, bool repair)
     if (degraded && nvm.lineDegraded(nvm_page + kPageBytes - kLineBytes))
         return 0;
     std::size_t bad_lines = 0;
-    if (f.mapped && mem_.design() == DesignKind::Tvarak) {
+    if (f.mapped && mem_.designObj().engineCoversDaxData()) {
         for (std::size_t l = 0; l < kLinesPerPage; l++) {
             Addr line = nvm_page + l * kLineBytes;
             Addr csum_line = layout.daxClCsumLine(line);

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "redundancy/registry.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
@@ -46,7 +47,7 @@ announce(const ExperimentJob &job, std::size_t index, std::size_t total)
     // concurrent workers interleave whole lines, never characters.
     std::fprintf(stderr, "  [%zu/%zu] running %-24s under %s...\n",
                  index + 1, total, job.label.c_str(),
-                 designName(job.design));
+                 job.design->displayName());
 }
 
 }  // namespace
@@ -68,10 +69,14 @@ runExperiments(const std::vector<ExperimentJob> &jobs, std::size_t workers)
 
     std::vector<RunResult> results(jobs.size());
 
+    for (const ExperimentJob &job : jobs)
+        panic_if(job.design == nullptr, "ExperimentJob '%s' without a "
+                 "design", job.label.c_str());
+
     if (workers <= 1) {
         for (std::size_t i = 0; i < jobs.size(); i++) {
             announce(jobs[i], i, jobs.size());
-            results[i] = runExperiment(jobs[i].cfg, jobs[i].design,
+            results[i] = runExperiment(jobs[i].cfg, *jobs[i].design,
                                        jobs[i].make);
         }
         return results;
@@ -87,7 +92,7 @@ runExperiments(const std::vector<ExperimentJob> &jobs, std::size_t workers)
                 while (queue.claim(i)) {
                     announce(jobs[i], i, jobs.size());
                     results[i] = runExperiment(jobs[i].cfg,
-                                               jobs[i].design,
+                                               *jobs[i].design,
                                                jobs[i].make);
                 }
             });

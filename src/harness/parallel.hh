@@ -26,13 +26,14 @@
 
 namespace tvarak {
 
-/** One independent experiment: a machine config, a redundancy design,
- *  and the factory that builds the workload set against the fresh
- *  machine. The label is used for progress reporting only. */
+/** One independent experiment: a machine config, a redundancy design
+ *  (any registered Design, variants included), and the factory that
+ *  builds the workload set against the fresh machine. The label is
+ *  used for progress reporting only. */
 struct ExperimentJob {
     std::string label;
     SimConfig cfg;
-    DesignKind design = DesignKind::Baseline;
+    const Design *design = nullptr;
     WorkloadFactory make;
 };
 

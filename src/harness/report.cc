@@ -1,7 +1,9 @@
 #include "harness/report.hh"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "redundancy/registry.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
@@ -11,25 +13,50 @@ namespace {
 const RunResult &
 baselineOf(const FigureRow &row)
 {
-    auto it = row.results.find(DesignKind::Baseline);
+    // Paper order starts with Baseline (the normalization reference).
+    auto it = row.results.find(allDesigns().front());
     panic_if(it == row.results.end(), "row %s lacks a Baseline run",
              row.workload.c_str());
     return it->second;
+}
+
+/**
+ * Report columns: the paper's four designs, plus any other registered
+ * kind (e.g. Vilamb) that actually appears in @p rows, in registry
+ * order. Keeps the classic four-column layout byte-identical while
+ * extra designs opt in by being measured.
+ */
+std::vector<DesignKind>
+columnKinds(const std::vector<FigureRow> &rows)
+{
+    std::vector<DesignKind> cols = allDesigns();
+    for (const Design *d : allRegisteredDesigns()) {
+        DesignKind k = d->kind();
+        if (std::find(cols.begin(), cols.end(), k) != cols.end())
+            continue;
+        bool present = false;
+        for (const FigureRow &row : rows)
+            present = present || row.results.count(k) != 0;
+        if (present)
+            cols.push_back(k);
+    }
+    return cols;
 }
 
 void
 printPanel(const char *title, const std::vector<FigureRow> &rows,
            double (*value)(const RunResult &))
 {
+    std::vector<DesignKind> cols = columnKinds(rows);
     std::printf("\n  %s (normalized to Baseline)\n", title);
     std::printf("  %-26s", "workload");
-    for (DesignKind d : allDesigns())
+    for (DesignKind d : cols)
         std::printf(" %18s", designName(d));
     std::printf("\n");
     for (const FigureRow &row : rows) {
         double base = value(baselineOf(row));
         std::printf("  %-26s", row.workload.c_str());
-        for (DesignKind d : allDesigns()) {
+        for (DesignKind d : cols) {
             auto it = row.results.find(d);
             if (it == row.results.end()) {
                 std::printf(" %18s", "-");
@@ -86,8 +113,9 @@ printFigureGroup(const std::string &caption,
     printPanel("Cache accesses", rows, cacheValue);
 
     std::printf("\n  NVM access split (absolute, data + redundancy)\n");
+    std::vector<DesignKind> cols = columnKinds(rows);
     for (const FigureRow &row : rows) {
-        for (DesignKind d : allDesigns()) {
+        for (DesignKind d : cols) {
             auto it = row.results.find(d);
             if (it == row.results.end())
                 continue;
@@ -115,8 +143,9 @@ printResilienceSection(const std::vector<FigureRow> &rows)
 
     std::printf("\n  Resilience events (absolute; faults, recovery, "
                 "degraded mode)\n");
+    std::vector<DesignKind> cols = columnKinds(rows);
     for (const FigureRow &row : rows) {
-        for (DesignKind d : allDesigns()) {
+        for (DesignKind d : cols) {
             auto it = row.results.find(d);
             if (it == row.results.end() ||
                 !sawResilienceEvents(it->second.stats))
@@ -148,10 +177,11 @@ printFigureCsv(const std::string &figureId,
     std::printf("\ncsv,%s,workload,design,runtime_cycles,norm_runtime,"
                 "energy_mj,nvm_data,nvm_red,cache_accesses\n",
                 figureId.c_str());
+    std::vector<DesignKind> cols = columnKinds(rows);
     for (const FigureRow &row : rows) {
         double base =
             static_cast<double>(baselineOf(row).runtimeCycles);
-        for (DesignKind d : allDesigns()) {
+        for (DesignKind d : cols) {
             auto it = row.results.find(d);
             if (it == row.results.end())
                 continue;

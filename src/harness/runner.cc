@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include "redundancy/registry.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
@@ -7,12 +8,12 @@ namespace tvarak {
 const std::vector<DesignKind> &
 allDesigns()
 {
-    static const std::vector<DesignKind> designs = {
-        DesignKind::Baseline,
-        DesignKind::Tvarak,
-        DesignKind::TxBObjectCsums,
-        DesignKind::TxBPageCsums,
-    };
+    static const std::vector<DesignKind> designs = [] {
+        std::vector<DesignKind> kinds;
+        for (const Design *d : paperDesigns())
+            kinds.push_back(d->kind());
+        return kinds;
+    }();
     return designs;
 }
 
@@ -20,11 +21,25 @@ RunResult
 runExperiment(const SimConfig &cfg, DesignKind design,
               const WorkloadFactory &make)
 {
-    return runExperiment(cfg, design, make, RunHooks{});
+    return runExperiment(cfg, designOf(design), make, RunHooks{});
 }
 
 RunResult
 runExperiment(const SimConfig &cfg, DesignKind design,
+              const WorkloadFactory &make, const RunHooks &hooks)
+{
+    return runExperiment(cfg, designOf(design), make, hooks);
+}
+
+RunResult
+runExperiment(const SimConfig &cfg, const Design &design,
+              const WorkloadFactory &make)
+{
+    return runExperiment(cfg, design, make, RunHooks{});
+}
+
+RunResult
+runExperiment(const SimConfig &cfg, const Design &design,
               const WorkloadFactory &make, const RunHooks &hooks)
 {
     MemorySystem mem(cfg, design);
@@ -64,7 +79,7 @@ runExperiment(const SimConfig &cfg, DesignKind design,
 
     const Stats &s = mem.stats();
     RunResult r;
-    r.design = design;
+    r.design = design.kind();
     r.runtimeCycles = s.runtimeCycles();
     r.runtimeMs = static_cast<double>(r.runtimeCycles) /
         (cfg.coreGhz * 1e6);

@@ -18,7 +18,7 @@ namespace tvarak {
 
 /** Everything the paper plots, for one (workload, design) run. */
 struct RunResult {
-    DesignKind design = DesignKind::Baseline;
+    DesignKind design{};  //!< serialization identity of the run's design
     Cycles runtimeCycles = 0;
     double runtimeMs = 0;
     double energyMj = 0;            //!< millijoules
@@ -63,17 +63,27 @@ struct RunHooks {
     std::function<void(MemorySystem &)> beforeFlush;
 };
 
+class Design;
+
 /**
- * Run @p make's workloads to completion under @p design.
+ * Run @p make's workloads to completion under @p design (any
+ * registered Design, variants included).
  *
  * Order: build machine -> setup() all -> stats reset -> round-robin
  * step() until all done -> flushAll() (the writeback tail is part of
  * the measured NVM occupancy) -> collect.
  */
-RunResult runExperiment(const SimConfig &cfg, DesignKind design,
+RunResult runExperiment(const SimConfig &cfg, const Design &design,
                         const WorkloadFactory &make);
 
 /** As above, with observation hooks. */
+RunResult runExperiment(const SimConfig &cfg, const Design &design,
+                        const WorkloadFactory &make,
+                        const RunHooks &hooks);
+
+/** Convenience shims: the canonical design for @p design. */
+RunResult runExperiment(const SimConfig &cfg, DesignKind design,
+                        const WorkloadFactory &make);
 RunResult runExperiment(const SimConfig &cfg, DesignKind design,
                         const WorkloadFactory &make,
                         const RunHooks &hooks);

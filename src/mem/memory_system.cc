@@ -4,51 +4,72 @@
 #include <cstring>
 
 #include "checksum/checksum.hh"
+#include "redundancy/registry.hh"
 #include "sim/log.hh"
 #include "trace/sink.hh"
 
 namespace tvarak {
 
-MemorySystem::MemorySystem(const SimConfig &cfg, DesignKind design)
-    : cfg_(cfg),
-      design_(design),
-      stats_(cfg.cores, cfg.nvm.dimms),
-      layout_(cfg.nvm.dimms * cfg.nvm.dimmBytes, cfg.nvm.dimms),
+namespace {
+
+/** The design's forced config fields applied to a private copy
+ *  before any member reads it. */
+SimConfig
+designAdjusted(SimConfig cfg, const Design &design)
+{
+    design.adjustConfig(cfg);
+    return cfg;
+}
+
+}  // namespace
+
+MemorySystem::MemorySystem(const SimConfig &cfg, const Design &design)
+    : cfg_(designAdjusted(cfg, design)),
+      design_(&design),
+      stats_(cfg_.cores, cfg_.nvm.dimms),
+      layout_(cfg_.nvm.dimms * cfg_.nvm.dimmBytes, cfg_.nvm.dimms),
       // cfg_ (declared first) is the object's own copy; engine_ keeps
       // a reference to its SimConfig, so it must not see the caller's
       // possibly-temporary argument.
       nvm_(cfg_.nvm, cfg_, stats_),
       engine_(cfg_, layout_, nvm_, stats_),
-      dram_(cfg.dram.sizeBytes, 0),
-      nvmCur_(cfg.nvm.dimms * cfg.nvm.dimmBytes, 0),
+      dram_(cfg_.dram.sizeBytes, 0),
+      nvmCur_(cfg_.nvm.dimms * cfg_.nvm.dimmBytes, 0),
       dramBrk_(kLineBytes)  // never hand out address 0
 {
-    cfg.validate();
-    // TVARAK borrows LLC ways for the partitions its enabled design
-    // elements need; every other design (and disabled elements, for
-    // the Fig 9 ablation) leaves those ways to application data.
-    llcDataWays_ = cfg.llcBank.ways;
-    if (design == DesignKind::Tvarak) {
-        if (cfg.tvarak.useRedundancyCaching)
-            llcDataWays_ -= cfg.tvarak.redundancyWays;
-        if (cfg.tvarak.useDataDiffs)
-            llcDataWays_ -= cfg.tvarak.diffWays;
-    }
+    cfg_.validate();
+    // The design's hardware borrows LLC ways for its partitions;
+    // designs without controller hardware (and disabled ablation
+    // elements) leave those ways to application data.
+    llcDataWays_ = cfg_.llcBank.ways - design.reservedLlcWays(cfg_);
     std::size_t llc_sets =
-        cfg.llcBank.sizeBytes / (cfg.llcBank.ways * kLineBytes);
-    for (std::size_t c = 0; c < cfg.cores; c++) {
+        cfg_.llcBank.sizeBytes / (cfg_.llcBank.ways * kLineBytes);
+    for (std::size_t c = 0; c < cfg_.cores; c++) {
         l1_.push_back(Cache::fromSize("l1-" + std::to_string(c),
-                                      cfg.l1.sizeBytes, cfg.l1.ways));
+                                      cfg_.l1.sizeBytes, cfg_.l1.ways));
         l2_.push_back(Cache::fromSize("l2-" + std::to_string(c),
-                                      cfg.l2.sizeBytes, cfg.l2.ways));
+                                      cfg_.l2.sizeBytes, cfg_.l2.ways));
     }
-    for (std::size_t b = 0; b < cfg.llcBanks; b++) {
+    for (std::size_t b = 0; b < cfg_.llcBanks; b++) {
         llc_.emplace_back("llc-" + std::to_string(b), llc_sets,
-                          llcDataWays_, cfg.llcBanks);
+                          llcDataWays_, cfg_.llcBanks);
     }
     std::size_t vpages = layout_.allocatableDataPages();
     daxPageTable_.assign(vpages, kUnmapped);
-    lastMissLine_.assign(cfg.cores, ~std::uint64_t{0});
+    lastMissLine_.assign(cfg_.cores, ~std::uint64_t{0});
+    ctrl_ = design.makeController(*this);
+}
+
+MemorySystem::MemorySystem(const SimConfig &cfg, DesignKind kind)
+    : MemorySystem(cfg, designOf(kind))
+{}
+
+MemorySystem::~MemorySystem() = default;
+
+DesignKind
+MemorySystem::design() const
+{
+    return design_->kind();
 }
 
 //
@@ -372,12 +393,7 @@ MemorySystem::llcEnsure(int core, Addr paddr, bool isNvm, bool isWrite,
                 lat += degradedFill(bank, g, media);
             } else {
                 lat += nvm_.access(g, false, media, isRedundancyAddr(g));
-                if (design_ == DesignKind::Tvarak &&
-                    engine_.isDaxData(g)) {
-                    Cycles verify = engine_.verifyFill(bank, g, media);
-                    if (cfg_.tvarak.syncVerification)
-                        lat += verify;
-                }
+                lat += ctrl_->fillLine(bank, g, media);
             }
             // The fill's view becomes the architectural value.
             std::memcpy(funcPtr(paddr, true), media, kLineBytes);
@@ -469,8 +485,9 @@ MemorySystem::prefetchLine(Addr paddr, bool isNvm)
             degradedFill(bank, g, media);
         } else {
             nvm_.access(g, false, media, isRedundancyAddr(g));
-            if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
-                engine_.verifyFill(bank, g, media);
+            // Prefetches are off the demand path: verification
+            // happens (energy, stats) but its cycles are discarded.
+            (void)ctrl_->fillLine(bank, g, media);
         }
         std::memcpy(funcPtr(paddr, true), media, kLineBytes);
     } else {
@@ -486,32 +503,28 @@ void
 MemorySystem::markLlcDirty(std::size_t bank, Cache::Line &line)
 {
     line.dirty = true;
-    if (design_ != DesignKind::Tvarak || !isNvmPhys(line.addr))
+    if (!isNvmPhys(line.addr))
         return;
     Addr g = nvmGlobal(line.addr);
-    if (!engine_.isDaxData(g))
-        return;
-    if (auto evicted = engine_.captureDiff(bank, g)) {
+    if (auto evicted = ctrl_->captureDirty(bank, g)) {
         // A diff-partition eviction forces an early writeback of the
         // victim's data line; the data line itself stays cached, clean.
         Cache::Line *victim_line =
             llc_[bank].probe(kNvmPhysBase + *evicted);
         panic_if(victim_line == nullptr || !victim_line->dirty,
                  "diff stored for a non-dirty LLC line");
-        writebackNvmLine(bank, victim_line->addr,
-                         TvarakEngine::DiffSource::EvictedDiff);
+        writebackNvmLine(bank, victim_line->addr, true);
         victim_line->dirty = false;
     }
 }
 
 void
 MemorySystem::writebackNvmLine(std::size_t bank, Addr paddr,
-                               TvarakEngine::DiffSource source)
+                               bool forcedByDiffEviction)
 {
     Addr g = nvmGlobal(paddr);
     std::uint8_t *cur = funcPtr(paddr, true);
-    if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
-        engine_.updateRedundancy(bank, g, cur, source);
+    ctrl_->writeback(bank, g, cur, forcedByDiffEviction);
     if (nvm_.anyDegraded() && nvm_.writeBlocked(g)) {
         // The home DIMM is dead: the data write is dropped — but the
         // redundancy update above already absorbed the new value into
@@ -550,12 +563,9 @@ MemorySystem::llcHandleVictim(std::size_t bank,
     if (isNvmPhys(victim.addr)) {
         Addr g = nvmGlobal(victim.addr);
         if (dirty) {
-            writebackNvmLine(bank, victim.addr,
-                             engine_.hasDiff(bank, g)
-                                 ? TvarakEngine::DiffSource::Stored
-                                 : TvarakEngine::DiffSource::None);
+            writebackNvmLine(bank, victim.addr, false);
         } else {
-            engine_.dropDiff(bank, g);
+            ctrl_->dropVictim(bank, g);
         }
     } else if (dirty) {
         stats_.dramWrites++;
@@ -595,8 +605,8 @@ MemorySystem::replaceDimm(std::size_t dimm)
 void
 MemorySystem::memberLine(Addr nvmAddr, std::uint8_t *out, bool charge)
 {
-    if (design_ == DesignKind::Tvarak && engine_.isDaxData(nvmAddr)) {
-        // TVARAK maintains parity against at-rest values.
+    if (ctrl_->atRestLine(nvmAddr)) {
+        // At-rest-world designs maintain parity against media values.
         nvm_.rawRead(nvmAddr, out, kLineBytes);
     } else {
         // Software schemes update parity synchronously with the data
@@ -612,7 +622,7 @@ MemorySystem::memberLine(Addr nvmAddr, std::uint8_t *out, bool charge)
 bool
 MemorySystem::stripeIsEngineWorld(Addr line)
 {
-    if (design_ != DesignKind::Tvarak)
+    if (!design_->engineCoversDaxData())
         return false;
     std::vector<Addr> pages;
     layout_.stripeDataPages(line, pages);
@@ -698,8 +708,7 @@ MemorySystem::degradedFill(std::size_t bank, Addr g, std::uint8_t *media)
     // the demand path (per-member occupancy and energy are charged by
     // reconstructLine above).
     Cycles lat = nvm_.readLatency();
-    if (design_ == DesignKind::Tvarak && engine_.isDaxData(g))
-        lat += engine_.verifyReconstructed(bank, g, media);
+    lat += ctrl_->verifyReconstructed(bank, g, media);
     return lat;
 }
 
@@ -816,11 +825,7 @@ MemorySystem::flushAll()
             if (!line.dirty)
                 return;
             if (isNvmPhys(line.addr)) {
-                Addr g = nvmGlobal(line.addr);
-                writebackNvmLine(b, line.addr,
-                                 engine_.hasDiff(b, g)
-                                     ? TvarakEngine::DiffSource::Stored
-                                     : TvarakEngine::DiffSource::None);
+                writebackNvmLine(b, line.addr, false);
             } else {
                 stats_.dramWrites++;
                 stats_.dramEnergy += cfg_.dram.accessEnergy;

@@ -4,13 +4,15 @@
  * run against, and the integration point for TVARAK.
  *
  * Topology (Table III): per-core L1 and L2, a shared inclusive banked
- * LLC, DRAM, and the NVM array. Under DesignKind::Tvarak, each LLC
- * bank loses `redundancyWays + diffWays` ways to the TVARAK partitions
- * and a TvarakEngine hook runs at the LLC<->NVM boundary:
- * verification on every NVM->LLC fill of a DAX line, redundancy update
- * on every LLC->NVM writeback, diff capture on every clean->dirty LLC
- * transition. Other designs get the full LLC and no hooks (software
- * schemes issue their redundancy work as ordinary timed accesses).
+ * LLC, DRAM, and the NVM array. The active redundancy design (a
+ * `Design` from redundancy/registry.hh) reserves its LLC way
+ * partitions via reservedLlcWays() and installs a `MemController`
+ * hook at the LLC<->NVM boundary: under the TVARAK design that hook
+ * verifies every NVM->LLC fill of a DAX line, updates redundancy on
+ * every LLC->NVM writeback and captures diffs on clean->dirty LLC
+ * transitions. Designs without controller hardware install the null
+ * controller and get the full LLC (software schemes issue their
+ * redundancy work as ordinary timed accesses).
  *
  * Functional model: caches carry tags/state for timing; *current*
  * values live in flat per-space stores (DRAM buffer, NVM
@@ -32,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,10 +52,18 @@ namespace trace {
 class TraceSink;
 }  // namespace trace
 
+class Design;
+class MemController;
+
 class MemorySystem
 {
   public:
-    MemorySystem(const SimConfig &cfg, DesignKind design);
+    /** Run under @p design (a registered Design drives all
+     *  design-specific behaviour; see redundancy/registry.hh). */
+    MemorySystem(const SimConfig &cfg, const Design &design);
+    /** Convenience shim: the canonical design for @p kind. */
+    MemorySystem(const SimConfig &cfg, DesignKind kind);
+    ~MemorySystem();
 
     /** @name Timed access API (what workloads call) */
     /**@{*/
@@ -157,7 +168,10 @@ class MemorySystem
     /** Invalidate-without-writeback is deliberately not offered:
      *  redundancy consistency requires writebacks. */
 
-    DesignKind design() const { return design_; }
+    /** The active design's serialization identity. */
+    DesignKind design() const;
+    /** The active design object (policy queries, scheme vending). */
+    const Design &designObj() const { return *design_; }
     const SimConfig &config() const { return cfg_; }
     Stats &stats() { return stats_; }
     const Stats &stats() const { return stats_; }
@@ -247,15 +261,19 @@ class MemorySystem
     /** Re-derive current values of all degraded lines (cold caches). */
     void refreshDegradedCurrent();
 
-    /** Write one dirty NVM line back to media (TVARAK update hook). */
+    /** Write one dirty NVM line back to media (controller update
+     *  hook). @p forcedByDiffEviction marks writebacks forced by a
+     *  diff-partition eviction (the controller uses the handed-over
+     *  diff instead of its stored one). */
     void writebackNvmLine(std::size_t bank, Addr paddr,
-                          TvarakEngine::DiffSource source);
+                          bool forcedByDiffEviction);
 
     /** Is this NVM-global address checksum/parity storage? */
     bool isRedundancyAddr(Addr nvmAddr) const;
 
     SimConfig cfg_;
-    DesignKind design_;
+    const Design *design_;
+    std::unique_ptr<MemController> ctrl_;  //!< design's LLC/NVM hook
     Stats stats_;
     Layout layout_;
     NvmArray nvm_;

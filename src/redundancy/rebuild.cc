@@ -4,6 +4,7 @@
 
 #include "checksum/checksum.hh"
 #include "layout/layout.hh"
+#include "redundancy/registry.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
@@ -34,7 +35,7 @@ RebuildEngine::pageCsumSlotValue(std::size_t slotIdx)
         return 0;  // padding slots beyond the trimmed data region
     if (layout.isParityPage(page))
         return 0;  // parity pages carry no page checksum
-    if (mem_.design() == DesignKind::Tvarak &&
+    if (mem_.designObj().engineCoversDaxData() &&
         mem_.tvarak().isDaxData(page)) {
         // Coverage moved to the DAX-CL-checksums at map time.
         return 0;

@@ -132,19 +132,8 @@ TxBPageCsums::onCommit(int tid, const std::vector<DirtyRange> &dirty)
         recomputeParityLine(tid, line);
 }
 
-std::unique_ptr<RedundancyScheme>
-makeScheme(DesignKind design, MemorySystem &mem)
-{
-    switch (design) {
-      case DesignKind::TxBObjectCsums:
-        return std::make_unique<TxBObjectCsums>(mem);
-      case DesignKind::TxBPageCsums:
-        return std::make_unique<TxBPageCsums>(mem);
-      case DesignKind::Baseline:
-      case DesignKind::Tvarak:
-        return nullptr;
-    }
-    return nullptr;
-}
+// makeScheme(DesignKind, MemorySystem&) is implemented by the design
+// registry (src/redundancy/registry.cc): the Design object vends its
+// scheme.
 
 }  // namespace tvarak

@@ -91,7 +91,9 @@ class TxBPageCsums final : public RedundancyScheme
     const char *name() const override { return "TxB-Page-Csums"; }
 };
 
-/** Scheme for @p design, or nullptr (Baseline and Tvarak need none). */
+/** Scheme for @p design, or nullptr (Baseline and Tvarak need none).
+ *  Convenience shim over the design registry: equivalent to
+ *  `designOf(design).makeScheme(mem)` (redundancy/registry.hh). */
 std::unique_ptr<RedundancyScheme> makeScheme(DesignKind design,
                                              MemorySystem &mem);
 

@@ -4,17 +4,9 @@
 
 namespace tvarak {
 
-const char *
-designName(DesignKind kind)
-{
-    switch (kind) {
-      case DesignKind::Baseline:       return "Baseline";
-      case DesignKind::Tvarak:         return "Tvarak";
-      case DesignKind::TxBObjectCsums: return "TxB-Object-Csums";
-      case DesignKind::TxBPageCsums:   return "TxB-Page-Csums";
-    }
-    return "?";
-}
+// designName(DesignKind) is implemented by the design registry
+// (src/redundancy/registry.cc), the single source of truth for
+// design names.
 
 void
 SimConfig::validate() const

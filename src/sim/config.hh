@@ -18,7 +18,12 @@
 
 namespace tvarak {
 
-/** Which redundancy design a simulation runs. */
+/**
+ * Which redundancy design a simulation runs. The enum is the stable
+ * on-disk/serialization identity of a design; all behavioral dispatch
+ * goes through the `Design` objects in redundancy/registry.hh, which
+ * is the only translation unit allowed to switch over it (lint R8).
+ */
 enum class DesignKind {
     /** No redundancy maintenance at all. */
     Baseline,
@@ -30,9 +35,12 @@ enum class DesignKind {
     /** Software page-granular checksums at transaction boundary
      *  (Mojim/HotPot-like). */
     TxBPageCsums,
+    /** Software page-granular checksums batched over epochs
+     *  (Vilamb, Kateja et al. 2020). */
+    Vilamb,
 };
 
-/** Printable name of a design. */
+/** Printable name of a design (implemented by the design registry). */
 const char *designName(DesignKind kind);
 
 /** Parameters of one cache level. */
@@ -95,7 +103,17 @@ struct TvarakParams {
     /** LLC ways reserved for storing data diffs. */
     std::size_t diffWays = 1;
 
-    /** @name Fig 9 ablation switches (all on == full TVARAK). */
+    /**
+     * @name Fig 9 ablation switches (all on == full TVARAK).
+     *
+     * Deprecated as user-facing knobs: select a registered design
+     * variant instead (`--design tvarak-naive` /
+     * `tvarak-no-red-cache` / `tvarak-no-diffs`), whose
+     * `Design::adjustConfig()` forces these fields. They remain in
+     * SimConfig only because the frozen trace header serializes them;
+     * the plain "tvarak" design leaves them untouched so old traces
+     * that recorded non-default values still replay identically.
+     */
     /**@{*/
     /** Cache-line granular checksums; off = page-granular naive
      *  checksums that force whole-page reads on every writeback. */

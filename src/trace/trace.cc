@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "redundancy/registry.hh"
 #include "sim/log.hh"
 
 namespace tvarak::trace {
@@ -400,6 +401,11 @@ TraceData::load(const std::string &path)
         return nullptr;
     }
     trace->recordedDesign = static_cast<DesignKind>(design);
+    if (!isRegisteredKind(trace->recordedDesign)) {
+        warn("trace: %s: unknown design id %u in header", path.c_str(),
+             design);
+        return nullptr;
+    }
     trace->workloadName.assign(reinterpret_cast<const char *>(p),
                                nameLen);
     p += nameLen;
@@ -776,7 +782,7 @@ TraceReplayWorkload::TraceReplayWorkload(
       mem_(mem),
       fs_(fs),
       cursor_(*trace_),
-      scheme_(makeScheme(mem.design(), mem))
+      scheme_(mem.designObj().makeScheme(mem))
 {}
 
 void
@@ -886,7 +892,16 @@ recordExperiment(const SimConfig &cfg, DesignKind design,
                  const WorkloadFactory &make,
                  const std::string &workloadName)
 {
-    auto writer = std::make_shared<TraceWriter>(cfg, design, workloadName);
+    return recordExperiment(cfg, designOf(design), make, workloadName);
+}
+
+RecordResult
+recordExperiment(const SimConfig &cfg, const Design &design,
+                 const WorkloadFactory &make,
+                 const std::string &workloadName)
+{
+    auto writer = std::make_shared<TraceWriter>(cfg, design.kind(),
+                                                workloadName);
     RunHooks hooks;
     hooks.onMachine = [&writer](MemorySystem &mem, DaxFs &) {
         mem.setTraceSink(writer.get());
@@ -908,6 +923,13 @@ recordExperiment(const SimConfig &cfg, DesignKind design,
 RunResult
 replayExperiment(std::shared_ptr<const TraceData> trace,
                  DesignKind design)
+{
+    return replayExperiment(std::move(trace), designOf(design));
+}
+
+RunResult
+replayExperiment(std::shared_ptr<const TraceData> trace,
+                 const Design &design)
 {
     SimConfig cfg = trace->cfg;
     return runExperiment(cfg, design, makeReplayFactory(std::move(trace)));

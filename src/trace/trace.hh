@@ -39,7 +39,7 @@ namespace tvarak::trace {
 /** An in-memory access trace: self-contained header + record bytes. */
 struct TraceData {
     std::uint32_t version = kTraceVersion;
-    DesignKind recordedDesign = DesignKind::Baseline;
+    DesignKind recordedDesign{};  //!< design the stream was captured under
     std::uint64_t configFingerprint = 0;  //!< FNV-1a over the cfg blob
     std::uint32_t threads = 1;            //!< max recorded tid + 1
     std::string workloadName;
@@ -187,5 +187,13 @@ RecordResult recordExperiment(const SimConfig &cfg, DesignKind design,
 /** Replay @p trace under @p design (on the trace's own config). */
 RunResult replayExperiment(std::shared_ptr<const TraceData> trace,
                            DesignKind design);
+
+/** As above, for any registered Design (variants included). The
+ *  trace header still stores only the design's DesignKind. */
+RecordResult recordExperiment(const SimConfig &cfg, const Design &design,
+                              const WorkloadFactory &make,
+                              const std::string &workloadName);
+RunResult replayExperiment(std::shared_ptr<const TraceData> trace,
+                           const Design &design);
 
 }  // namespace tvarak::trace

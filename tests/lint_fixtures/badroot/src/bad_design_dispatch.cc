@@ -1,0 +1,22 @@
+// Seeded violations: DesignKind enumerator dispatch outside
+// src/redundancy/registry.* (R8).
+
+enum class DesignKind { Baseline, Tvarak };
+
+bool
+isTvarakDesign(DesignKind k)
+{
+    return k == DesignKind::Tvarak;
+}
+
+int
+reservedWaysFor(DesignKind k)
+{
+    return k == DesignKind::Baseline ? 0 : 2;
+}
+
+bool
+allowedDispatch(DesignKind k)
+{
+    return k == DesignKind::Baseline;  // lint:allow(R8) must suppress
+}

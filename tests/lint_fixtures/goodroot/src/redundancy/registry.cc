@@ -1,0 +1,16 @@
+// src/redundancy/registry.* is the one subtree allowed to dispatch on
+// DesignKind enumerators: R8 must stay quiet here.
+
+enum class DesignKind { Baseline, Tvarak };
+
+const char *
+designName(DesignKind k)
+{
+    switch (k) {
+    case DesignKind::Baseline:
+        return "Baseline";
+    case DesignKind::Tvarak:
+        return "Tvarak";
+    }
+    return "?";
+}

@@ -165,7 +165,8 @@ TEST(LintFixtures, BadRootTripsEveryRuleExactly)
     EXPECT_EQ(n["R5"], 2) << "inline float + inline latency assignment";
     EXPECT_EQ(n["R6"], 2) << "threading header + std::thread member";
     EXPECT_EQ(n["R7"], 2) << "binary fopen + std::ios::binary stream";
-    EXPECT_EQ(findings.size(), 14u);
+    EXPECT_EQ(n["R8"], 2) << "two DesignKind comparisons outside registry";
+    EXPECT_EQ(findings.size(), 16u);
 }
 
 TEST(LintFixtures, BadRootFindingLocations)
@@ -184,6 +185,10 @@ TEST(LintFixtures, BadRootFindingLocations)
     EXPECT_TRUE(hasFinding(findings, "src/bad_threading.cc", 7, "R6"));
     EXPECT_TRUE(hasFinding(findings, "src/bad_binary_io.cc", 8, "R7"));
     EXPECT_TRUE(hasFinding(findings, "src/bad_binary_io.cc", 15, "R7"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_design_dispatch.cc", 9,
+                           "R8"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_design_dispatch.cc", 15,
+                           "R8"));
 }
 
 TEST(LintFixtures, SuppressedSiteStaysQuiet)
@@ -195,6 +200,9 @@ TEST(LintFixtures, SuppressedSiteStaysQuiet)
         << "lint:allow(R6) on the line must suppress the finding";
     EXPECT_FALSE(hasFinding(findings, "src/bad_binary_io.cc", 32, "R7"))
         << "lint:allow(R7) on the line above must suppress the finding";
+    EXPECT_FALSE(
+        hasFinding(findings, "src/bad_design_dispatch.cc", 21, "R8"))
+        << "lint:allow(R8) on the line must suppress the finding";
 }
 
 // ------------------------------------------------------------- repo

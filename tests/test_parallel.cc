@@ -15,6 +15,7 @@
 #include <string>
 
 #include "harness/parallel.hh"
+#include "redundancy/registry.hh"
 #include "test_util.hh"
 
 namespace tvarak {
@@ -79,8 +80,8 @@ mixedBatch()
     std::vector<ExperimentJob> jobs;
     int steps = 100;
     for (DesignKind d : allDesigns()) {
-        jobs.push_back({std::string("churn-") + designName(d), cfg, d,
-                        churnFactory(steps)});
+        jobs.push_back({std::string("churn-") + designName(d), cfg,
+                        &designOf(d), churnFactory(steps)});
         steps += 60;  // distinct stats per job
     }
     return jobs;
@@ -112,8 +113,8 @@ TEST(Parallel, ResultsInSubmissionOrder)
     auto results = runExperiments(jobs, 3);
     ASSERT_EQ(results.size(), jobs.size());
     for (std::size_t i = 0; i < jobs.size(); i++) {
-        EXPECT_EQ(results[i].design, jobs[i].design);
-        RunResult direct = runExperiment(jobs[i].cfg, jobs[i].design,
+        EXPECT_EQ(results[i].design, jobs[i].design->kind());
+        RunResult direct = runExperiment(jobs[i].cfg, *jobs[i].design,
                                          jobs[i].make);
         EXPECT_EQ(statsDiff(results[i].stats, direct.stats), "")
             << jobs[i].label;
@@ -133,7 +134,7 @@ TEST(Parallel, MoreWorkersThanJobs)
     auto results = runExperiments(jobs, 64);
     ASSERT_EQ(results.size(), 2u);
     RunResult direct =
-        runExperiment(jobs[0].cfg, jobs[0].design, jobs[0].make);
+        runExperiment(jobs[0].cfg, *jobs[0].design, jobs[0].make);
     EXPECT_EQ(statsDiff(results[0].stats, direct.stats), "");
 }
 
@@ -144,7 +145,7 @@ TEST(Parallel, ZeroWorkersMeansHardwareConcurrency)
     jobs.resize(1);
     auto results = runExperiments(jobs, 0);
     ASSERT_EQ(results.size(), 1u);
-    EXPECT_EQ(results[0].design, jobs[0].design);
+    EXPECT_EQ(results[0].design, jobs[0].design->kind());
 }
 
 }  // namespace

@@ -58,6 +58,7 @@
 #include "harness/runner.hh"
 #include "pmemlib/pmem_pool.hh"
 #include "redundancy/rebuild.hh"
+#include "redundancy/registry.hh"
 #include "redundancy/scheme.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
@@ -68,15 +69,16 @@ namespace {
 int
 usage()
 {
-    std::fputs(
+    std::fprintf(
+        stderr,
         "usage:\n"
         "  tvarak-fault map    --seed N [--design <d>] [--ops N]"
         " [--keys N]\n"
         "                      [--events N] [--out report.json]\n"
         "  tvarak-fault replay <file.trace> --seed N"
         " [--out report.json]\n"
-        "designs: Baseline, Tvarak, TxB-Object-Csums, TxB-Page-Csums\n",
-        stderr);
+        "designs: %s\n",
+        registeredNameList().c_str());
     return 2;
 }
 
@@ -182,27 +184,18 @@ parseU64(const std::string &s, bool allowZero)
     return v;
 }
 
-bool
-iequals(const std::string &a, const char *b)
-{
-    if (a.size() != std::strlen(b))
-        return false;
-    for (std::size_t i = 0; i < a.size(); i++) {
-        if (std::tolower(static_cast<unsigned char>(a[i])) !=
-            std::tolower(static_cast<unsigned char>(b[i]))) {
-            return false;
-        }
-    }
-    return true;
-}
-
-DesignKind
+const Design &
 parseDesign(const std::string &s)
 {
-    for (DesignKind d : allDesigns())
-        if (iequals(s, designName(d)))
-            return d;
-    fatal("unknown design '%s'", s.c_str());
+    const Design *d = findDesign(s);
+    if (d == nullptr) {
+        std::fprintf(stderr,
+                     "tvarak-fault: unknown design '%s' "
+                     "(registered: %s)\n",
+                     s.c_str(), registeredNameList().c_str());
+        std::exit(2);
+    }
+    return *d;
 }
 
 // ------------------------------------------------------------------
@@ -372,12 +365,12 @@ campaignConfig()
 class MapCampaign
 {
   public:
-    MapCampaign(DesignKind design, std::uint64_t seed, std::size_t ops,
-                std::size_t keys, std::size_t events)
-        : design_(design), seed_(seed), ops_(ops), keys_(keys),
+    MapCampaign(const Design &design, std::uint64_t seed,
+                std::size_t ops, std::size_t keys, std::size_t events)
+        : design_(&design), seed_(seed), ops_(ops), keys_(keys),
           nEvents_(events), rng_(seed),
           mem_(campaignConfig(), design), fs_(mem_),
-          scheme_(makeScheme(design, mem_)),
+          scheme_(design.makeScheme(mem_)),
           pool_(mem_, fs_, "p", 4ull << 20, scheme_.get(), 1),
           map_(makeMap(MapKind::CTree, mem_, pool_, kValueBytes)),
           version_(keys, 0)
@@ -422,9 +415,13 @@ class MapCampaign
     std::vector<SavedLine>
     snapshotLines(const std::vector<std::uint64_t> &victims);
     void restoreLines(const std::vector<SavedLine> &saved);
+    /** Close any batched redundancy work (Vilamb's open epoch) so the
+     *  at-rest sweeps judge a consistent image; no-op for the sync
+     *  schemes and the scheme-less designs. */
+    void drainScheme();
     void finish();
 
-    DesignKind design_;
+    const Design *design_;
     std::uint64_t seed_;
     std::size_t ops_;
     std::size_t keys_;
@@ -471,28 +468,18 @@ MapCampaign::valueFor(std::uint64_t key, std::uint64_t version,
 void
 MapCampaign::schedule()
 {
-    // Which faults a design participates in. Misdirected reads are
-    // transient (they never land at rest), so only fill-time
-    // verification — TVARAK — can see them; quiesce-time sweeps
-    // cannot. DIMM loss needs maintained parity, which Baseline lacks
-    // for DAX-mapped data.
-    std::vector<FaultKind> pool;
-    switch (design_) {
-      case DesignKind::Tvarak:
-        pool = {FaultKind::LostWrite, FaultKind::MisdirectedWrite,
-                FaultKind::MisdirectedRead, FaultKind::BitFlip,
-                FaultKind::DimmLoss};
-        break;
-      case DesignKind::TxBObjectCsums:
-      case DesignKind::TxBPageCsums:
-        pool = {FaultKind::LostWrite, FaultKind::MisdirectedWrite,
-                FaultKind::BitFlip, FaultKind::DimmLoss};
-        break;
-      case DesignKind::Baseline:
-        pool = {FaultKind::LostWrite, FaultKind::MisdirectedWrite,
-                FaultKind::BitFlip};
-        break;
-    }
+    // Which faults a design participates in, from its registry
+    // policy bits. Misdirected reads are transient (they never land
+    // at rest), so only fill-time verification can see them;
+    // quiesce-time sweeps cannot. DIMM loss needs maintained parity,
+    // which Baseline lacks for DAX-mapped data.
+    std::vector<FaultKind> pool = {FaultKind::LostWrite,
+                                   FaultKind::MisdirectedWrite};
+    if (design_->detectsTransientReads())
+        pool.push_back(FaultKind::MisdirectedRead);
+    pool.push_back(FaultKind::BitFlip);
+    if (design_->maintainsMappedParity())
+        pool.push_back(FaultKind::DimmLoss);
     bool haveDimmLoss = false;
     std::size_t lo = ops_ / 12 + 1;
     std::size_t hi = ops_ - ops_ / 3;  // leave room for the rebuild
@@ -621,12 +608,23 @@ MapCampaign::clearInjected()
  *  keys from the oracle (the "recover from a good copy" leg of the
  *  paper's fault model) and re-sweep to prove the system is whole. */
 void
+MapCampaign::drainScheme()
+{
+    if (scheme_ != nullptr)
+        scheme_->drain(0);
+}
+
+void
 MapCampaign::appDetectRepair(EventRecord &ev,
                              const std::vector<std::uint64_t> &victims)
 {
+    // By the time we sweep, the epoch is closed: lineBugEvent drains
+    // at the injection boundaries (draining *here* would be too late —
+    // re-reading a page whose media the bug already corrupted would
+    // launder the corruption into a fresh checksum).
     mem_.flushAll();
-    switch (design_) {
-      case DesignKind::Tvarak: {
+    switch (design_->faultDetection()) {
+      case FaultDetection::FillVerify: {
         // Fill-time verification: reading the victims detects and
         // transparently recovers; a repairing scrub then mops up the
         // at-rest copy (and any latent line nobody re-read).
@@ -644,7 +642,7 @@ MapCampaign::appDetectRepair(EventRecord &ev,
         ev.ok = detected && correct && whole;
         break;
       }
-      case DesignKind::TxBPageCsums: {
+      case FaultDetection::PageScrub: {
         // Page-checksum scrub over the at-rest media of the victim
         // pages; parity repairs them in place.
         std::unordered_set<std::size_t> pages;
@@ -670,7 +668,7 @@ MapCampaign::appDetectRepair(EventRecord &ev,
         ev.ok = bad > 0 && after == 0 && correct;
         break;
       }
-      case DesignKind::TxBObjectCsums: {
+      case FaultDetection::ObjectSweep: {
         // Object-checksum sweep (payload corruption) plus the parity
         // cross-check (catches the self-consistent-stale case a
         // whole-object lost write leaves behind). The design has no
@@ -697,7 +695,7 @@ MapCampaign::appDetectRepair(EventRecord &ev,
         ev.ok = detected && whole && correct;
         break;
       }
-      case DesignKind::Baseline: {
+      case FaultDetection::None: {
         // Pinned non-detection: when a victim's read is wrong,
         // nothing notices. Recovery is out-of-band from a good copy,
         // as above.
@@ -733,6 +731,13 @@ MapCampaign::lineBugEvent(std::size_t op, FaultKind kind)
     ev.kind = kind;
     ev.ok = false;
 
+    // Close any open epoch before arming the bug: the fault must land
+    // on *covered* data (a fault inside Vilamb's open window is the
+    // documented vulnerability, pinned by the scheme's own tests, not
+    // what this campaign judges). No bug is armed yet, so the drain's
+    // page re-reads are safe.
+    drainScheme();
+
     std::uint64_t vk = rng_.below(keys_);
     Addr g = lineOfKey(vk);
     auto &nvm = mem_.nvmArray();
@@ -744,6 +749,10 @@ MapCampaign::lineBugEvent(std::size_t op, FaultKind kind)
       case FaultKind::LostWrite: {
         dimm.injectLostWrite(media);
         updateKey(vk, version_[vk] + 1);
+        // Close the epoch while the event's writes are still cache-hot
+        // (the coherent view, not the bug-corrupted media), so the
+        // at-rest checksums and parity cover the acknowledged bytes.
+        drainScheme();
         mem_.flushAll();  // the acked writeback is dropped at-rest
         appDetectRepair(ev, {vk});
         break;
@@ -771,6 +780,7 @@ MapCampaign::lineBugEvent(std::size_t op, FaultKind kind)
         ev.target += " <- key " + std::to_string(wk);
         dimm.injectMisdirectedWrite(nvm.mediaAddrOf(wg), media);
         updateKey(wk, version_[wk] + 1);
+        drainScheme();  // cache-hot epoch close, as for lost writes
         mem_.flushAll();
         appDetectRepair(ev, {vk, wk});
         break;
@@ -795,7 +805,7 @@ MapCampaign::lineBugEvent(std::size_t op, FaultKind kind)
         unsigned bit = static_cast<unsigned>(
             rng_.below(kLineBytes * CHAR_BIT));
         mem_.flushAll();
-        if (design_ == DesignKind::Baseline) {
+        if (design_->faultDetection() == FaultDetection::None) {
             // The one fault class the baseline *does* catch: device
             // ECC. Recovery still needs a good copy — of the whole
             // line: the flip can land in a neighbouring object's
@@ -830,7 +840,9 @@ MapCampaign::dimmLossEvent(std::size_t op)
 {
     // Quiesce and mop up latent corruption first: single-fault
     // discipline — a device loss on top of an undetected line error
-    // exceeds the RAID-5 redundancy.
+    // exceeds the RAID-5 redundancy. Batched schemes (Vilamb) must
+    // close their epoch before the repairing scrub judges the media.
+    drainScheme();
     mem_.flushAll();
     fs_.scrub(true);
     failedDimm_ = static_cast<std::size_t>(
@@ -883,24 +895,22 @@ MapCampaign::finish()
     }
     if (rebuild_ != nullptr)
         rebuild_->runToCompletion();
+    drainScheme();
     mem_.flushAll();
 
     // Design-appropriate at-rest invariants...
-    switch (design_) {
-      case DesignKind::Tvarak:
+    switch (design_->faultDetection()) {
+      case FaultDetection::FillVerify:
+      case FaultDetection::PageScrub:
         finalScrubBad_ = fs_.scrub(false);
         finalParityBad_ = fs_.verifyParity();
         break;
-      case DesignKind::TxBPageCsums:
-        finalScrubBad_ = fs_.scrub(false);
-        finalParityBad_ = fs_.verifyParity();
-        break;
-      case DesignKind::TxBObjectCsums:
+      case FaultDetection::ObjectSweep:
         mem_.dropCaches();
         finalScrubBad_ = pool_.verifyObjects();
         finalParityBad_ = fs_.verifyParity();
         break;
-      case DesignKind::Baseline:
+      case FaultDetection::None:
         // Nothing to sweep: mapped-data redundancy does not exist.
         break;
     }
@@ -918,7 +928,7 @@ MapCampaign::finish()
         pass_ = pass_ && mem_.stats().degradedReads > 0 &&
             mem_.stats().rebuildLines > 0;
     }
-    if (design_ == DesignKind::Baseline) {
+    if (design_->faultDetection() == FaultDetection::None) {
         // The aggregate Baseline pin: across the whole campaign the
         // design never once claimed a detection, and at least one
         // injected fault was observed as a silent wrong read.
@@ -953,16 +963,21 @@ MapCampaign::run()
             mem_.replaceDimm(failedDimm_);
             rebuild_ = std::make_unique<RebuildEngine>(mem_, &fs_);
         }
-        if (rebuild_ != nullptr && !rebuild_->done())
+        if (rebuild_ != nullptr && !rebuild_->done()) {
+            // The rebuilder reconstructs from parity; batched schemes
+            // must catch up first or it reads parity that does not yet
+            // cover the epoch's acknowledged writebacks.
+            drainScheme();
             rebuild_->step(kRebuildLinesPerOp);
+        }
 
-        // The TxB schemes maintain parity by recomputation over the
-        // stripe, which is only safe against a quiesced, consistent
-        // image — so their degraded window is read-only. TVARAK's
-        // diff-based at-rest updates keep absorbing writes throughout.
-        bool writesAllowed = !degraded() ||
-            design_ == DesignKind::Tvarak ||
-            design_ == DesignKind::Baseline;
+        // The TxB schemes (and Vilamb) maintain parity by
+        // recomputation over the stripe, which is only safe against a
+        // quiesced, consistent image — so their degraded window is
+        // read-only. TVARAK's diff-based at-rest updates keep
+        // absorbing writes throughout.
+        bool writesAllowed =
+            !degraded() || design_->absorbsWritesWhileDegraded();
         if (writesAllowed) {
             std::uint64_t k = rng_.below(keys_);
             updateKey(k, version_[k] + 1);
@@ -983,7 +998,7 @@ MapCampaign::report(Json &json) const
     json.field("tool", "tvarak-fault");
     json.field("mode", "map");
     json.field("seed", seed_);
-    json.field("design", designName(design_));
+    json.field("design", design_->displayName());
     json.field("ops", static_cast<std::uint64_t>(ops_));
     json.field("keys", static_cast<std::uint64_t>(keys_));
     json.openField("events", '[');
@@ -1028,9 +1043,9 @@ cmdMap(const std::vector<std::string> &raw)
         return usage();
     }
     std::uint64_t seed = parseU64(a.flags.at("--seed"), true);
-    DesignKind design = a.flags.count("--design") != 0
+    const Design &design = a.flags.count("--design") != 0
         ? parseDesign(a.flags.at("--design"))
-        : DesignKind::Tvarak;
+        : designOf(DesignKind::Tvarak);
     auto flagOr = [&](const char *key, std::uint64_t dflt) {
         return a.flags.count(key) != 0 ? parseU64(a.flags.at(key), false)
                                        : dflt;
@@ -1042,7 +1057,7 @@ cmdMap(const std::vector<std::string> &raw)
     fatal_if(ops < 24, "--ops must be at least 24");
 
     inform("map campaign: %s, seed %llu, %zu ops, %zu events",
-           designName(design), static_cast<unsigned long long>(seed),
+           design.displayName(), static_cast<unsigned long long>(seed),
            ops, events);
     MapCampaign campaign(design, seed, ops, keys, events);
     bool pass = campaign.run();
@@ -1081,14 +1096,18 @@ cmdReplay(const std::vector<std::string> &raw)
         a.positional.size() != 1 || a.flags.count("--seed") == 0) {
         return usage();
     }
-    if (a.flags.count("--design") != 0 &&
-        parseDesign(a.flags.at("--design")) != DesignKind::Tvarak) {
+    const Design *design = &designOf(DesignKind::Tvarak);
+    if (a.flags.count("--design") != 0)
+        design = &parseDesign(a.flags.at("--design"));
+    if (!(design->absorbsWritesWhileDegraded() &&
+          design->maintainsMappedParity())) {
         std::fprintf(
             stderr,
             "tvarak-fault: replay fault injection needs a design that "
-            "absorbs writes while degraded; only Tvarak's diff-based "
-            "at-rest updates do (the TxB schemes recompute over the "
-            "stripe, which is unsafe mid-replay)\n");
+            "maintains mapped-data parity AND absorbs writes while "
+            "degraded; only Tvarak's diff-based at-rest updates do "
+            "(the TxB schemes and Vilamb recompute over the stripe, "
+            "which is unsafe mid-replay)\n");
         return 2;
     }
     auto trace = trace::TraceData::load(a.positional[0]);
@@ -1114,7 +1133,7 @@ cmdReplay(const std::vector<std::string> &raw)
         m.flushAll();
         cleanHash = imageHash(m.nvmArray());
     };
-    RunResult clean = runExperiment(trace->cfg, DesignKind::Tvarak,
+    RunResult clean = runExperiment(trace->cfg, *design,
                                     trace::makeReplayFactory(trace),
                                     cleanHooks);
 
@@ -1168,7 +1187,7 @@ cmdReplay(const std::vector<std::string> &raw)
         parityBad = fsPtr->verifyParity();
         faultedHash = imageHash(m.nvmArray());
     };
-    RunResult faulted = runExperiment(trace->cfg, DesignKind::Tvarak,
+    RunResult faulted = runExperiment(trace->cfg, *design,
                                       trace::makeReplayFactory(trace),
                                       faultHooks);
 
@@ -1183,7 +1202,7 @@ cmdReplay(const std::vector<std::string> &raw)
     json.field("tool", "tvarak-fault");
     json.field("mode", "replay");
     json.field("seed", seed);
-    json.field("design", designName(DesignKind::Tvarak));
+    json.field("design", design->displayName());
     json.field("workload", trace->workloadName);
     json.field("trace_events", trace->eventCount);
     json.field("passes", static_cast<std::uint64_t>(passes));

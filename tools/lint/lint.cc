@@ -914,6 +914,47 @@ ruleR7(const SourceFile &f, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------- R8
+
+/** The one subtree allowed to dispatch on DesignKind enumerators. */
+bool
+isRegistryPath(const std::string &path)
+{
+    return path.find("redundancy/registry.") != std::string::npos;
+}
+
+void
+ruleR8(const SourceFile &f, std::vector<Finding> &out)
+{
+    // Only the simulator core is covered: bench/, tools/ and tests/
+    // legitimately name designs when building tables and fixtures.
+    bool covered = f.path.rfind("src/", 0) == 0 ||
+        f.path.find("/src/") != std::string::npos;
+    if (!covered || isRegistryPath(f.path))
+        return;
+    for (std::size_t ln = 0; ln < f.code.size(); ln++) {
+        std::vector<Tok> toks;
+        tokenizeLine(f.code[ln], ln + 1, toks);
+        bool hit = false;
+        for (std::size_t i = 0; i + 2 < toks.size() && !hit; i++) {
+            hit = toks[i].kind == Tok::Ident &&
+                toks[i].text == "DesignKind" &&
+                toks[i + 1].kind == Tok::Punct &&
+                toks[i + 1].text == ":" &&
+                toks[i + 2].kind == Tok::Punct &&
+                toks[i + 2].text == ":";
+        }
+        if (!hit || f.allows("R8", ln + 1))
+            continue;
+        out.push_back({f.path, ln + 1, "R8",
+                       "DesignKind enumerator dispatch outside "
+                       "src/redundancy/registry.*; resolve the design "
+                       "through the registry (designOf / findDesign) and "
+                       "its policy hooks instead of switching on the "
+                       "kind"});
+    }
+}
+
 // --------------------------------------------------------- file walk
 
 bool
@@ -972,6 +1013,7 @@ run(const Options &opts)
         ruleR5(f, out);
         ruleR6(f, out);
         ruleR7(f, out);
+        ruleR8(f, out);
     }
     ruleR2(sources, out);
     ruleR3(opts, out);

@@ -28,6 +28,10 @@
  *       std::ifstream / std::fstream with std::ios::binary) is
  *       confined to src/trace/, src/harness/ and tools/ — every
  *       on-disk format has exactly one owner.
+ *   R8  DesignKind enumerator dispatch (`DesignKind::...` switches and
+ *       comparisons) in src/ is confined to src/redundancy/registry.* —
+ *       everything else resolves behaviour through the Design registry
+ *       (designOf / findDesign) and the Design policy hooks.
  *
  * A finding on line N is suppressed by `// lint:allow(R#)` (comma
  * lists allowed) on line N or on the line directly above it.
@@ -46,7 +50,7 @@ namespace tvarak::lint {
 struct Finding {
     std::string file;    //!< path as reported (relative to root)
     std::size_t line;    //!< 1-based
-    std::string rule;    //!< "R1".."R7"
+    std::string rule;    //!< "R1".."R8"
     std::string message;
 
     /** `file:line: [R#] message` */

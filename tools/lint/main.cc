@@ -9,7 +9,7 @@
  *
  *   tvarak-lint --self-test DIR
  *       DIR must hold `goodroot/` (expected clean) and `badroot/`
- *       (expected to trip every rule R1..R7). Exit 0 iff both hold.
+ *       (expected to trip every rule R1..R8). Exit 0 iff both hold.
  */
 
 #include <cstdio>
@@ -59,7 +59,8 @@ selfTest(const fs::path &dir)
     std::set<std::string> hit;
     for (const Finding &f : run(bad))
         hit.insert(f.rule);
-    for (const char *rule : {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}) {
+    for (const char *rule :
+         {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}) {
         if (!hit.count(rule)) {
             std::fprintf(stderr,
                          "self-test: badroot did not trip %s\n", rule);
@@ -69,7 +70,7 @@ selfTest(const fs::path &dir)
 
     if (failures == 0) {
         std::printf("tvarak-lint self-test: OK "
-                    "(goodroot clean, badroot trips R1..R7)\n");
+                    "(goodroot clean, badroot trips R1..R8)\n");
         return 0;
     }
     return 1;

@@ -30,6 +30,7 @@
 
 #include "apps/stream/stream.hh"
 #include "apps/trees/tree_workload.hh"
+#include "redundancy/registry.hh"
 #include "redundancy/scheme.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
@@ -40,15 +41,16 @@ namespace {
 int
 usage()
 {
-    std::fputs(
+    std::fprintf(
+        stderr,
         "usage:\n"
         "  tvarak-trace record <stream|ctree> <out.trace>"
         " [--scale N] [--design <d>]\n"
         "  tvarak-trace info   <file.trace>\n"
         "  tvarak-trace stat   <file.trace>\n"
         "  tvarak-trace replay <file.trace> --design <d> [--verify]\n"
-        "designs: Baseline, Tvarak, TxB-Object-Csums, TxB-Page-Csums\n",
-        stderr);
+        "designs: %s\n",
+        registeredNameList().c_str());
     return 2;
 }
 
@@ -118,27 +120,18 @@ parseCount(const std::string &s)
     return static_cast<std::size_t>(v);
 }
 
-bool
-iequals(const std::string &a, const char *b)
-{
-    if (a.size() != std::strlen(b))
-        return false;
-    for (std::size_t i = 0; i < a.size(); i++) {
-        if (std::tolower(static_cast<unsigned char>(a[i])) !=
-            std::tolower(static_cast<unsigned char>(b[i]))) {
-            return false;
-        }
-    }
-    return true;
-}
-
-DesignKind
+const Design &
 parseDesign(const std::string &s)
 {
-    for (DesignKind d : allDesigns())
-        if (iequals(s, designName(d)))
-            return d;
-    fatal("unknown design '%s'", s.c_str());
+    const Design *d = findDesign(s);
+    if (d == nullptr) {
+        std::fprintf(stderr,
+                     "tvarak-trace: unknown design '%s' "
+                     "(registered: %s)\n",
+                     s.c_str(), registeredNameList().c_str());
+        std::exit(2);
+    }
+    return *d;
 }
 
 /** The canned machine: Table III, NVM sized for the canned workloads. */
@@ -156,7 +149,7 @@ cannedFactory(const std::string &id, std::size_t scale)
 {
     if (id == "stream") {
         return [scale](MemorySystem &mem, DaxFs &fs) -> WorkloadSet {
-            auto scheme = makeScheme(mem.design(), mem);
+            auto scheme = mem.designObj().makeScheme(mem);
             WorkloadSet set;
             StreamWorkload::Params p;
             p.kernel = StreamWorkload::Kernel::Triad;
@@ -176,7 +169,7 @@ cannedFactory(const std::string &id, std::size_t scale)
     }
     if (id == "ctree") {
         return [scale](MemorySystem &mem, DaxFs &fs) -> WorkloadSet {
-            auto scheme = makeScheme(mem.design(), mem);
+            auto scheme = mem.designObj().makeScheme(mem);
             WorkloadSet set;
             TreeWorkload::Params p;
             p.kind = MapKind::CTree;
@@ -255,13 +248,13 @@ cmdRecord(const std::vector<std::string> &raw)
     std::size_t scale = a.flags.count("--scale") != 0
         ? parseCount(a.flags.at("--scale"))
         : 1;
-    DesignKind design = a.flags.count("--design") != 0
+    const Design &design = a.flags.count("--design") != 0
         ? parseDesign(a.flags.at("--design"))
-        : DesignKind::Baseline;
+        : *findDesign("baseline");
 
     std::string name = id + "@" + std::to_string(scale);
     inform("recording %s under %s ...", name.c_str(),
-           designName(design));
+           design.displayName());
     trace::RecordResult rec = trace::recordExperiment(
         cannedConfig(), design, cannedFactory(id, scale), name);
     fatal_if(!rec.trace->save(out), "cannot write %s", out.c_str());
@@ -405,12 +398,12 @@ cmdReplay(const std::vector<std::string> &raw)
         return usage();
     }
     auto t = loadOrDie(a.positional[0]);
-    DesignKind design = parseDesign(a.flags.at("--design"));
+    const Design &design = parseDesign(a.flags.at("--design"));
 
     inform("replaying %s (%llu events) under %s ...",
            t->workloadName.c_str(),
            static_cast<unsigned long long>(t->eventCount),
-           designName(design));
+           design.displayName());
     RunResult replayed = trace::replayExperiment(t, design);
     printRunResult(replayed);
 
