@@ -4,7 +4,7 @@
 # Mirrors the CI matrix (.github/workflows/ci.yml):
 #   1. RelWithDebInfo build with -Werror, full ctest run
 #   2. ASan+UBSan build, full ctest run
-#   3. tvarak-lint over src/tests/bench + its fixture self-test
+#   3. tvarak-lint (R1..R13 + SARIF determinism) + fixture self-test
 #   4. clang-tidy (skipped with a notice if not installed)
 #
 # Usage: scripts/check.sh [--fast]
@@ -36,7 +36,11 @@ else
 fi
 
 echo "== [3/4] tvarak-lint =="
-./build-check/tools/lint/tvarak-lint --root .
+./build-check/tools/lint/tvarak-lint --root . \
+    --sarif build-check/tvarak-lint.sarif
+./build-check/tools/lint/tvarak-lint --root . \
+    --sarif build-check/tvarak-lint.run2.sarif
+cmp build-check/tvarak-lint.sarif build-check/tvarak-lint.run2.sarif
 ./build-check/tools/lint/tvarak-lint --self-test tests/lint_fixtures
 
 echo "== [4/4] clang-tidy =="

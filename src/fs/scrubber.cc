@@ -1,6 +1,5 @@
 #include "fs/scrubber.hh"
 
-#include "pmemlib/pmem_pool.hh"
 #include "sim/types.hh"
 
 namespace tvarak {
@@ -34,8 +33,8 @@ Scrubber::step(std::size_t lineBudget)
             // Pass complete: wrap, and give object-granular coverage
             // its (unbudgetable) sweep.
             passes_++;
-            if (pool_ != nullptr)
-                badObjectsTotal_ += pool_->verifyObjects();
+            if (objectSweep_)
+                badObjectsTotal_ += objectSweep_();
             fd_ = 0;
             page_ = 0;
             if (!seek())

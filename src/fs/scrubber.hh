@@ -9,9 +9,11 @@
  * DAX-CL-checksums for TVARAK-mapped files, page checksums otherwise)
  * and optionally repairs mismatches from parity. A cursor of
  * (fd, page) persists across steps; when it wraps, one *pass* is
- * complete. Under TxB-Object-Csums an attached PmemPool is swept with
- * verifyObjects() at the end of each pass (object-granular coverage
- * cannot be line-budgeted).
+ * complete. Under TxB-Object-Csums the owner attaches an object sweep
+ * (e.g. PmemPool::verifyObjects) that runs at the end of each pass —
+ * object-granular coverage cannot be line-budgeted. The sweep is a
+ * callback so fs/ never depends on the pmem library above it (the
+ * layering DAG is enforced by tvarak-lint rule R9).
  *
  * Degraded pages are skipped (inside DaxFs::scrubPage) — they are
  * served by reconstruction until the rebuild engine passes them — so
@@ -21,12 +23,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <utility>
 
 #include "fs/dax_fs.hh"
 
 namespace tvarak {
-
-class PmemPool;
 
 class Scrubber
 {
@@ -34,8 +36,15 @@ class Scrubber
     /** @param repair  rebuild corrupted lines from parity in place. */
     Scrubber(DaxFs &fs, bool repair);
 
-    /** Sweep @p pool's objects at each pass end (TxB-Object-Csums). */
-    void attachPool(const PmemPool *pool) { pool_ = pool; }
+    /**
+     * Run @p sweep at the end of every pass and accumulate its return
+     * value (checksum mismatches found) into badObjectsTotal(). For
+     * TxB-Object-Csums pass `[&pool] { return pool.verifyObjects(); }`.
+     */
+    void attachObjectSweep(std::function<std::size_t()> sweep)
+    {
+        objectSweep_ = std::move(sweep);
+    }
 
     /**
      * Scrub forward by at most @p lineBudget lines. Files created or
@@ -56,7 +65,7 @@ class Scrubber
     bool seek();
 
     DaxFs &fs_;
-    const PmemPool *pool_ = nullptr;
+    std::function<std::size_t()> objectSweep_;
     bool repair_;
     std::size_t fd_ = 0;    //!< cursor: file slot
     std::size_t page_ = 0;  //!< cursor: page within fd_

@@ -59,47 +59,51 @@ defaultJobs()
     return hw > 0 ? hw : 1;
 }
 
-std::vector<RunResult>
-runExperiments(const std::vector<ExperimentJob> &jobs, std::size_t workers)
+void
+parallelFor(std::size_t count, const std::function<void(std::size_t)> &fn,
+            std::size_t workers)
 {
     if (workers == 0)
         workers = defaultJobs();
-    if (workers > jobs.size())
-        workers = jobs.size();
+    if (workers > count)
+        workers = count;
 
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; i++)
+            fn(i);
+        return;
+    }
+
+    JobQueue queue(count);
+    {
+        std::vector<std::jthread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; w++) {
+            pool.emplace_back([&queue, &fn] {
+                std::size_t i;
+                while (queue.claim(i))
+                    fn(i);
+            });
+        }
+        // jthread joins on destruction: leaving the scope is the
+        // barrier that makes every fn(i) effect safe to read.
+    }
+}
+
+std::vector<RunResult>
+runExperiments(const std::vector<ExperimentJob> &jobs, std::size_t workers)
+{
     std::vector<RunResult> results(jobs.size());
 
     for (const ExperimentJob &job : jobs)
         panic_if(job.design == nullptr, "ExperimentJob '%s' without a "
                  "design", job.label.c_str());
 
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); i++) {
-            announce(jobs[i], i, jobs.size());
-            results[i] = runExperiment(jobs[i].cfg, *jobs[i].design,
-                                       jobs[i].make);
-        }
-        return results;
-    }
-
-    JobQueue queue(jobs.size());
-    {
-        std::vector<std::jthread> pool;
-        pool.reserve(workers);
-        for (std::size_t w = 0; w < workers; w++) {
-            pool.emplace_back([&queue, &jobs, &results] {
-                std::size_t i;
-                while (queue.claim(i)) {
-                    announce(jobs[i], i, jobs.size());
-                    results[i] = runExperiment(jobs[i].cfg,
-                                               *jobs[i].design,
-                                               jobs[i].make);
-                }
-            });
-        }
-        // jthread joins on destruction: leaving the scope is the
-        // barrier that makes `results` safe to read.
-    }
+    parallelFor(jobs.size(), [&jobs, &results](std::size_t i) {
+        announce(jobs[i], i, jobs.size());
+        results[i] =
+            runExperiment(jobs[i].cfg, *jobs[i].design, jobs[i].make);
+    }, workers);
     return results;
 }
 

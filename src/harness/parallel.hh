@@ -19,12 +19,32 @@
 
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "harness/runner.hh"
 
 namespace tvarak {
+
+/**
+ * Generic deterministic fan-out: run @p fn(0) .. @p fn(count - 1) on a
+ * fixed-size worker pool and return once every call has finished.
+ *
+ * Each index runs exactly once; any result must be written into an
+ * index-private slot (results[i] from fn(i)), which makes the combined
+ * output independent of the worker count and of completion order.
+ * @p fn must not touch shared mutable state. With @p workers <= 1 (or
+ * a single task) everything runs inline on the caller's thread.
+ *
+ * This is the primitive under runExperiments(); tvarak-lint reuses it
+ * to lex and scan source files in parallel.
+ *
+ * @p workers  worker-thread count; 0 means defaultJobs().
+ */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)> &fn,
+                 std::size_t workers = 0);
 
 /** One independent experiment: a machine config, a redundancy design
  *  (any registered Design, variants included), and the factory that

@@ -1,5 +1,6 @@
 #include "redundancy/scheme.hh"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "checksum/checksum.hh"
@@ -96,7 +97,12 @@ TxBObjectCsums::onCommit(int tid, const std::vector<DirtyRange> &dirty)
         extra_lines.erase(line);
     for (Addr line : lines)
         recomputeParityLine(tid, line);
-    for (Addr line : extra_lines)
+    // The checksum-slot lines were deduplicated through a hash set;
+    // recompute them in address order, not in the set's
+    // implementation-defined iteration order (tvarak-lint R10).
+    std::vector<Addr> extra(extra_lines.begin(), extra_lines.end());
+    std::sort(extra.begin(), extra.end());
+    for (Addr line : extra)
         recomputeParityLine(tid, line);
 }
 
@@ -107,12 +113,15 @@ TxBPageCsums::onCommit(int tid, const std::vector<DirtyRange> &dirty)
     // including the transaction runtime's metadata writes — that
     // coverage is exactly why even read-only Redis transactions cost
     // TxB-Page-Csums a whole-page re-read (paper Section IV-B).
-    std::unordered_set<Addr> pages;
+    // Insert-guard only (never iterated, so hash order is immaterial
+    // — and tvarak-lint R10 tracks container names file-wide, so the
+    // name must not collide with the iterated vector above).
+    std::unordered_set<Addr> seenPages;
     std::uint8_t page_buf[kPageBytes];
     for (const DirtyRange &r : dirty) {
         for (Addr p = pageBase(r.vaddr); p < r.vaddr + r.len;
              p += kPageBytes) {
-            if (!pages.insert(p).second)
+            if (!seenPages.insert(p).second)
                 continue;
             mem_.read(tid, p, page_buf, kPageBytes);
             mem_.computeChecksum(tid, kPageBytes);

@@ -1,9 +1,29 @@
 #include "redundancy/vilamb.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "checksum/checksum.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
+
+namespace {
+
+/** Snapshot an epoch's dirty set in ascending address order. The
+ *  tracking sets are hash tables (O(1) inserts on the commit path);
+ *  batch processing must not inherit their iteration order, which is
+ *  implementation-defined — bit-identical replay (tvarak-lint R10)
+ *  needs a deterministic walk. */
+std::vector<Addr>
+sortedAddrs(const std::unordered_set<Addr> &s)
+{
+    std::vector<Addr> v(s.begin(), s.end());
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+}  // namespace
 
 void
 VilambAsyncCsums::onCommit(int tid, const std::vector<DirtyRange> &dirty)
@@ -40,7 +60,7 @@ void
 VilambAsyncCsums::processBatch(int tid)
 {
     std::uint8_t page_buf[kPageBytes];
-    for (Addr page : dirtyPages_) {
+    for (Addr page : sortedAddrs(dirtyPages_)) {
         // Page checksum: read the page, checksum, store the entry.
         mem_.read(tid, page, page_buf, kPageBytes);
         mem_.computeChecksum(tid, kPageBytes);
@@ -56,7 +76,7 @@ VilambAsyncCsums::processBatch(int tid)
     }
     // Parity: per dirty line, by recomputation (no before-images are
     // kept across the epoch, so diff-based updates are impossible).
-    for (Addr line : dirtyLines_)
+    for (Addr line : sortedAddrs(dirtyLines_))
         recomputeParityLine(tid, line);
     dirtyPages_.clear();
     dirtyLines_.clear();

@@ -71,6 +71,8 @@ Stats::dump(std::ostream &os) const
        << "mem.nvm.data.writes       " << nvmDataWrites << "\n"
        << "mem.nvm.red.reads         " << nvmRedundancyReads << "\n"
        << "mem.nvm.red.writes        " << nvmRedundancyWrites << "\n"
+       << "mem.nvm.csumLine.accesses " << nvmCsumLineAccesses << "\n"
+       << "mem.nvm.parityLine.accesses " << nvmParityLineAccesses << "\n"
        << "energy.l1.pJ              " << l1Energy << "\n"
        << "energy.l2.pJ              " << l2Energy << "\n"
        << "energy.llc.pJ             " << llcEnergy << "\n"

@@ -1,0 +1,21 @@
+// Seeded violations: naked lock()/unlock() in the harness (R13);
+// critical sections use scoped guards so every exit path releases.
+#include <mutex>
+
+int
+criticalSection(std::mutex &mu, int v)
+{
+    mu.lock();
+    int doubled = v * 2;
+    mu.unlock();
+    return doubled;
+}
+
+int
+allowedRawLock(std::mutex &mu, int v)
+{
+    mu.lock();  // lint:allow(R13) suppression must hold
+    int doubled = v * 2;
+    mu.unlock();  // lint:allow(R13)
+    return doubled;
+}

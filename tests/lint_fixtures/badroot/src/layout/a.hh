@@ -1,0 +1,8 @@
+// Seeded violation: include cycle a.hh <-> b.hh (R9).
+#pragma once
+
+#include "layout/b.hh"
+
+struct FixtureA {
+    int a = 0;
+};

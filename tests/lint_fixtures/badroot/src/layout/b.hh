@@ -1,0 +1,8 @@
+// Second half of the seeded a.hh <-> b.hh include cycle (R9).
+#pragma once
+
+#include "layout/a.hh"
+
+struct FixtureB {
+    int b = 0;
+};

@@ -1,0 +1,8 @@
+#pragma once
+
+// Stub upper-layer header: the R9 fixture's upward-include target.
+inline int
+fixtureMemValue()
+{
+    return 4;
+}

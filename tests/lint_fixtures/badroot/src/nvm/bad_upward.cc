@@ -1,0 +1,12 @@
+// Seeded violation: an upward include edge — nvm/ (rank 2) must not
+// depend on mem/ (rank 4) in the layering DAG (R9).
+#include "mem/memory_system.hh"
+
+// lint:allow(R9) suppression must hold for the line below.
+#include "mem/memory_system.hh"
+
+int
+fixtureNvmUsesMem()
+{
+    return fixtureMemValue();
+}

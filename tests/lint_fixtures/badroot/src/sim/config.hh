@@ -1,6 +1,11 @@
 #pragma once
 
+// `undocumentedKnob` seeds R3 (missing from the bench dump and the
+// design doc). `deadKnob` and `writeOnlyKnob` seed R12 — their R3
+// findings are suppressed so each rule trips on its own fixture.
 struct FixtureParams {
     unsigned long dimms = 4;
     unsigned long undocumentedKnob = 7;
+    unsigned long deadKnob = 1;       // lint:allow(R3)
+    unsigned long writeOnlyKnob = 0;  // lint:allow(R3)
 };

@@ -1,10 +1,14 @@
-// Seeded violation: "cache.l1.misses" is registered twice (R2).
+// Seeded violation: "cache.l1.misses" is registered twice (R2). The
+// dump body also seeds R11: it reports `stale` (never incremented)
+// and drops `misses` (incremented in src/core/bad_nondet.cc).
 #include <ostream>
 
+#include "sim/stats.hh"
+
 void
-dump(std::ostream &os)
+dump(const Stats &s, std::ostream &os)
 {
-    os << "cache.l1.accesses  " << 1 << "\n"
-       << "cache.l1.misses    " << 2 << "\n"
-       << "cache.l1.misses    " << 2 << "\n";
+    os << "cache.l1.accesses  " << s.hits << "\n"
+       << "cache.l1.misses    " << s.stale << "\n"
+       << "cache.l1.misses    " << s.stale << "\n";
 }

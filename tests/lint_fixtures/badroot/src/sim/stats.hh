@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture stats block. Two of the three counters are seeded R11
+// violations: `misses` is incremented (src/core/bad_nondet.cc) but
+// never reported by dump(), and `stale` is reported but never
+// incremented anywhere.
+struct Stats {
+    unsigned long hits = 0;
+    unsigned long misses = 0;
+    unsigned long stale = 0;
+};

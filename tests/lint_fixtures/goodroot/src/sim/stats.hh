@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture stats block: every counter is both incremented
+// (src/core/users.cc) and reported (src/sim/stats.cc), so R11 stays
+// quiet.
+struct Stats {
+    unsigned long accesses = 0;
+    unsigned long misses = 0;
+    unsigned long nvmReads = 0;
+};

@@ -48,9 +48,9 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "apps/trees/pmem_map.hh"
@@ -644,8 +644,9 @@ MapCampaign::appDetectRepair(EventRecord &ev,
       }
       case FaultDetection::PageScrub: {
         // Page-checksum scrub over the at-rest media of the victim
-        // pages; parity repairs them in place.
-        std::unordered_set<std::size_t> pages;
+        // pages; parity repairs them in place. Ordered set: the scrub
+        // order feeds the deterministic JSON report (lint R10).
+        std::set<std::size_t> pages;
         for (std::uint64_t k : victims) {
             Addr vaddr = map_->valueAddr(0, k);
             pages.insert(static_cast<std::size_t>(

@@ -9,6 +9,11 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+
+#include "harness/parallel.hh"
+#include "repo_model.hh"
+#include "tokens.hh"
 
 namespace fs = std::filesystem;
 
@@ -38,16 +43,8 @@ isIdentChar(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** One lexical token of a blanked code line. */
-struct Tok {
-    enum Kind { Ident, Number, Punct };
-    Kind kind;
-    std::string text;
-    std::size_t line;  //!< 1-based
-    std::size_t col;   //!< 0-based start column
-};
+}  // namespace
 
-/** Tokenize one code line (comments/literals already blanked). */
 void
 tokenizeLine(const std::string &code, std::size_t lineNo,
              std::vector<Tok> &out)
@@ -82,7 +79,15 @@ tokenizeLine(const std::string &code, std::size_t lineNo,
     }
 }
 
-/** Numeric value of a number token (integers only; 0 for floats). */
+std::vector<Tok>
+tokenizeFile(const std::vector<std::string> &code)
+{
+    std::vector<Tok> toks;
+    for (std::size_t i = 0; i < code.size(); i++)
+        tokenizeLine(code[i], i + 1, toks);
+    return toks;
+}
+
 std::uint64_t
 numberValue(const std::string &text)
 {
@@ -107,8 +112,6 @@ isFloatLiteral(const std::string &text)
     return text.find('e') != std::string::npos ||
         text.find('E') != std::string::npos;
 }
-
-}  // namespace
 
 bool
 SourceFile::allows(const std::string &rule, std::size_t line) const
@@ -250,6 +253,8 @@ SourceFile
 lexFile(const fs::path &file, const std::string &reportPath)
 {
     std::ifstream is(file, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot read " + file.string());
     std::ostringstream buf;
     buf << is.rdbuf();
     return lexText(buf.str(), reportPath);
@@ -990,33 +995,56 @@ std::vector<Finding>
 run(const Options &opts)
 {
     std::vector<std::string> paths = opts.paths;
+    bool explicitPaths = !paths.empty();
     if (paths.empty())
-        paths = {"src", "tests", "bench"};
+        paths = {"src", "tests", "bench", "tools", "examples"};
 
     std::vector<fs::path> files;
-    for (const std::string &p : paths)
+    for (const std::string &p : paths) {
+        if (explicitPaths && !fs::exists(opts.root / p))
+            throw std::runtime_error("no such path: " +
+                                     (opts.root / p).string());
         collect(opts.root, opts.root / p, files);
+    }
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    std::vector<SourceFile> sources;
-    sources.reserve(files.size());
-    for (const fs::path &p : files) {
-        std::string rel = fs::relative(p, opts.root).generic_string();
-        sources.push_back(lexFile(p, rel));
-    }
+    // Lex + run the per-file rules in parallel over the harness pool.
+    // Each file writes its own slot, so the merged result is
+    // deterministic no matter how the pool schedules the work.
+    std::vector<SourceFile> sources(files.size());
+    std::vector<std::vector<Finding>> perFile(files.size());
+    std::vector<std::string> errors(files.size());
+    parallelFor(
+        files.size(),
+        [&](std::size_t i) {
+            try {
+                std::string rel =
+                    fs::relative(files[i], opts.root).generic_string();
+                sources[i] = lexFile(files[i], rel);
+                ruleR1(sources[i], perFile[i]);
+                ruleR4(sources[i], perFile[i]);
+                ruleR5(sources[i], perFile[i]);
+                ruleR6(sources[i], perFile[i]);
+                ruleR7(sources[i], perFile[i]);
+                ruleR8(sources[i], perFile[i]);
+            } catch (const std::exception &e) {
+                errors[i] = e.what();
+            }
+        },
+        opts.jobs);
+    for (const std::string &err : errors)
+        if (!err.empty())
+            throw std::runtime_error(err);
 
     std::vector<Finding> out;
-    for (const SourceFile &f : sources) {
-        ruleR1(f, out);
-        ruleR4(f, out);
-        ruleR5(f, out);
-        ruleR6(f, out);
-        ruleR7(f, out);
-        ruleR8(f, out);
-    }
+    for (const std::vector<Finding> &pf : perFile)
+        out.insert(out.end(), pf.begin(), pf.end());
     ruleR2(sources, out);
     ruleR3(opts, out);
+
+    // Whole-repo pass: include graph + symbol/use tables (R9..R13).
+    runModelRules(buildRepoModel(std::move(sources)), out);
 
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {

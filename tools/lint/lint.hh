@@ -33,6 +33,21 @@
  *       everything else resolves behaviour through the Design registry
  *       (designOf / findDesign) and the Design policy hooks.
  *
+ * On top of the per-file rules, the repo-model pass (tvarak-analyze)
+ * builds the `#include` graph and symbol/use tables and checks:
+ *
+ *   R9  Architecture layering: include edges follow the dependency
+ *       DAG in DESIGN.md section 11 (no upward edges, no include
+ *       cycles).
+ *   R10 Determinism hazards (rand(), std::random_device, wall-clock
+ *       reads, unordered-container iteration, pointer-keyed maps) on
+ *       any path that feeds Stats, trace output or campaign JSON.
+ *   R11 Stats dataflow: counters incremented but never reported, or
+ *       reported but never incremented.
+ *   R12 Config-knob drift: SimConfig fields never read (or set but
+ *       never read) by the simulator.
+ *   R13 Lock discipline: naked lock()/unlock() in src/harness/.
+ *
  * A finding on line N is suppressed by `// lint:allow(R#)` (comma
  * lists allowed) on line N or on the line directly above it.
  */
@@ -50,7 +65,7 @@ namespace tvarak::lint {
 struct Finding {
     std::string file;    //!< path as reported (relative to root)
     std::size_t line;    //!< 1-based
-    std::string rule;    //!< "R1".."R8"
+    std::string rule;    //!< "R1".."R13"
     std::string message;
 
     /** `file:line: [R#] message` */
@@ -63,11 +78,20 @@ struct Options {
      *  located relative to it. */
     std::filesystem::path root;
     /** Directories (or files), relative to root, to scan.
-     *  Empty = {"src", "tests", "bench"}. */
+     *  Empty = {"src", "tests", "bench", "tools", "examples"}
+     *  (missing defaults are skipped; explicitly named paths must
+     *  exist). */
     std::vector<std::string> paths;
+    /** Worker threads for the file scan (0 = one per core). The scan
+     *  is deterministic regardless: results land in per-file slots. */
+    std::size_t jobs = 0;
 };
 
-/** Run every rule; findings come back sorted by (file, line, rule). */
+/**
+ * Run every rule; findings come back sorted by (file, line, rule).
+ * Throws std::runtime_error on I/O errors (unreadable file, explicit
+ * path that does not exist) — the CLI maps that to exit code 2.
+ */
 std::vector<Finding> run(const Options &opts);
 
 /** @name Exposed for the self-test / unit tests. */

@@ -2,24 +2,35 @@
  * @file
  * tvarak-lint CLI.
  *
- *   tvarak-lint [--root DIR] [paths...]
+ *   tvarak-lint [--root DIR] [--sarif FILE] [--baseline FILE]
+ *               [--jobs N] [paths...]
  *       Scan DIR (default: cwd) — paths are root-relative directories
- *       or files, default {src, tests, bench}. Prints one
- *       `file:line: [R#] message` per finding; exit 1 iff any.
+ *       or files, default {src, tests, bench, tools, examples}.
+ *       Prints one `file:line: [R#] message` per non-baselined
+ *       finding; --sarif also writes a SARIF 2.1.0 document (byte-
+ *       deterministic; baselined findings carry an external
+ *       suppression). --baseline defaults to DIR/.lint-baseline when
+ *       that file exists.
  *
  *   tvarak-lint --self-test DIR
  *       DIR must hold `goodroot/` (expected clean) and `badroot/`
- *       (expected to trip every rule R1..R8). Exit 0 iff both hold.
+ *       (expected to trip every rule R1..R13). Exit 0 iff both hold.
+ *
+ * Exit codes: 0 clean (all findings baselined), 1 findings, 2 usage
+ * or I/O error.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "lint.hh"
+#include "sarif.hh"
 
 namespace fs = std::filesystem;
 using namespace tvarak::lint;
@@ -30,7 +41,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: tvarak-lint [--root DIR] [paths...]\n"
+                 "usage: tvarak-lint [--root DIR] [--sarif FILE] "
+                 "[--baseline FILE] [--jobs N] [paths...]\n"
                  "       tvarak-lint --self-test FIXTURE_DIR\n");
     return 2;
 }
@@ -60,7 +72,8 @@ selfTest(const fs::path &dir)
     for (const Finding &f : run(bad))
         hit.insert(f.rule);
     for (const char *rule :
-         {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}) {
+         {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+          "R11", "R12", "R13"}) {
         if (!hit.count(rule)) {
             std::fprintf(stderr,
                          "self-test: badroot did not trip %s\n", rule);
@@ -70,7 +83,7 @@ selfTest(const fs::path &dir)
 
     if (failures == 0) {
         std::printf("tvarak-lint self-test: OK "
-                    "(goodroot clean, badroot trips R1..R8)\n");
+                    "(goodroot clean, badroot trips R1..R13)\n");
         return 0;
     }
     return 1;
@@ -83,6 +96,8 @@ main(int argc, char **argv)
 {
     Options opts;
     opts.root = fs::current_path();
+    std::string sarifPath;
+    std::string baselinePath;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -90,6 +105,21 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage();
             opts.root = argv[i];
+        } else if (arg == "--sarif") {
+            if (++i >= argc)
+                return usage();
+            sarifPath = argv[i];
+        } else if (arg == "--baseline") {
+            if (++i >= argc)
+                return usage();
+            baselinePath = argv[i];
+        } else if (arg == "--jobs") {
+            if (++i >= argc)
+                return usage();
+            char *end = nullptr;
+            opts.jobs = std::strtoul(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0')
+                return usage();
         } else if (arg == "--self-test") {
             if (++i >= argc)
                 return usage();
@@ -109,14 +139,55 @@ main(int argc, char **argv)
                      opts.root.string().c_str());
         return 2;
     }
+    if (baselinePath.empty() &&
+        fs::is_regular_file(opts.root / ".lint-baseline"))
+        baselinePath = (opts.root / ".lint-baseline").string();
 
-    std::vector<Finding> findings = run(opts);
-    for (const Finding &f : findings)
-        std::printf("%s\n", f.str().c_str());
-    if (!findings.empty()) {
-        std::fprintf(stderr, "tvarak-lint: %zu finding(s)\n",
-                     findings.size());
-        return 1;
+    try {
+        std::set<std::string> baseline;
+        if (!baselinePath.empty())
+            baseline = loadBaseline(baselinePath);
+
+        std::vector<Finding> findings = run(opts);
+
+        if (!sarifPath.empty()) {
+            std::ofstream os(sarifPath);
+            if (!os)
+                throw std::runtime_error("cannot write SARIF file: " +
+                                         sarifPath);
+            os << toSarif(findings, baseline);
+        }
+
+        std::size_t fresh = 0, suppressed = 0;
+        std::set<std::string> matched;
+        for (const Finding &f : findings) {
+            if (baseline.count(baselineKey(f))) {
+                matched.insert(baselineKey(f));
+                suppressed++;
+                continue;
+            }
+            fresh++;
+            std::printf("%s\n", f.str().c_str());
+        }
+        for (const std::string &entry : baseline)
+            if (!matched.count(entry))
+                std::fprintf(stderr,
+                             "tvarak-lint: stale baseline entry "
+                             "(no matching finding): %s\n",
+                             entry.c_str());
+
+        if (fresh > 0) {
+            std::fprintf(stderr,
+                         "tvarak-lint: %zu finding(s), %zu baselined\n",
+                         fresh, suppressed);
+            return 1;
+        }
+        if (suppressed > 0)
+            std::fprintf(stderr, "tvarak-lint: clean (%zu baselined)\n",
+                         suppressed);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tvarak-lint: %s\n", e.what());
+        return 2;
     }
-    return 0;
 }

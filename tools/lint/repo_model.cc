@@ -1,0 +1,267 @@
+#include "repo_model.hh"
+
+#include <algorithm>
+
+#include "tokens.hh"
+
+namespace tvarak::lint {
+
+namespace {
+
+/**
+ * Sanctioned interface headers: files that live in one directory but
+ * belong, architecturally, to a lower layer so that both sides of a
+ * boundary can include them. Kept deliberately short — every entry is
+ * a boundary the design doc (DESIGN.md section 11) has to justify.
+ */
+const std::pair<const char *, const char *> kModuleOverrides[] = {
+    // The trace ABI (record layout + sink interface) is written by
+    // the core/mem instrumentation and read by the codec.
+    {"src/trace/format.hh", "trace_abi"},
+    {"src/trace/sink.hh", "trace_abi"},
+    // The design registry's *interface* is consumed by low layers
+    // (cache reservations); its implementation stays in redundancy/.
+    {"src/redundancy/registry.hh", "design_api"},
+    // The cache model is below the core (cores own caches).
+    {"src/mem/cache.hh", "cache"},
+    // The workload interface is implemented by apps/, driven by the
+    // harness.
+    {"src/harness/workload.hh", "workload_api"},
+};
+
+/** module -> rank in the layering DAG; higher may include lower. */
+const std::pair<const char *, int> kModuleRanks[] = {
+    {"sim", 0},
+    {"checksum", 1},
+    {"layout", 1},
+    {"trace_abi", 1},
+    {"design_api", 1},
+    {"nvm", 2},
+    {"cache", 2},
+    {"core", 3},
+    {"mem", 4},
+    {"fs", 5},
+    {"redundancy", 6},
+    {"pmemlib", 7},
+    {"workload_api", 8},
+    {"apps", 9},
+    {"harness", 10},
+    {"trace", 11},
+    {"bench", 12},
+    {"tools", 12},
+    {"examples", 12},
+    {"tests", 13},
+};
+
+}  // namespace
+
+std::string
+moduleOf(const std::string &path)
+{
+    for (const auto &[file, mod] : kModuleOverrides)
+        if (path == file)
+            return mod;
+    for (const char *top : {"bench", "tools", "tests", "examples"})
+        if (path.rfind(std::string(top) + "/", 0) == 0)
+            return top;
+    if (path.rfind("src/", 0) == 0) {
+        std::size_t slash = path.find('/', 4);
+        if (slash != std::string::npos)
+            return path.substr(4, slash - 4);
+    }
+    return "";
+}
+
+int
+moduleRank(const std::string &module)
+{
+    for (const auto &[mod, rank] : kModuleRanks)
+        if (module == mod)
+            return rank;
+    return -1;
+}
+
+bool
+layerEdgeLegal(const std::string &fromPath, const std::string &toPath)
+{
+    std::string from = moduleOf(fromPath);
+    std::string to = moduleOf(toPath);
+    if (from == to)
+        return true;
+    int rf = moduleRank(from);
+    int rt = moduleRank(to);
+    if (rf < 0 || rt < 0)
+        return true;  // unclassified: not this rule's business
+    return rf > rt;
+}
+
+std::vector<IncludeEdge>
+parseIncludes(const SourceFile &f)
+{
+    std::vector<IncludeEdge> out;
+    for (std::size_t ln = 0; ln < f.code.size(); ln++) {
+        std::string t = f.code[ln];
+        t.erase(0, t.find_first_not_of(" \t"));
+        if (t.rfind("#", 0) != 0)
+            continue;
+        std::string rest = t.substr(1);
+        rest.erase(0, rest.find_first_not_of(" \t"));
+        if (rest.rfind("include", 0) != 0)
+            continue;
+        std::size_t open = rest.find('<');
+        std::size_t close = rest.find('>');
+        if (open != std::string::npos && close != std::string::npos &&
+            close > open) {
+            out.push_back({ln + 1,
+                           rest.substr(open + 1, close - open - 1), true,
+                           IncludeEdge::npos});
+            continue;
+        }
+        // Quoted spec: the lexer blanked it into f.strings.
+        for (const auto &lit : f.strings) {
+            if (lit.line == ln + 1) {
+                out.push_back({ln + 1, lit.value, false,
+                               IncludeEdge::npos});
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+RepoModel
+buildRepoModel(std::vector<SourceFile> files)
+{
+    RepoModel m;
+    m.files = std::move(files);
+    for (std::size_t i = 0; i < m.files.size(); i++)
+        m.byPath.emplace(m.files[i].path, i);
+
+    m.includes.resize(m.files.size());
+    for (std::size_t i = 0; i < m.files.size(); i++) {
+        std::vector<IncludeEdge> edges = parseIncludes(m.files[i]);
+        std::string dir;
+        std::size_t slash = m.files[i].path.rfind('/');
+        if (slash != std::string::npos)
+            dir = m.files[i].path.substr(0, slash + 1);
+        for (IncludeEdge &e : edges) {
+            if (e.angled)
+                continue;  // system header: external by definition
+            // Mirror the build's include dirs: -Isrc, -I., the file's
+            // own directory, and -Itools/lint (test_lint.cc).
+            for (const std::string &cand :
+                 {"src/" + e.spec, e.spec, dir + e.spec,
+                  "tools/lint/" + e.spec}) {
+                auto it = m.byPath.find(cand);
+                if (it != m.byPath.end()) {
+                    e.target = it->second;
+                    break;
+                }
+            }
+        }
+        m.includes[i] = std::move(edges);
+    }
+    return m;
+}
+
+std::set<std::size_t>
+RepoModel::includeClosure(std::size_t file) const
+{
+    std::set<std::size_t> seen;
+    std::vector<std::size_t> stack{file};
+    while (!stack.empty()) {
+        std::size_t cur = stack.back();
+        stack.pop_back();
+        if (!seen.insert(cur).second)
+            continue;
+        for (const IncludeEdge &e : includes[cur])
+            if (e.resolved())
+                stack.push_back(e.target);
+    }
+    return seen;
+}
+
+bool
+RepoModel::closureHas(std::size_t file, const std::string &suffix) const
+{
+    for (std::size_t i : includeClosure(file))
+        if (files[i].path.size() >= suffix.size() &&
+            files[i].path.compare(files[i].path.size() - suffix.size(),
+                                  suffix.size(), suffix) == 0)
+            return true;
+    return false;
+}
+
+std::vector<std::vector<std::string>>
+findIncludeCycles(const RepoModel &m)
+{
+    // Iterative Tarjan SCC over the resolved include graph.
+    const std::size_t n = m.files.size();
+    const std::size_t kUnset = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> index(n, kUnset), low(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<std::size_t> sccStack;
+    std::size_t next = 0;
+    std::vector<std::vector<std::string>> cycles;
+
+    struct Frame {
+        std::size_t v;
+        std::size_t edge;
+    };
+    for (std::size_t root = 0; root < n; root++) {
+        if (index[root] != kUnset)
+            continue;
+        std::vector<Frame> call{{root, 0}};
+        while (!call.empty()) {
+            Frame &fr = call.back();
+            std::size_t v = fr.v;
+            if (fr.edge == 0) {
+                index[v] = low[v] = next++;
+                sccStack.push_back(v);
+                onStack[v] = true;
+            }
+            bool descended = false;
+            while (fr.edge < m.includes[v].size()) {
+                const IncludeEdge &e = m.includes[v][fr.edge++];
+                if (!e.resolved())
+                    continue;
+                std::size_t w = e.target;
+                if (index[w] == kUnset) {
+                    call.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[w])
+                    low[v] = std::min(low[v], index[w]);
+            }
+            if (descended)
+                continue;
+            if (low[v] == index[v]) {
+                std::vector<std::string> scc;
+                std::size_t w;
+                do {
+                    w = sccStack.back();
+                    sccStack.pop_back();
+                    onStack[w] = false;
+                    scc.push_back(m.files[w].path);
+                } while (w != v);
+                bool selfLoop = false;
+                for (const IncludeEdge &e : m.includes[v])
+                    if (e.resolved() && e.target == v)
+                        selfLoop = true;
+                if (scc.size() > 1 || selfLoop) {
+                    std::sort(scc.begin(), scc.end());
+                    cycles.push_back(std::move(scc));
+                }
+            }
+            call.pop_back();
+            if (!call.empty())
+                low[call.back().v] =
+                    std::min(low[call.back().v], low[v]);
+        }
+    }
+    std::sort(cycles.begin(), cycles.end());
+    return cycles;
+}
+
+}  // namespace tvarak::lint

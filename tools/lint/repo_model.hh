@@ -1,0 +1,93 @@
+/**
+ * @file
+ * tvarak-analyze repo model: the whole-program view the cross-file
+ * rules (R9..R13) run on.
+ *
+ * The model is built from the already-lexed SourceFiles: it resolves
+ * every quoted `#include` against the scanned file set, classifies
+ * each file into an architecture *module* (usually its directory,
+ * with a handful of sanctioned interface-header overrides), and
+ * assigns each module a *rank* in the layering DAG documented in
+ * DESIGN.md section 11. An include edge is legal iff it stays within
+ * one module or points strictly downward (higher rank includes lower
+ * rank). File-level include cycles are always illegal, even inside a
+ * module.
+ *
+ * Everything here is pure: no filesystem access, so unit tests can
+ * build models from in-memory sources (lexText).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace tvarak::lint {
+
+/** One `#include` directive, resolved against the scanned files. */
+struct IncludeEdge {
+    std::size_t line;         //!< 1-based line of the directive
+    std::string spec;         //!< text between the quotes / angles
+    bool angled;              //!< `<...>` (system) vs `"..."` (project)
+    std::size_t target;       //!< index into RepoModel::files, or npos
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    bool resolved() const { return target != npos; }
+};
+
+/** Whole-repo view: files, include graph, and derived closures. */
+struct RepoModel {
+    std::vector<SourceFile> files;
+    /** report path -> index into files */
+    std::map<std::string, std::size_t> byPath;
+    /** per file, its include directives (resolved where possible) */
+    std::vector<std::vector<IncludeEdge>> includes;
+
+    /** Indices of every file reachable through resolved includes from
+     *  @p file, including @p file itself. */
+    std::set<std::size_t> includeClosure(std::size_t file) const;
+
+    /** True iff some file in @p file's include closure has a report
+     *  path ending in @p suffix. */
+    bool closureHas(std::size_t file, const std::string &suffix) const;
+};
+
+/** Architecture module of a report path: the src/ subdirectory name
+ *  (or bench/tools/tests/examples), with the sanctioned
+ *  interface-header overrides applied ("" = unclassified). */
+std::string moduleOf(const std::string &path);
+
+/** Rank of @p module in the layering DAG (-1 = unknown module; an
+ *  edge touching an unknown module is never a violation). */
+int moduleRank(const std::string &module);
+
+/** Is an include edge from @p fromPath to @p toPath legal under the
+ *  layering DAG? (Same module, unknown module, or strictly downward.) */
+bool layerEdgeLegal(const std::string &fromPath, const std::string &toPath);
+
+/** Parse the include directives of @p f (no resolution). */
+std::vector<IncludeEdge> parseIncludes(const SourceFile &f);
+
+/** Build the model: parse + resolve includes for every file. Quoted
+ *  specs resolve against `src/<spec>`, `<spec>`, `<dir>/<spec>` and
+ *  `tools/lint/<spec>` (the build's include dirs); angled and
+ *  unmatched specs stay external. */
+RepoModel buildRepoModel(std::vector<SourceFile> files);
+
+/**
+ * File-level include cycles (strongly connected components of size
+ * > 1, plus self-includes). Each cycle lists the member report paths,
+ * sorted; the list of cycles is sorted by first member, so output is
+ * deterministic.
+ */
+std::vector<std::vector<std::string>> findIncludeCycles(const RepoModel &m);
+
+/** Run the whole-repo rules R9..R13 over @p m, appending findings. */
+void runModelRules(const RepoModel &m, std::vector<Finding> &out);
+
+}  // namespace tvarak::lint

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Whole-repo rules R9..R13. Each runs over the RepoModel (include
+ * graph + lexed sources) rather than one file at a time:
+ *
+ *   R9  architecture layering: every resolved include edge must stay
+ *       inside one module or point strictly down the layering DAG,
+ *       and the file-level include graph must be acyclic.
+ *   R10 determinism hazards on stats-feeding paths: rand()/srand(),
+ *       std::random_device, wall-clock reads, iteration over
+ *       unordered containers, and pointer-keyed ordered containers in
+ *       any file whose include closure reaches sim/stats.hh (or that
+ *       lives under tools/fault/, tools/trace/ or bench/).
+ *   R11 stats dataflow: every Stats counter must be reported by
+ *       Stats::dump and incremented somewhere in src/ (and appear in
+ *       reset()/statsDiff() when those exist).
+ *   R12 config-knob drift: every config field must be read somewhere
+ *       in src/ outside sim/config.* — knobs that are dead, or set
+ *       but never consulted, silently diverge from the tables.
+ *   R13 lock discipline: no naked lock()/unlock() calls in
+ *       src/harness/; critical sections use scoped guards.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repo_model.hh"
+#include "tokens.hh"
+
+namespace tvarak::lint {
+
+namespace {
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------- R9
+
+void
+ruleR9(const RepoModel &m, std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < m.files.size(); i++) {
+        const SourceFile &f = m.files[i];
+        for (const IncludeEdge &e : m.includes[i]) {
+            if (!e.resolved())
+                continue;
+            const std::string &to = m.files[e.target].path;
+            if (layerEdgeLegal(f.path, to))
+                continue;
+            if (f.allows("R9", e.line))
+                continue;
+            std::ostringstream msg;
+            msg << "upward include: " << moduleOf(f.path) << " (rank "
+                << moduleRank(moduleOf(f.path)) << ") must not include "
+                << to << " [" << moduleOf(to) << ", rank "
+                << moduleRank(moduleOf(to))
+                << "]; invert the dependency (callback / interface "
+                   "header) or move the shared piece down the DAG "
+                   "(DESIGN.md section 11)";
+            out.push_back({f.path, e.line, "R9", msg.str()});
+        }
+    }
+
+    for (const std::vector<std::string> &cycle : findIncludeCycles(m)) {
+        // Anchor the finding on the lexicographically-first member's
+        // include that stays inside the cycle.
+        const std::string &anchor = cycle.front();
+        std::size_t idx = m.byPath.at(anchor);
+        std::size_t line = 1;
+        for (const IncludeEdge &e : m.includes[idx]) {
+            if (e.resolved() &&
+                std::find(cycle.begin(), cycle.end(),
+                          m.files[e.target].path) != cycle.end()) {
+                line = e.line;
+                break;
+            }
+        }
+        if (m.files[idx].allows("R9", line))
+            continue;
+        std::ostringstream msg;
+        msg << "include cycle: ";
+        for (const std::string &p : cycle)
+            msg << p << " -> ";
+        msg << cycle.front()
+            << "; break it with a forward declaration or an interface "
+               "header";
+        out.push_back({anchor, line, "R9", msg.str()});
+    }
+}
+
+// --------------------------------------------------------------- R10
+
+/** Is @p file on a path that feeds reported output (stats dumps,
+ *  trace/campaign JSON, bench tables)? */
+bool
+statsSensitive(const RepoModel &m, std::size_t file)
+{
+    const std::string &p = m.files[file].path;
+    if (startsWith(p, "tools/fault/") || startsWith(p, "tools/trace/") ||
+        startsWith(p, "bench/"))
+        return true;
+    return m.closureHas(file, "sim/stats.hh");
+}
+
+const char *const kUnorderedContainers[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+/** Names declared (variable, member or parameter) with an unordered
+ *  container type in @p toks. */
+std::set<std::string>
+unorderedDeclNames(const std::vector<Tok> &toks)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < toks.size(); i++) {
+        if (toks[i].kind != Tok::Ident)
+            continue;
+        bool isUnordered = false;
+        for (const char *c : kUnorderedContainers)
+            isUnordered |= toks[i].text == c;
+        if (!isUnordered || i + 1 >= toks.size() ||
+            toks[i + 1].kind != Tok::Punct || toks[i + 1].text != "<")
+            continue;
+        // Skip the template argument list.
+        std::size_t j = i + 1;
+        int depth = 0;
+        for (; j < toks.size(); j++) {
+            if (toks[j].kind != Tok::Punct)
+                continue;
+            if (toks[j].text == "<")
+                depth++;
+            else if (toks[j].text == ">" && --depth == 0) {
+                j++;
+                break;
+            }
+        }
+        // Past refs/pointers/cv to the declared name, if any.
+        while (j < toks.size() &&
+               ((toks[j].kind == Tok::Punct &&
+                 (toks[j].text == "&" || toks[j].text == "*")) ||
+                (toks[j].kind == Tok::Ident && toks[j].text == "const")))
+            j++;
+        if (j < toks.size() && toks[j].kind == Tok::Ident)
+            names.insert(toks[j].text);
+    }
+    return names;
+}
+
+void
+ruleR10(const RepoModel &m, std::vector<Finding> &out)
+{
+    for (std::size_t fi = 0; fi < m.files.size(); fi++) {
+        if (!statsSensitive(m, fi))
+            continue;
+        const SourceFile &f = m.files[fi];
+        std::vector<Tok> toks = tokenizeFile(f.code);
+
+        // Unordered-container names visible here: declared in this
+        // file or anywhere in its include closure (members declared
+        // in a header, iterated in the .cc).
+        std::set<std::string> unordered;
+        for (std::size_t ci : m.includeClosure(fi)) {
+            std::set<std::string> names =
+                unorderedDeclNames(tokenizeFile(m.files[ci].code));
+            unordered.insert(names.begin(), names.end());
+        }
+
+        auto report = [&](std::size_t line, const std::string &what,
+                          const std::string &fix) {
+            if (f.allows("R10", line))
+                return;
+            out.push_back({f.path, line, "R10",
+                           what + " on a stats/report-feeding path; " +
+                               fix});
+        };
+
+        for (std::size_t i = 0; i < toks.size(); i++) {
+            const Tok &t = toks[i];
+            if (t.kind != Tok::Ident)
+                continue;
+            bool called = i + 1 < toks.size() &&
+                toks[i + 1].kind == Tok::Punct && toks[i + 1].text == "(";
+            bool member = i > 0 && toks[i - 1].kind == Tok::Punct &&
+                (toks[i - 1].text == "." ||
+                 (toks[i - 1].text == ">" && i > 1 &&
+                  toks[i - 2].text == "-"));
+
+            if ((t.text == "rand" || t.text == "srand") && called &&
+                !member) {
+                report(t.line, "rand()/srand()",
+                       "derive values from the seeded SimConfig RNG or "
+                       "a fixed constant");
+            } else if (t.text == "random_device") {
+                report(t.line, "std::random_device",
+                       "seed from SimConfig so runs replay bit-exactly");
+            } else if (t.text == "system_clock" ||
+                       t.text == "high_resolution_clock") {
+                report(t.line, "wall-clock time (std::chrono::" + t.text +
+                           ")",
+                       "use std::chrono::steady_clock for intervals and "
+                       "keep timestamps out of reported output");
+            } else if (t.text == "time" && called && !member) {
+                report(t.line, "time()",
+                       "wall-clock reads make reruns diverge; use a "
+                       "fixed seed or steady_clock intervals");
+            } else if (t.text == "for" && called) {
+                // Range-for over an unordered container: iteration
+                // order is implementation-defined.
+                int depth = 0;
+                std::size_t colon = 0;
+                for (std::size_t j = i + 1; j < toks.size(); j++) {
+                    if (toks[j].kind != Tok::Punct)
+                        continue;
+                    if (toks[j].text == "(")
+                        depth++;
+                    else if (toks[j].text == ")" && --depth == 0)
+                        break;
+                    else if (toks[j].text == ":" && depth == 1 &&
+                             j + 1 < toks.size() &&
+                             toks[j + 1].text != ":" &&
+                             toks[j - 1].text != ":") {
+                        colon = j;
+                        break;
+                    }
+                }
+                if (colon != 0 && colon + 2 < toks.size() &&
+                    toks[colon + 1].kind == Tok::Ident &&
+                    toks[colon + 2].kind == Tok::Punct &&
+                    toks[colon + 2].text == ")" &&
+                    unordered.count(toks[colon + 1].text)) {
+                    report(t.line,
+                           "iteration over unordered container '" +
+                               toks[colon + 1].text + "'",
+                           "copy to a sorted vector (or use "
+                           "std::map/std::set) before iterating");
+                }
+            } else if ((t.text == "map" || t.text == "set") && i >= 2 &&
+                       toks[i - 1].text == ":" && toks[i - 2].text == ":" &&
+                       i + 1 < toks.size() && toks[i + 1].text == "<") {
+                // Pointer-keyed ordered container: ordered by address,
+                // which varies run to run.
+                int depth = 0;
+                for (std::size_t j = i + 1; j < toks.size(); j++) {
+                    if (toks[j].kind != Tok::Punct)
+                        continue;
+                    if (toks[j].text == "<")
+                        depth++;
+                    else if (toks[j].text == ">") {
+                        if (--depth == 0)
+                            break;
+                    } else if (depth == 1 && toks[j].text == ",") {
+                        break;  // key type ends at the first comma
+                    } else if (depth == 1 && toks[j].text == "*") {
+                        report(t.line,
+                               "pointer-keyed std::" + t.text,
+                               "pointer order varies run to run; key by "
+                               "a stable id instead");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- R11
+
+/** Idents appearing in the body of every `name(...) ... {` function
+ *  definition in @p toks, keyed by function name. */
+std::map<std::string, std::set<std::string>>
+functionBodyIdents(const std::vector<Tok> &toks)
+{
+    std::map<std::string, std::set<std::string>> bodies;
+    for (std::size_t i = 0; i + 1 < toks.size(); i++) {
+        if (toks[i].kind != Tok::Ident || toks[i + 1].kind != Tok::Punct ||
+            toks[i + 1].text != "(")
+            continue;
+        static const std::set<std::string> kKeywords = {
+            "if", "for", "while", "switch", "catch", "return", "sizeof",
+        };
+        if (kKeywords.count(toks[i].text))
+            continue;
+        // Match the parameter list.
+        std::size_t j = i + 1;
+        int depth = 0;
+        for (; j < toks.size(); j++) {
+            if (toks[j].kind != Tok::Punct)
+                continue;
+            if (toks[j].text == "(")
+                depth++;
+            else if (toks[j].text == ")" && --depth == 0) {
+                j++;
+                break;
+            }
+        }
+        while (j < toks.size() && toks[j].kind == Tok::Ident &&
+               (toks[j].text == "const" || toks[j].text == "noexcept" ||
+                toks[j].text == "override"))
+            j++;
+        if (j >= toks.size() || toks[j].kind != Tok::Punct ||
+            toks[j].text != "{")
+            continue;
+        // Capture body idents.
+        std::set<std::string> &idents = bodies[toks[i].text];
+        depth = 0;
+        for (; j < toks.size(); j++) {
+            if (toks[j].kind == Tok::Punct && toks[j].text == "{")
+                depth++;
+            else if (toks[j].kind == Tok::Punct && toks[j].text == "}") {
+                if (--depth == 0)
+                    break;
+            } else if (toks[j].kind == Tok::Ident) {
+                idents.insert(toks[j].text);
+            }
+        }
+    }
+    return bodies;
+}
+
+void
+ruleR11(const RepoModel &m, std::vector<Finding> &out)
+{
+    auto hdrIt = m.byPath.find("src/sim/stats.hh");
+    auto srcIt = m.byPath.find("src/sim/stats.cc");
+    if (hdrIt == m.byPath.end() || srcIt == m.byPath.end())
+        return;
+    const SourceFile &hdr = m.files[hdrIt->second];
+    const SourceFile &src = m.files[srcIt->second];
+
+    std::vector<ConfigField> fields;
+    for (const ConfigField &fld : parseConfigFields(hdr))
+        if (fld.structName == "Stats")
+            fields.push_back(fld);
+    if (fields.empty())
+        return;
+
+    std::map<std::string, std::set<std::string>> bodies =
+        functionBodyIdents(tokenizeFile(src.code));
+    if (!bodies.count("dump"))
+        return;
+
+    // "Reported" = reachable from dump()'s body through helper
+    // functions defined in stats.cc (runtimeCycles -> maxThreadCycles
+    // -> threadCycles).
+    std::set<std::string> reported;
+    std::vector<std::string> work{"dump"};
+    std::set<std::string> visited;
+    while (!work.empty()) {
+        std::string fn = work.back();
+        work.pop_back();
+        if (!visited.insert(fn).second)
+            continue;
+        auto it = bodies.find(fn);
+        if (it == bodies.end())
+            continue;
+        for (const std::string &id : it->second) {
+            reported.insert(id);
+            work.push_back(id);
+        }
+    }
+
+    // "Used" = the ident appears in some src/ file other than the
+    // stats pair itself (the increment sites).
+    std::set<std::string> used;
+    for (const SourceFile &f : m.files) {
+        if (!startsWith(f.path, "src/") ||
+            startsWith(f.path, "src/sim/stats."))
+            continue;
+        for (const Tok &t : tokenizeFile(f.code))
+            if (t.kind == Tok::Ident)
+                used.insert(t.text);
+    }
+
+    for (const ConfigField &fld : fields) {
+        if (hdr.allows("R11", fld.line))
+            continue;
+        bool isReported = reported.count(fld.name);
+        bool isUsed = used.count(fld.name);
+        if (isUsed && !isReported) {
+            out.push_back({hdr.path, fld.line, "R11",
+                           "stats counter '" + fld.name +
+                               "' is incremented but never reported by "
+                               "Stats::dump — the result silently drops "
+                               "it"});
+        } else if (isReported && !isUsed) {
+            out.push_back({hdr.path, fld.line, "R11",
+                           "stats counter '" + fld.name +
+                               "' is reported by Stats::dump but never "
+                               "incremented anywhere in src/ — it can "
+                               "only ever print 0"});
+        }
+        for (const char *fn : {"reset", "statsDiff"}) {
+            auto it = bodies.find(fn);
+            if (it != bodies.end() && !it->second.count(fld.name))
+                out.push_back({hdr.path, fld.line, "R11",
+                               "stats counter '" + fld.name +
+                                   "' is missing from " + fn +
+                                   "() — stale values survive "
+                                   "reset/compare"});
+        }
+    }
+}
+
+// --------------------------------------------------------------- R12
+
+void
+ruleR12(const RepoModel &m, std::vector<Finding> &out)
+{
+    auto cfgIt = m.byPath.find("src/sim/config.hh");
+    if (cfgIt == m.byPath.end())
+        return;
+    const SourceFile &cfg = m.files[cfgIt->second];
+    std::vector<ConfigField> fields = parseConfigFields(cfg);
+    if (fields.empty())
+        return;
+
+    // Member accesses (`.field` / `->field`) across src/, split into
+    // reads and writes. bench/tools only *print* the knobs, so they
+    // do not count as consumers.
+    std::set<std::string> read, written;
+    for (const SourceFile &f : m.files) {
+        if (!startsWith(f.path, "src/") ||
+            startsWith(f.path, "src/sim/config."))
+            continue;
+        std::vector<Tok> toks = tokenizeFile(f.code);
+        for (std::size_t i = 1; i < toks.size(); i++) {
+            if (toks[i].kind != Tok::Ident)
+                continue;
+            bool memberAccess = toks[i - 1].kind == Tok::Punct &&
+                (toks[i - 1].text == "." ||
+                 (toks[i - 1].text == ">" && i > 1 &&
+                  toks[i - 2].text == "-"));
+            if (!memberAccess)
+                continue;
+            bool assigned = i + 1 < toks.size() &&
+                toks[i + 1].kind == Tok::Punct &&
+                toks[i + 1].text == "=" &&
+                (i + 2 >= toks.size() || toks[i + 2].text != "=");
+            (assigned ? written : read).insert(toks[i].text);
+        }
+    }
+
+    for (const ConfigField &fld : fields) {
+        if (read.count(fld.name) || cfg.allows("R12", fld.line))
+            continue;
+        if (written.count(fld.name)) {
+            out.push_back({cfg.path, fld.line, "R12",
+                           "config knob '" + fld.structName +
+                               "::" + fld.name +
+                               "' is set but never read in src/ — "
+                               "tuning it changes nothing"});
+        } else {
+            out.push_back({cfg.path, fld.line, "R12",
+                           "config knob '" + fld.structName +
+                               "::" + fld.name +
+                               "' is never read in src/ — dead knob; "
+                               "wire it up or delete it"});
+        }
+    }
+}
+
+// --------------------------------------------------------------- R13
+
+void
+ruleR13(const RepoModel &m, std::vector<Finding> &out)
+{
+    for (const SourceFile &f : m.files) {
+        if (f.path.find("src/harness/") == std::string::npos &&
+            !startsWith(f.path, "harness/"))
+            continue;
+        std::vector<Tok> toks = tokenizeFile(f.code);
+        for (std::size_t i = 1; i + 1 < toks.size(); i++) {
+            if (toks[i].kind != Tok::Ident ||
+                (toks[i].text != "lock" && toks[i].text != "unlock"))
+                continue;
+            bool member = toks[i - 1].kind == Tok::Punct &&
+                (toks[i - 1].text == "." ||
+                 (toks[i - 1].text == ">" && i > 1 &&
+                  toks[i - 2].text == "-"));
+            bool called = toks[i + 1].kind == Tok::Punct &&
+                toks[i + 1].text == "(";
+            if (!member || !called || f.allows("R13", toks[i].line))
+                continue;
+            out.push_back({f.path, toks[i].line, "R13",
+                           "naked ." + toks[i].text +
+                               "() in the harness; use std::lock_guard "
+                               "/ std::scoped_lock / std::unique_lock "
+                               "so every exit path releases the mutex"});
+        }
+    }
+}
+
+}  // namespace
+
+void
+runModelRules(const RepoModel &m, std::vector<Finding> &out)
+{
+    ruleR9(m, out);
+    ruleR10(m, out);
+    ruleR11(m, out);
+    ruleR12(m, out);
+    ruleR13(m, out);
+}
+
+}  // namespace tvarak::lint

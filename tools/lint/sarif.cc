@@ -1,0 +1,150 @@
+#include "sarif.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace tvarak::lint {
+
+namespace {
+
+/** Rule metadata embedded in the SARIF tool.driver.rules array. */
+const std::pair<const char *, const char *> kRules[] = {
+    {"R1", "No naked geometry literals in address math"},
+    {"R2", "Stats keys registered exactly once in Stats::dump"},
+    {"R3", "Config fields documented in bench_table3 and DESIGN.md"},
+    {"R4", "Header hygiene: guards, no using namespace at header scope"},
+    {"R5", "Timing/energy constants live in sim/config.hh"},
+    {"R6", "Raw threading confined to src/harness/"},
+    {"R7", "Binary file I/O confined to trace/harness/tools"},
+    {"R8", "DesignKind dispatch confined to the design registry"},
+    {"R9", "Include edges follow the architecture layering DAG"},
+    {"R10", "No nondeterminism on stats/report-feeding paths"},
+    {"R11", "Stats counters both incremented and reported"},
+    {"R12", "Config knobs read by the simulator, not just declared"},
+    {"R13", "No naked lock()/unlock() in the harness"},
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t
+ruleIndexOf(const std::string &rule)
+{
+    for (std::size_t i = 0; i < std::size(kRules); i++)
+        if (rule == kRules[i].first)
+            return i;
+    return 0;
+}
+
+}  // namespace
+
+std::string
+baselineKey(const Finding &f)
+{
+    return f.file + ": [" + f.rule + "] " + f.message;
+}
+
+std::set<std::string>
+loadBaseline(const std::filesystem::path &file)
+{
+    std::ifstream is(file);
+    if (!is)
+        throw std::runtime_error("cannot read baseline file: " +
+                                 file.string());
+    std::set<std::string> entries;
+    std::string line;
+    while (std::getline(is, line)) {
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line.erase(0, line.find_first_not_of(" \t"));
+        line.erase(line.find_last_not_of(" \t") + 1);
+        if (!line.empty())
+            entries.insert(line);
+    }
+    return entries;
+}
+
+std::string
+toSarif(const std::vector<Finding> &findings,
+        const std::set<std::string> &baselined)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"tvarak-lint\",\n"
+       << "          \"rules\": [\n";
+    for (std::size_t i = 0; i < std::size(kRules); i++) {
+        os << "            {\"id\": \"" << kRules[i].first
+           << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(kRules[i].second) << "\"}}"
+           << (i + 1 < std::size(kRules) ? "," : "") << "\n";
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); i++) {
+        const Finding &f = findings[i];
+        os << "        {\n"
+           << "          \"ruleId\": \"" << f.rule << "\",\n"
+           << "          \"ruleIndex\": " << ruleIndexOf(f.rule) << ",\n"
+           << "          \"level\": \"error\",\n"
+           << "          \"message\": {\"text\": \""
+           << jsonEscape(f.message) << "\"},\n"
+           << "          \"locations\": [\n"
+           << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": {\"uri\": \""
+           << jsonEscape(f.file) << "\"},\n"
+           << "                \"region\": {\"startLine\": " << f.line
+           << "}\n"
+           << "              }\n"
+           << "            }\n"
+           << "          ]";
+        if (baselined.count(baselineKey(f)))
+            os << ",\n          \"suppressions\": [{\"kind\": "
+                  "\"external\"}]";
+        os << "\n        }" << (i + 1 < findings.size() ? "," : "")
+           << "\n";
+    }
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
+}  // namespace tvarak::lint

@@ -1,0 +1,22 @@
+# The SARIF document must be byte-identical across repeated runs (no
+# timestamps, no absolute paths, parallel scan lands in ordered
+# slots). Driven by ctest (lint_sarif_deterministic); needs -DLINT=
+# and -DROOT=.
+
+set(out1 ${CMAKE_CURRENT_BINARY_DIR}/lint_run1.sarif)
+set(out2 ${CMAKE_CURRENT_BINARY_DIR}/lint_run2.sarif)
+
+foreach(out ${out1} ${out2})
+    execute_process(COMMAND ${LINT} --root ${ROOT} --sarif ${out}
+                    RESULT_VARIABLE rc
+                    OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "tvarak-lint --sarif exited ${rc} on ${ROOT}")
+    endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${out1} ${out2}
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR "SARIF output differs between identical runs")
+endif()

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared token view over a blanked code line. The lexer (lint.cc)
+ * owns the implementation; the per-file rules and the repo-model
+ * rules (rules_model.cc) both consume it.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tvarak::lint {
+
+/** One lexical token of a blanked code line. */
+struct Tok {
+    enum Kind { Ident, Number, Punct };
+    Kind kind;
+    std::string text;
+    std::size_t line;  //!< 1-based
+    std::size_t col;   //!< 0-based start column
+};
+
+/** Tokenize one code line (comments/literals already blanked). */
+void tokenizeLine(const std::string &code, std::size_t lineNo,
+                  std::vector<Tok> &out);
+
+/** Tokenize every code line of a pre-lexed file. */
+std::vector<Tok> tokenizeFile(const std::vector<std::string> &code);
+
+/** Numeric value of a number token (integers only; 0 for floats). */
+std::uint64_t numberValue(const std::string &text);
+
+/** Is @p text a floating-point literal (1.5, 1e9 — not hex)? */
+bool isFloatLiteral(const std::string &text);
+
+}  // namespace tvarak::lint

@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -311,7 +312,9 @@ cmdStat(const std::vector<std::string> &raw)
         std::unordered_set<std::uint64_t> lines;
     };
     std::vector<PerThread> threads(t->threads);
-    std::unordered_map<std::uint64_t, std::uint64_t> lineAccesses;
+    // Ordered map: the reuse histogram below iterates it, and stat
+    // output must not depend on hash iteration order (lint R10).
+    std::map<std::uint64_t, std::uint64_t> lineAccesses;
 
     trace::TraceCursor cursor(*t);
     trace::TraceEvent e;
