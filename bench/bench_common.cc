@@ -22,6 +22,12 @@ evalConfig()
 
 namespace {
 
+/** Prog name + extra-flag usage of the parse in progress, so the
+ *  exported parse*Value helpers (called from ExtraFlag::apply during
+ *  parseBenchArgs) can print a full usage message. */
+std::string gProg = "bench";
+std::string gExtraUsage;
+
 [[noreturn]] void
 usageError(const char *prog, const char *msg, const char *arg)
 {
@@ -30,8 +36,8 @@ usageError(const char *prog, const char *msg, const char *arg)
     std::fprintf(stderr,
                  "usage: %s [--scale N] [--jobs N] [--json]"
                  " [--design NAME]..."
-                 " [--trace-record F | --trace-replay F]\n",
-                 prog);
+                 " [--trace-record F | --trace-replay F]%s\n",
+                 prog, gExtraUsage.c_str());
     std::exit(2);
 }
 
@@ -87,14 +93,77 @@ parseCount(const char *prog, const char *flag, const char *value)
 
 }  // namespace
 
+std::size_t
+parseCountValue(const char *flag, const std::string &value)
+{
+    return parseCount(gProg.c_str(), flag, value.c_str());
+}
+
+double
+parseFracValue(const char *flag, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+        !(v > 0.0) || v != v || v > 1e18) {
+        std::string msg = std::string("invalid value for ") + flag;
+        usageError(gProg.c_str(), msg.c_str(), value.c_str());
+    }
+    return v;
+}
+
+void
+benchUsageError(const std::string &msg)
+{
+    usageError(gProg.c_str(), msg.c_str(), nullptr);
+}
+
 BenchArgs
 parseBenchArgs(int argc, char **argv, const char *what,
                const char *benchName)
 {
+    BenchArgsSpec spec;
+    spec.what = what;
+    spec.benchName = benchName;
+    return parseBenchArgs(argc, argv, spec);
+}
+
+BenchArgs
+parseBenchArgs(int argc, char **argv, const BenchArgsSpec &spec)
+{
+    gProg = argv[0];
+    gExtraUsage.clear();
+    for (const ExtraFlag &x : spec.extras) {
+        gExtraUsage += std::string(" [") + x.flag;
+        if (x.valueName != nullptr)
+            gExtraUsage += std::string(" ") + x.valueName;
+        gExtraUsage += "]";
+    }
+    const char *what = spec.what;
+    const char *benchName = spec.benchName;
+
     BenchArgs args;
     args.benchName = benchName;
     args.start = std::chrono::steady_clock::now();
     for (int i = 1; i < argc; i++) {
+        const ExtraFlag *extra = nullptr;
+        for (const ExtraFlag &x : spec.extras) {
+            bool match = x.valueName != nullptr
+                ? matchesFlag(argv[i], x.flag)
+                : std::strcmp(argv[i], x.flag) == 0;
+            if (match) {
+                extra = &x;
+                break;
+            }
+        }
+        if (extra != nullptr) {
+            std::string value;
+            if (extra->valueName != nullptr)
+                value = flagValue(argv[0], extra->flag, argc, argv, i);
+            extra->apply(value);
+            continue;
+        }
         if (std::strcmp(argv[i], "--scale") == 0) {
             if (i + 1 >= argc)
                 usageError(argv[0], "--scale needs a value", nullptr);
@@ -121,7 +190,12 @@ parseBenchArgs(int argc, char **argv, const char *what,
                 usageError(argv[0], msg.c_str(), nullptr);
             }
             for (const Design *prev : args.designs) {
-                if (prev->kind() == d->kind()) {
+                if (prev == d) {
+                    std::string msg = std::string("design '") +
+                        d->cliName() + "' selected twice";
+                    usageError(argv[0], msg.c_str(), nullptr);
+                }
+                if (spec.uniqueDesignKinds && prev->kind() == d->kind()) {
                     // Figure rows are keyed by DesignKind, so two
                     // designs sharing one (e.g. tvarak variants) would
                     // silently overwrite each other's column.
@@ -135,7 +209,7 @@ parseBenchArgs(int argc, char **argv, const char *what,
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("%s\nusage: %s [--scale N] [--jobs N] [--json]"
                         " [--design NAME]..."
-                        " [--trace-record F | --trace-replay F]\n"
+                        " [--trace-record F | --trace-replay F]%s\n"
                         "  --scale N  workload size multiplier "
                         "(default 1)\n"
                         "  --jobs N   experiment worker threads "
@@ -147,8 +221,14 @@ parseBenchArgs(int argc, char **argv, const char *what,
                         "into F, replay the other designs\n"
                         "  --trace-replay F  replay every design from a "
                         "previously recorded F\n",
-                        what, argv[0], benchName,
+                        what, argv[0], gExtraUsage.c_str(), benchName,
                         registeredNameList().c_str());
+            for (const ExtraFlag &x : spec.extras) {
+                std::string head = x.flag;
+                if (x.valueName != nullptr)
+                    head += std::string(" ") + x.valueName;
+                std::printf("  %-14s %s\n", head.c_str(), x.help);
+            }
             std::exit(0);
         } else {
             usageError(argv[0], "unknown argument", argv[i]);

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,49 @@ struct BenchArgs {
  */
 BenchArgs parseBenchArgs(int argc, char **argv, const char *what,
                          const char *benchName);
+
+/**
+ * A bench-specific flag handled inside parseBenchArgs, so extended
+ * benches keep the common strictness (unknown flags and malformed
+ * values exit 2) without reimplementing the parser.
+ */
+struct ExtraFlag {
+    const char *flag;       //!< e.g. "--servers"
+    /** Placeholder in help/usage (e.g. "N"); null = boolean switch. */
+    const char *valueName = nullptr;
+    const char *help = "";  //!< one help line (without the flag)
+    /** Called with the parsed value ("" for switches). Use the
+     *  parse*Value helpers below to reject malformed values. */
+    std::function<void(const std::string &value)> apply;
+};
+
+/** Extension knobs for parseBenchArgs. */
+struct BenchArgsSpec {
+    const char *what = "";
+    const char *benchName = "";
+    /** Reject two --design selections sharing a DesignKind. Figure
+     *  benches need this (rows are keyed by kind); benches keyed by
+     *  registry name (bench_service) turn it off so the Fig-9 tvarak
+     *  variants can be swept together. */
+    bool uniqueDesignKinds = true;
+    std::vector<ExtraFlag> extras;
+};
+
+/** parseBenchArgs with bench-specific extra flags. */
+BenchArgs parseBenchArgs(int argc, char **argv,
+                         const BenchArgsSpec &spec);
+
+/** @name Strict value parsers for ExtraFlag::apply
+ *  Malformed values print a usage message and exit(2), matching the
+ *  common flags' behaviour. */
+/**@{*/
+/** Positive integer (zero and garbage rejected). */
+std::size_t parseCountValue(const char *flag, const std::string &value);
+/** Positive finite double. */
+double parseFracValue(const char *flag, const std::string &value);
+/** Print "<prog>: <msg>" + usage and exit(2). */
+[[noreturn]] void benchUsageError(const std::string &msg);
+/**@}*/
 
 /** One workload of a figure: a label, the machine it runs on, and its
  *  factory. sweepRows() fans specs x designs in a single batch. */

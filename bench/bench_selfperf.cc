@@ -17,6 +17,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "apps/stream/stream.hh"
@@ -69,6 +71,46 @@ ctreeFactory(std::size_t scale)
             [](void *q) { delete static_cast<RedundancyScheme *>(q); });
         return set;
     };
+}
+
+/**
+ * The perf-trajectory file CHANGES.md used to narrate: simulator
+ * speed (Mcycles of simulated time per wall second) per (workload,
+ * design), so a slowdown in the mem/ hot paths shows up as a diff in
+ * results/BENCH_selfperf.json rather than a vibe.
+ */
+void
+writeSelfperfTrajectory(const BenchArgs &args,
+                        const std::vector<BenchJsonEntry> &entries,
+                        double totalMcycles, double totalWall)
+{
+    if (!args.json)
+        return;
+    std::filesystem::create_directories("results");
+    const char *path = "results/BENCH_selfperf.json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path);
+        return;
+    }
+    out << "{\n  \"bench\": \"selfperf\",\n"
+        << "  \"scale\": " << args.scale << ",\n"
+        << "  \"total_mcycles_per_sec\": "
+        << (totalWall > 0 ? totalMcycles / totalWall : 0.0) << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < entries.size(); i++) {
+        const BenchJsonEntry &e = entries[i];
+        double mcycles = static_cast<double>(e.runtimeCycles) / 1e6;
+        out << "    {\"workload\": \"" << e.workload
+            << "\", \"design\": \"" << e.design
+            << "\", \"sim_mcycles\": " << mcycles
+            << ", \"wall_seconds\": " << e.wallSeconds
+            << ", \"mcycles_per_sec\": "
+            << (e.wallSeconds > 0 ? mcycles / e.wallSeconds : 0.0)
+            << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "  wrote %s\n", path);
 }
 
 }  // namespace
@@ -130,5 +172,6 @@ main(int argc, char **argv)
     std::printf("%-16s %-16s %14.1f %10.3f %16.1f\n", "TOTAL", "-",
                 totalCycles, totalWall, totalCycles / totalWall);
     writeBenchJson(args, entries);
+    writeSelfperfTrajectory(args, entries, totalCycles, totalWall);
     return 0;
 }

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Open-loop service sweep: tail latency vs offered load, per design.
+ *
+ * The bench calibrates each design's closed-loop capacity, then
+ * sweeps every selected design over fractions of its own capacity
+ * (src/service/sweep.hh), printing the latency table, the
+ * knee-of-the-curve summary, and — with --json — a deterministic
+ * results/bench_service.json (no timestamps: the same seed must
+ * produce a byte-identical file, which CI checks with cmp).
+ *
+ * Designs are resolved through the registry and keyed by cliName, so
+ * the Fig-9 tvarak variants can be swept side by side; the default
+ * design set is *every* registered design. --fail-dimm additionally
+ * fails DIMM 1 a quarter into the run and replaces it at the halfway
+ * point (online rebuild in reactor idle gaps), making degraded-mode
+ * and rebuild-in-progress tail latency visible; designs that cannot
+ * survive a DIMM loss are skipped in that mode.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "service/sweep.hh"
+
+using namespace tvarak;
+using namespace tvarak::bench;
+using namespace tvarak::service;
+
+namespace {
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+void
+writeServiceJson(const std::string &path, const ServiceConfig &svc,
+                 std::size_t scale,
+                 const std::vector<DesignSweep> &sweeps,
+                 bool faultMode)
+{
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+    out << "{\n"
+        << "  \"bench\": \"service\",\n"
+        << "  \"workload\": \"" << svc.workload << "\",\n"
+        << "  \"arrival\": \"" << arrivalKindName(svc.arrival.kind)
+        << "\",\n"
+        << "  \"servers\": " << svc.servers << ",\n"
+        << "  \"requests\": " << svc.requests << ",\n"
+        << "  \"scale\": " << scale << ",\n"
+        << "  \"seed\": " << svc.arrival.seed << ",\n"
+        << "  \"fault_mode\": " << (faultMode ? "true" : "false") << ",\n"
+        << "  \"designs\": [\n";
+    for (std::size_t d = 0; d < sweeps.size(); d++) {
+        const DesignSweep &sw = sweeps[d];
+        out << "    {\"design\": \"" << sw.design->cliName() << "\",\n"
+            << "     \"capacity_per_mcycle\": "
+            << fmtDouble(sw.capacityPerMcycle) << ",\n";
+        if (sw.kneeIndex >= 0) {
+            const ServiceStats &k =
+                sw.points[static_cast<std::size_t>(sw.kneeIndex)]
+                    .result.service;
+            out << "     \"knee_load_frac\": "
+                << fmtDouble(sw.points[static_cast<std::size_t>(
+                       sw.kneeIndex)].loadFrac)
+                << ",\n     \"knee_achieved_per_mcycle\": "
+                << fmtDouble(k.achievedPerMcycle) << ",\n";
+        } else {
+            out << "     \"knee_load_frac\": null,\n"
+                << "     \"knee_achieved_per_mcycle\": null,\n";
+        }
+        out << "     \"points\": [\n";
+        for (std::size_t i = 0; i < sw.points.size(); i++) {
+            const SweepPoint &p = sw.points[i];
+            const ServiceStats &s = p.result.service;
+            out << "       {\"load_frac\": " << fmtDouble(p.loadFrac)
+                << ", \"offered_per_mcycle\": "
+                << fmtDouble(s.offeredPerMcycle)
+                << ", \"achieved_per_mcycle\": "
+                << fmtDouble(s.achievedPerMcycle)
+                << ", \"completed\": " << s.completed
+                << ", \"p50\": " << s.latency.percentile(0.50)
+                << ", \"p99\": " << s.latency.percentile(0.99)
+                << ", \"p999\": " << s.latency.percentile(0.999)
+                << ", \"max\": " << s.latency.max()
+                << ", \"mean\": " << fmtDouble(s.latency.mean())
+                << ", \"max_outstanding\": " << s.maxOutstanding
+                << ", \"idle_drains\": " << s.idleDrains
+                << ", \"sustained\": "
+                << (s.achievedPerMcycle >=
+                    kKneeThreshold * s.offeredPerMcycle
+                    ? "true" : "false")
+                << "}" << (i + 1 < sw.points.size() ? "," : "") << "\n";
+        }
+        out << "     ]}" << (d + 1 < sweeps.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "  wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServiceConfig svc;
+    bool faultMode = false;
+
+    std::string workloadHelp = "service workload (";
+    for (const ServiceWorkloadInfo &w : serviceWorkloads()) {
+        if (workloadHelp.back() != '(')
+            workloadHelp += ", ";
+        workloadHelp += w.name;
+    }
+    workloadHelp += "); default redis-set";
+
+    BenchArgsSpec spec;
+    spec.what = "Open-loop service front-end: latency vs offered load "
+        "per design";
+    spec.benchName = "service";
+    spec.uniqueDesignKinds = false;  // results keyed by registry name
+    spec.extras = {
+        {"--workload", "NAME", workloadHelp.c_str(),
+         [&svc](const std::string &v) {
+             bool known = false;
+             for (const ServiceWorkloadInfo &w : serviceWorkloads())
+                 known = known || v == w.name;
+             if (!known)
+                 benchUsageError("unknown service workload '" + v + "'");
+             svc.workload = v;
+         }},
+        {"--servers", "N", "reactor threads (default 4)",
+         [&svc](const std::string &v) {
+             svc.servers = parseCountValue("--servers", v);
+         }},
+        {"--requests", "N", "open-loop requests per point (default 4096)",
+         [&svc](const std::string &v) {
+             svc.requests = parseCountValue("--requests", v);
+         }},
+        {"--arrival", "KIND", "arrival process: poisson | bursty",
+         [&svc](const std::string &v) {
+             if (!parseArrivalKind(v, svc.arrival.kind))
+                 benchUsageError("unknown arrival kind '" + v +
+                                 "' (poisson, bursty)");
+         }},
+        {"--seed", "N", "arrival/request stream seed (default 1)",
+         [&svc](const std::string &v) {
+             svc.arrival.seed = parseCountValue("--seed", v);
+         }},
+        {"--fail-dimm", nullptr,
+         "fail DIMM 1 at 1/4 of the run, replace + rebuild at 1/2",
+         [&faultMode](const std::string &) { faultMode = true; }},
+    };
+    BenchArgs args = parseBenchArgs(argc, argv, spec);
+    svc.scale = args.scale;
+    if (faultMode) {
+        svc.failAtRequest = svc.requests / 4 + 1;
+        svc.replaceAtRequest = svc.requests / 2 + 1;
+    }
+
+    // Default to every registered design: the service layer turns each
+    // one into a latency-vs-load curve, variants included.
+    std::vector<const Design *> designs =
+        args.designs.empty() ? allRegisteredDesigns() : args.designs;
+    if (faultMode) {
+        std::vector<const Design *> survivors;
+        for (const Design *d : designs) {
+            if (d->maintainsMappedParity() &&
+                d->absorbsWritesWhileDegraded()) {
+                survivors.push_back(d);
+            } else {
+                std::fprintf(stderr,
+                             "  skipping %s under --fail-dimm (cannot "
+                             "survive a DIMM loss)\n",
+                             d->cliName().c_str());
+            }
+        }
+        designs = survivors;
+        if (designs.empty()) {
+            std::fprintf(stderr,
+                         "error: no selected design survives a DIMM "
+                         "loss\n");
+            return 1;
+        }
+    }
+
+    SimConfig cfg = evalConfig();
+
+    std::fprintf(stderr, "  calibrating closed-loop capacity per "
+                 "design (%s, %zu servers)...\n",
+                 svc.workload.c_str(), svc.servers);
+    std::vector<double> capacities =
+        calibrateCapacities(cfg, designs, svc, args.jobs);
+    std::printf("== bench_service: %s, %s arrivals, %zu servers, "
+                "%zu requests/point%s ==\n",
+                svc.workload.c_str(),
+                arrivalKindName(svc.arrival.kind), svc.servers,
+                svc.requests,
+                faultMode ? "  [fault mode: DIMM 1 fails mid-run]" : "");
+
+    std::vector<DesignSweep> sweeps =
+        runSweep(cfg, designs, svc, capacities, defaultLoadFracs(),
+                 args.jobs);
+
+    std::vector<LatencyPoint> table;
+    std::vector<KneeRow> knees;
+    for (const DesignSweep &sw : sweeps) {
+        for (const SweepPoint &p : sw.points) {
+            const ServiceStats &s = p.result.service;
+            LatencyPoint lp;
+            lp.design = sw.design->cliName();
+            lp.loadFrac = p.loadFrac;
+            lp.offeredPerMcycle = s.offeredPerMcycle;
+            lp.achievedPerMcycle = s.achievedPerMcycle;
+            lp.p50 = s.latency.percentile(0.50);
+            lp.p99 = s.latency.percentile(0.99);
+            lp.p999 = s.latency.percentile(0.999);
+            lp.maxLatency = s.latency.max();
+            lp.sustained = s.achievedPerMcycle >=
+                kKneeThreshold * s.offeredPerMcycle;
+            table.push_back(std::move(lp));
+        }
+        KneeRow kr;
+        kr.design = sw.design->cliName();
+        kr.capacityPerMcycle = sw.capacityPerMcycle;
+        kr.found = sw.kneeIndex >= 0;
+        if (kr.found) {
+            const SweepPoint &k =
+                sw.points[static_cast<std::size_t>(sw.kneeIndex)];
+            kr.kneeFrac = k.loadFrac;
+            kr.kneeAchievedPerMcycle =
+                k.result.service.achievedPerMcycle;
+            kr.p999AtKnee = k.result.service.latency.percentile(0.999);
+        }
+        knees.push_back(std::move(kr));
+    }
+
+    printLatencySection(
+        "Latency vs offered load (cycles; load = fraction of each "
+        "design's capacity)", table);
+    printKneeTable("Knee of the curve (largest sustained load)", knees);
+
+    if (args.json) {
+        writeServiceJson("results/bench_service.json", svc, args.scale,
+                         sweeps, faultMode);
+    }
+    return 0;
+}

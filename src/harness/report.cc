@@ -216,4 +216,50 @@ printRuntimeTable(const std::string &caption,
     }
 }
 
+void
+printLatencySection(const std::string &caption,
+                    const std::vector<LatencyPoint> &points)
+{
+    std::printf("\n== %s ==\n", caption.c_str());
+    std::printf("  %-20s %6s %12s %12s %10s %10s %10s %12s %4s\n",
+                "design", "load", "offered/Mc", "achieved/Mc", "p50",
+                "p99", "p999", "max", "sat");
+    const std::string *prev = nullptr;
+    for (const LatencyPoint &p : points) {
+        if (prev != nullptr && *prev != p.design)
+            std::printf("\n");
+        prev = &p.design;
+        std::printf("  %-20s %6.2f %12.2f %12.2f %10llu %10llu %10llu "
+                    "%12llu %4s\n",
+                    p.design.c_str(), p.loadFrac, p.offeredPerMcycle,
+                    p.achievedPerMcycle,
+                    static_cast<unsigned long long>(p.p50),
+                    static_cast<unsigned long long>(p.p99),
+                    static_cast<unsigned long long>(p.p999),
+                    static_cast<unsigned long long>(p.maxLatency),
+                    p.sustained ? "" : "SAT");
+    }
+}
+
+void
+printKneeTable(const std::string &caption,
+               const std::vector<KneeRow> &rows)
+{
+    std::printf("\n== %s ==\n", caption.c_str());
+    std::printf("  %-20s %12s %10s %14s %12s\n", "design",
+                "capacity/Mc", "knee load", "achieved/Mc", "p999@knee");
+    for (const KneeRow &r : rows) {
+        if (!r.found) {
+            std::printf("  %-20s %12.2f %10s %14s %12s\n",
+                        r.design.c_str(), r.capacityPerMcycle, "-",
+                        "saturated", "-");
+            continue;
+        }
+        std::printf("  %-20s %12.2f %10.2f %14.2f %12llu\n",
+                    r.design.c_str(), r.capacityPerMcycle, r.kneeFrac,
+                    r.kneeAchievedPerMcycle,
+                    static_cast<unsigned long long>(r.p999AtKnee));
+    }
+}
+
 }  // namespace tvarak

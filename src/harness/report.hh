@@ -48,5 +48,41 @@ double normRuntime(const FigureRow &row, DesignKind design);
 void printFigureCsv(const std::string &figureId,
                     const std::vector<FigureRow> &rows);
 
+/**
+ * One measured point of a latency-vs-offered-load sweep. Plain data:
+ * the service layer (src/service/, a layer above the harness) fills
+ * these in, so the printer stays free of upward dependencies.
+ */
+struct LatencyPoint {
+    std::string design;        //!< display label (registry cliName)
+    double loadFrac = 0;       //!< offered / the design's capacity
+    double offeredPerMcycle = 0;
+    double achievedPerMcycle = 0;
+    Cycles p50 = 0;            //!< latency percentiles, sim cycles
+    Cycles p99 = 0;
+    Cycles p999 = 0;
+    Cycles maxLatency = 0;
+    bool sustained = false;    //!< achieved kept up with offered
+};
+
+/** Print the latency sweep table: one line per (design, load) point,
+ *  percentiles in simulated cycles, saturation marked. */
+void printLatencySection(const std::string &caption,
+                         const std::vector<LatencyPoint> &points);
+
+/** One design's knee-of-the-curve summary line. */
+struct KneeRow {
+    std::string design;
+    double capacityPerMcycle = 0;  //!< closed-loop ceiling
+    bool found = false;         //!< false: saturated at every point
+    double kneeFrac = 0;
+    double kneeAchievedPerMcycle = 0;
+    Cycles p999AtKnee = 0;
+};
+
+/** Print the knee summary table (one line per design). */
+void printKneeTable(const std::string &caption,
+                    const std::vector<KneeRow> &rows);
+
 }  // namespace tvarak
 

@@ -1,0 +1,82 @@
+#include "service/histogram.hh"
+
+namespace tvarak::service {
+
+std::size_t
+LatencyHistogram::bucketIndex(Cycles value)
+{
+    if (value < kSubBuckets) {
+        return static_cast<std::size_t>(value);
+    }
+    // Octave k = floor(log2 value) >= 4; within it, the top 4 bits
+    // below the leading one select the linear sub-bucket.
+    int k = 63 - __builtin_clzll(value);
+    int shift = k - 4;
+    std::size_t sub = static_cast<std::size_t>(value >> shift) & 0xf;
+    return kSubBuckets + static_cast<std::size_t>(shift) * kSubBuckets +
+        sub;
+}
+
+Cycles
+LatencyHistogram::bucketUpper(std::size_t idx)
+{
+    if (idx < kSubBuckets) {
+        return static_cast<Cycles>(idx);
+    }
+    std::size_t shift = (idx - kSubBuckets) / kSubBuckets;
+    std::size_t sub = idx % kSubBuckets;
+    return ((static_cast<Cycles>(kSubBuckets + sub) + 1) << shift) - 1;
+}
+
+void
+LatencyHistogram::record(Cycles value)
+{
+    buckets_[bucketIndex(value)]++;
+    count_++;
+    sum_ += value;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+}
+
+Cycles
+LatencyHistogram::percentile(double q) const
+{
+    if (count_ == 0) {
+        return 0;
+    }
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (rank * 1.0 < q * static_cast<double>(count_)) {
+        rank++;  // ceil
+    }
+    if (rank == 0) rank = 1;
+
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); i++) {
+        cumulative += buckets_[i];
+        if (cumulative >= rank) {
+            // Never report past the observed max (the top bucket's
+            // edge can overshoot it by the sub-bucket width).
+            Cycles upper = bucketUpper(i);
+            return upper > max_ ? max_ : upper;
+        }
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < buckets_.size(); i++) {
+        buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_) {
+        if (other.min_ < min_) min_ = other.min_;
+        if (other.max_ > max_) max_ = other.max_;
+    }
+}
+
+}  // namespace tvarak::service

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Request sources: the per-server unit of work behind the dispatcher.
+ *
+ * A RequestSource adapts one of the existing applications (redis,
+ * trees, nstore, fio, stream) to request granularity: setup() builds
+ * the persistent state (outside the measured window), serve() performs
+ * exactly one request's worth of timed work on the source's thread.
+ * The dispatcher measures each serve() call by differencing the
+ * thread's demand-cycle counter, so whatever the application does —
+ * pmem transactions, software checksums, raw stores with coverage
+ * calls — lands in that request's service time.
+ *
+ * Each server owns an independent source instance (own pool/file/rng),
+ * mirroring N independent single-threaded application instances, so
+ * serve() calls on different servers never share mutable state.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/dax_fs.hh"
+#include "mem/memory_system.hh"
+#include "redundancy/scheme.hh"
+
+namespace tvarak::service {
+
+class RequestSource
+{
+  public:
+    virtual ~RequestSource() = default;
+
+    /** Build persistent state (runs before the stats reset). */
+    virtual void setup() = 0;
+
+    /** Perform one request. @p reqId is the global request index
+     *  (deterministic payload material). */
+    virtual void serve(std::uint64_t reqId) = 0;
+
+    virtual std::string name() const = 0;
+
+    int tid() const { return tid_; }
+
+  protected:
+    RequestSource(MemorySystem &mem, int tid) : mem_(mem), tid_(tid) {}
+
+    MemorySystem &mem_;
+    int tid_;
+};
+
+/** One row of the service workload catalog. */
+struct ServiceWorkloadInfo {
+    const char *name;         //!< CLI spelling
+    const char *description;  //!< one line for --help / docs
+};
+
+/** The catalog (stable order; drives bench_service --workload). */
+const std::vector<ServiceWorkloadInfo> &serviceWorkloads();
+
+/**
+ * Build the request source @p workload names for server thread @p tid.
+ *
+ * @param scheme  the machine's software redundancy hook (may be null);
+ *                shared across servers, as PR-5 benches do.
+ * @param scale   linear size knob (keyspace / region bytes).
+ * @param seed    request-stream seed; combined with @p tid so servers
+ *                draw independent but reproducible streams.
+ * @return null if @p workload is unknown.
+ */
+std::unique_ptr<RequestSource> makeSource(const std::string &workload,
+                                          MemorySystem &mem, DaxFs &fs,
+                                          int tid,
+                                          RedundancyScheme *scheme,
+                                          std::size_t scale,
+                                          std::uint64_t seed);
+
+}  // namespace tvarak::service

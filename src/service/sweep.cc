@@ -1,0 +1,95 @@
+#include "service/sweep.hh"
+
+#include "harness/parallel.hh"
+#include "sim/log.hh"
+
+namespace tvarak::service {
+
+const std::vector<double> &
+defaultLoadFracs()
+{
+    static const std::vector<double> fracs = {0.3, 0.5, 0.7, 0.85,
+                                              1.0, 1.2};
+    return fracs;
+}
+
+double
+calibrateCapacity(const SimConfig &cfg, const Design &design,
+                  const ServiceConfig &svc)
+{
+    ServiceConfig closed = svc;
+    closed.arrival.meanGapCycles = 0.0;  // closed-loop limit
+    ServiceResult r = runService(cfg, design, closed);
+    panic_if(r.service.achievedPerMcycle <= 0.0,
+             "capacity calibration produced no throughput");
+    return r.service.achievedPerMcycle;
+}
+
+void
+detectKnee(DesignSweep &sweep)
+{
+    // Prefix semantics: the knee is the last point of the leading
+    // all-sustained run. A sustained point *after* an unsustained one
+    // is a finite-run artifact (lumpy deferred work can transiently
+    // beat the closed-loop ceiling) and must not resurrect the knee.
+    sweep.kneeIndex = -1;
+    for (std::size_t i = 0; i < sweep.points.size(); i++) {
+        const ServiceStats &s = sweep.points[i].result.service;
+        if (s.achievedPerMcycle < kKneeThreshold * s.offeredPerMcycle)
+            break;
+        sweep.kneeIndex = static_cast<int>(i);
+    }
+}
+
+std::vector<double>
+calibrateCapacities(const SimConfig &cfg,
+                    const std::vector<const Design *> &designs,
+                    const ServiceConfig &svc, std::size_t jobs)
+{
+    std::vector<double> capacities(designs.size(), 0.0);
+    parallelFor(designs.size(), [&](std::size_t d) {
+        capacities[d] = calibrateCapacity(cfg, *designs[d], svc);
+    }, jobs);
+    return capacities;
+}
+
+std::vector<DesignSweep>
+runSweep(const SimConfig &cfg, const std::vector<const Design *> &designs,
+         const ServiceConfig &svc, const std::vector<double> &capacities,
+         const std::vector<double> &loadFracs, std::size_t jobs)
+{
+    panic_if(capacities.size() != designs.size(),
+             "capacity list does not match design list");
+    for (double c : capacities)
+        panic_if(c <= 0.0, "invalid capacity calibration");
+    panic_if(loadFracs.empty(), "empty load grid");
+
+    // One flat task list; results land in index-private slots so the
+    // output is identical for any worker count.
+    std::size_t tasks = designs.size() * loadFracs.size();
+    std::vector<SweepPoint> flat(tasks);
+    parallelFor(tasks, [&](std::size_t idx) {
+        std::size_t d = idx / loadFracs.size();
+        std::size_t f = idx % loadFracs.size();
+        ServiceConfig point = svc;
+        double offered = capacities[d] * loadFracs[f];
+        point.arrival.meanGapCycles = 1e6 / offered;
+        flat[idx].loadFrac = loadFracs[f];
+        flat[idx].result = runService(cfg, *designs[d], point);
+    }, jobs);
+
+    std::vector<DesignSweep> out(designs.size());
+    for (std::size_t d = 0; d < designs.size(); d++) {
+        out[d].design = designs[d];
+        out[d].capacityPerMcycle = capacities[d];
+        out[d].points.assign(
+            flat.begin() + static_cast<std::ptrdiff_t>(
+                d * loadFracs.size()),
+            flat.begin() + static_cast<std::ptrdiff_t>(
+                (d + 1) * loadFracs.size()));
+        detectKnee(out[d]);
+    }
+    return out;
+}
+
+}  // namespace tvarak::service

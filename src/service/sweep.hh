@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Offered-load sweeps and knee detection.
+ *
+ * A sweep first calibrates each design's closed-loop capacity
+ * (arrival gap ~0: every reactor is always busy, so achieved
+ * throughput is that design's service-rate ceiling), then runs the
+ * design at offered loads expressed as fractions of its *own*
+ * capacity — so every design's curve brackets its saturation point
+ * and the *knee* (the largest offered load still sustained: achieved
+ * >= 95% of offered) is detectable for slow and fast designs alike.
+ * Absolute cross-design comparison lives in the capacity itself and
+ * in the offered/achieved columns, which stay in requests per Mcycle.
+ *
+ * Every (design x load) point is an independent machine, so the sweep
+ * fans out over harness/parallel.hh with index-private result slots:
+ * bit-identical output for any --jobs N.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/dispatcher.hh"
+
+namespace tvarak::service {
+
+/** One (design, offered-load) measurement. */
+struct SweepPoint {
+    double loadFrac = 0.0;  //!< offered load / the design's capacity
+    ServiceResult result;
+};
+
+/** One design's full load sweep. */
+struct DesignSweep {
+    const Design *design = nullptr;
+    /** The design's own closed-loop capacity — the absolute-throughput
+     *  comparison across designs (a design with redundancy overhead
+     *  has a lower ceiling). */
+    double capacityPerMcycle = 0.0;
+    std::vector<SweepPoint> points;  //!< in ascending loadFrac order
+    /** Index into points of the knee: the last point of the leading
+     *  run where achieved >= kneeThreshold * offered (-1 if even the
+     *  lightest load saturates). Prefix semantics — later sustained
+     *  points after a saturated one are finite-run artifacts. */
+    int kneeIndex = -1;
+};
+
+/** Achieved/offered ratio above which a point counts as sustained. */
+constexpr double kKneeThreshold = 0.95;
+
+/** The default sweep grid (fractions of baseline capacity). */
+const std::vector<double> &defaultLoadFracs();
+
+/**
+ * Closed-loop capacity calibration: run @p svc with a zero arrival
+ * gap under @p design and return achieved requests per Mcycle.
+ */
+double calibrateCapacity(const SimConfig &cfg, const Design &design,
+                         const ServiceConfig &svc);
+
+/** Calibrate every design's capacity in one parallel batch
+ *  (results[i] belongs to designs[i]; 0 jobs = defaultJobs()). */
+std::vector<double>
+calibrateCapacities(const SimConfig &cfg,
+                    const std::vector<const Design *> &designs,
+                    const ServiceConfig &svc, std::size_t jobs);
+
+/**
+ * Sweep each design in @p designs over @p loadFracs of its *own*
+ * capacity (@p capacities, from calibrateCapacities — same order), so
+ * every design's sweep brackets its knee; absolute throughput remains
+ * comparable through the capacity and offered/achieved columns.
+ * Fans out over @p jobs workers (0 = defaultJobs()).
+ * svc.arrival.meanGapCycles is derived per point; everything else in
+ * @p svc applies unchanged.
+ */
+std::vector<DesignSweep> runSweep(const SimConfig &cfg,
+                                  const std::vector<const Design *> &designs,
+                                  const ServiceConfig &svc,
+                                  const std::vector<double> &capacities,
+                                  const std::vector<double> &loadFracs,
+                                  std::size_t jobs);
+
+/** Recompute @p sweep.kneeIndex from its points. */
+void detectKnee(DesignSweep &sweep);
+
+}  // namespace tvarak::service

@@ -1,0 +1,10 @@
+// Seeded violation: an upward include edge — harness/ (rank 10) must
+// not depend on service/ (rank 11) in the layering DAG (R9). The
+// service layer drives the harness, never the other way around.
+#include "service/service_api.hh"
+
+int
+fixtureHarnessUsesService()
+{
+    return fixtureServiceValue();
+}

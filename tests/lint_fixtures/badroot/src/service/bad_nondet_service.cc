@@ -1,0 +1,20 @@
+// Seeded violation: nondeterminism on a stats-feeding path (R10) in
+// the service layer — this file's include closure reaches
+// sim/stats.hh, and arrival seeds must come from the config, never
+// from entropy.
+#include <random>
+
+#include "sim/stats.hh"
+
+unsigned long
+badArrivalSeed()
+{
+    std::random_device entropy;
+    return entropy();
+}
+
+void
+touchServiceCounters(Stats &s)
+{
+    s.hits++;
+}

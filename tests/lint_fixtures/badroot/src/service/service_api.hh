@@ -1,0 +1,9 @@
+#pragma once
+
+// Stub upper-layer header: the service-rank R9 fixture's
+// upward-include target (harness, rank 10, must not reach up here).
+inline int
+fixtureServiceValue()
+{
+    return 11;
+}

@@ -171,12 +171,14 @@ TEST(LintFixtures, BadRootTripsEveryRuleExactly)
     EXPECT_EQ(n["R6"], 2) << "threading header + std::thread member";
     EXPECT_EQ(n["R7"], 2) << "binary fopen + std::ios::binary stream";
     EXPECT_EQ(n["R8"], 2) << "two DesignKind comparisons outside registry";
-    EXPECT_EQ(n["R9"], 2) << "upward nvm->mem edge + layout a<->b cycle";
-    EXPECT_EQ(n["R10"], 2) << "rand() + unordered-container iteration";
+    EXPECT_EQ(n["R9"], 3)
+        << "upward nvm->mem edge + harness->service edge + layout cycle";
+    EXPECT_EQ(n["R10"], 3)
+        << "rand() + unordered-container iteration + random_device";
     EXPECT_EQ(n["R11"], 2) << "unreported 'misses' + unincremented 'stale'";
     EXPECT_EQ(n["R12"], 2) << "dead 'deadKnob' + write-only 'writeOnlyKnob'";
     EXPECT_EQ(n["R13"], 2) << "naked .lock() + naked .unlock()";
-    EXPECT_EQ(findings.size(), 26u);
+    EXPECT_EQ(findings.size(), 28u);
 }
 
 TEST(LintFixtures, BadRootFindingLocations)
@@ -200,9 +202,13 @@ TEST(LintFixtures, BadRootFindingLocations)
     EXPECT_TRUE(hasFinding(findings, "src/bad_design_dispatch.cc", 15,
                            "R8"));
     EXPECT_TRUE(hasFinding(findings, "src/nvm/bad_upward.cc", 3, "R9"));
+    EXPECT_TRUE(hasFinding(findings, "src/harness/bad_service_upward.cc",
+                           4, "R9"));
     EXPECT_TRUE(hasFinding(findings, "src/layout/a.hh", 4, "R9"));
     EXPECT_TRUE(hasFinding(findings, "src/core/bad_nondet.cc", 20, "R10"));
     EXPECT_TRUE(hasFinding(findings, "src/core/bad_nondet.cc", 33, "R10"));
+    EXPECT_TRUE(hasFinding(findings, "src/service/bad_nondet_service.cc",
+                           12, "R10"));
     EXPECT_TRUE(hasFinding(findings, "src/sim/stats.hh", 9, "R11"));
     EXPECT_TRUE(hasFinding(findings, "src/sim/stats.hh", 10, "R11"));
     EXPECT_TRUE(hasFinding(findings, "src/sim/config.hh", 9, "R12"));
@@ -283,10 +289,14 @@ TEST(LintModel, ClassifiesModulesAndRanks)
     EXPECT_EQ(moduleOf("src/mem/cache.hh"), "cache");
     EXPECT_EQ(moduleOf("src/harness/workload.hh"), "workload_api");
 
+    EXPECT_EQ(moduleOf("src/service/dispatcher.cc"), "service");
+
     EXPECT_EQ(moduleRank("sim"), 0);
     EXPECT_LT(moduleRank("checksum"), moduleRank("nvm"));
     EXPECT_LT(moduleRank("core"), moduleRank("mem"));
     EXPECT_LT(moduleRank("mem"), moduleRank("redundancy"));
+    EXPECT_LT(moduleRank("harness"), moduleRank("service"));
+    EXPECT_LT(moduleRank("service"), moduleRank("bench"));
     EXPECT_LT(moduleRank("harness"), moduleRank("tests"));
     EXPECT_EQ(moduleRank("no_such_module"), -1);
 }
@@ -301,9 +311,16 @@ TEST(LintModel, ClassifiesLayerEdges)
     // Same module: always fine.
     EXPECT_TRUE(layerEdgeLegal("src/mem/memory_system.cc",
                                "src/mem/dram.hh"));
+    // The service front-end drives the harness, never the reverse.
+    EXPECT_TRUE(layerEdgeLegal("src/service/sweep.cc",
+                               "src/harness/parallel.hh"));
+    EXPECT_TRUE(layerEdgeLegal("bench/bench_service.cc",
+                               "src/service/sweep.hh"));
     // Upward: forbidden.
     EXPECT_FALSE(layerEdgeLegal("src/sim/config.hh",
                                 "src/mem/memory_system.hh"));
+    EXPECT_FALSE(layerEdgeLegal("src/harness/report.cc",
+                                "src/service/dispatcher.hh"));
     EXPECT_FALSE(layerEdgeLegal("src/fs/scrubber.cc",
                                 "src/pmemlib/pmem_pool.hh"));
     // Interface-header overrides change the verdict: the registry

@@ -46,6 +46,7 @@ const std::pair<const char *, int> kModuleRanks[] = {
     {"workload_api", 8},
     {"apps", 9},
     {"harness", 10},
+    {"service", 11},
     {"trace", 11},
     {"bench", 12},
     {"tools", 12},
