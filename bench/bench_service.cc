@@ -14,11 +14,19 @@
  * design set is *every* registered design. --fail-dimm additionally
  * fails DIMM 1 a quarter into the run and replaces it at the halfway
  * point (online rebuild in reactor idle gaps), making degraded-mode
- * and rebuild-in-progress tail latency visible; designs that cannot
- * survive a DIMM loss are skipped in that mode.
+ * and rebuild-in-progress tail latency visible; --fail-dimms i,j,...
+ * generalizes that to a staggered multi-DIMM schedule where each
+ * later DIMM fails while the previous one is still rebuilding, so the
+ * erasure-coded designs' two-failure operation shows up at the knee
+ * and the tail. Designs that cannot survive the schedule's failure
+ * count are skipped in either mode; fault-DIMM indices are validated
+ * against every selected design's (post-adjustConfig) DIMM count
+ * before anything runs.
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -41,11 +49,52 @@ fmtDouble(double v)
     return buf;
 }
 
+/**
+ * Parse a comma-separated DIMM index list. Exit-2 usage errors on
+ * malformed numbers and duplicate indices; range checking against each
+ * design's DIMM count happens later, once designs are resolved.
+ */
+std::vector<std::size_t>
+parseFaultDimms(const std::string &spec)
+{
+    std::vector<std::size_t> dimms;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+        // Index 0 is a legal DIMM, so parseCountValue (which rejects
+        // zero) cannot be reused here.
+        if (tok.empty() || end == tok.c_str() || *end != '\0' ||
+            tok[0] == '-' || errno == ERANGE) {
+            benchUsageError("invalid --fail-dimms index '" + tok + "'");
+        }
+        dimms.push_back(static_cast<std::size_t>(v));
+        pos = comma + 1;
+    }
+    for (std::size_t i = 0; i < dimms.size(); i++) {
+        for (std::size_t j = i + 1; j < dimms.size(); j++) {
+            if (dimms[i] == dimms[j]) {
+                benchUsageError("--fail-dimms indices must be "
+                                "distinct (DIMM " +
+                                std::to_string(dimms[i]) +
+                                " appears twice)");
+            }
+        }
+    }
+    return dimms;
+}
+
 void
 writeServiceJson(const std::string &path, const ServiceConfig &svc,
                  std::size_t scale,
                  const std::vector<DesignSweep> &sweeps,
-                 bool faultMode)
+                 bool faultMode,
+                 const std::vector<std::size_t> &faultDimms)
 {
     std::filesystem::create_directories(
         std::filesystem::path(path).parent_path());
@@ -64,6 +113,10 @@ writeServiceJson(const std::string &path, const ServiceConfig &svc,
         << "  \"scale\": " << scale << ",\n"
         << "  \"seed\": " << svc.arrival.seed << ",\n"
         << "  \"fault_mode\": " << (faultMode ? "true" : "false") << ",\n"
+        << "  \"fault_dimms\": [";
+    for (std::size_t i = 0; i < faultDimms.size(); i++)
+        out << (i ? ", " : "") << faultDimms[i];
+    out << "],\n"
         << "  \"designs\": [\n";
     for (std::size_t d = 0; d < sweeps.size(); d++) {
         const DesignSweep &sw = sweeps[d];
@@ -119,6 +172,7 @@ main(int argc, char **argv)
 {
     ServiceConfig svc;
     bool faultMode = false;
+    std::string failDimmsSpec;
 
     std::string workloadHelp = "service workload (";
     for (const ServiceWorkloadInfo &w : serviceWorkloads()) {
@@ -164,53 +218,123 @@ main(int argc, char **argv)
         {"--fail-dimm", nullptr,
          "fail DIMM 1 at 1/4 of the run, replace + rebuild at 1/2",
          [&faultMode](const std::string &) { faultMode = true; }},
+        {"--fail-dimms", "LIST",
+         "comma-separated DIMM indices failed in a staggered schedule "
+         "(each later DIMM fails mid-rebuild of the previous one)",
+         [&failDimmsSpec](const std::string &v) { failDimmsSpec = v; }},
     };
     BenchArgs args = parseBenchArgs(argc, argv, spec);
     svc.scale = args.scale;
-    if (faultMode) {
+
+    std::vector<std::size_t> faultDimms;
+    if (!failDimmsSpec.empty()) {
+        if (faultMode) {
+            benchUsageError("--fail-dimm and --fail-dimms are "
+                            "mutually exclusive");
+        }
+        faultDimms = parseFaultDimms(failDimmsSpec);
+        // Staggered schedule: each DIMM's rebuild window is a quarter
+        // of the run, and the next failure lands one sixteenth after
+        // the previous replacement — well inside its idle-gap rebuild,
+        // so every later failure is a fail-during-rebuild event.
+        std::size_t base = svc.requests / 4;
+        std::size_t gap = svc.requests / 16 > 0 ? svc.requests / 16 : 1;
+        std::size_t at = base + 1;
+        for (std::size_t dimm : faultDimms) {
+            DimmFault f;
+            f.dimm = dimm;
+            f.failAt = at;
+            f.replaceAt = at + base;
+            if (f.failAt > svc.requests) {
+                benchUsageError("--fail-dimms schedule does not fit in "
+                                + std::to_string(svc.requests) +
+                                " requests; raise --requests");
+            }
+            svc.faults.push_back(f);
+            at = f.replaceAt + gap;
+        }
+    } else if (faultMode) {
         svc.failAtRequest = svc.requests / 4 + 1;
         svc.replaceAtRequest = svc.requests / 2 + 1;
+        faultDimms.push_back(svc.faultDimm);
     }
+    bool anyFault = faultMode || !svc.faults.empty();
 
     // Default to every registered design: the service layer turns each
     // one into a latency-vs-load curve, variants included.
     std::vector<const Design *> designs =
         args.designs.empty() ? allRegisteredDesigns() : args.designs;
-    if (faultMode) {
+    if (anyFault) {
+        // A staggered --fail-dimms schedule can hold every listed DIMM
+        // dead-or-rebuilding at once, so a design must survive that
+        // many concurrent failures to run under it.
+        std::size_t need = svc.faults.empty() ? 1 : svc.faults.size();
         std::vector<const Design *> survivors;
         for (const Design *d : designs) {
             if (d->maintainsMappedParity() &&
-                d->absorbsWritesWhileDegraded()) {
+                d->absorbsWritesWhileDegraded() &&
+                d->survivableFailures() >= need) {
                 survivors.push_back(d);
             } else {
                 std::fprintf(stderr,
-                             "  skipping %s under --fail-dimm (cannot "
-                             "survive a DIMM loss)\n",
-                             d->cliName().c_str());
+                             "  skipping %s under --fail-dimm%s "
+                             "(cannot survive %zu concurrent DIMM "
+                             "%s)\n",
+                             d->cliName().c_str(),
+                             svc.faults.empty() ? "" : "s", need,
+                             need == 1 ? "loss" : "losses");
             }
         }
         designs = survivors;
         if (designs.empty()) {
             std::fprintf(stderr,
-                         "error: no selected design survives a DIMM "
-                         "loss\n");
+                         "error: no selected design survives the "
+                         "fault schedule\n");
             return 1;
         }
     }
 
     SimConfig cfg = evalConfig();
+    // Range-check fault indices against each surviving design's own
+    // machine shape (adjustConfig can change the DIMM count) before
+    // anything runs, so a bad index is a clean usage error instead of
+    // a panic deep inside MemorySystem.
+    for (const Design *d : designs) {
+        SimConfig probe = cfg;
+        d->adjustConfig(probe);
+        for (std::size_t dimm : faultDimms) {
+            if (dimm >= probe.nvm.dimms) {
+                benchUsageError("--fail-dimms index " +
+                                std::to_string(dimm) +
+                                " out of range: design " +
+                                d->cliName() + " has " +
+                                std::to_string(probe.nvm.dimms) +
+                                " DIMMs");
+            }
+        }
+    }
 
     std::fprintf(stderr, "  calibrating closed-loop capacity per "
                  "design (%s, %zu servers)...\n",
                  svc.workload.c_str(), svc.servers);
     std::vector<double> capacities =
         calibrateCapacities(cfg, designs, svc, args.jobs);
+    std::string faultNote;
+    if (anyFault) {
+        faultNote = "  [fault mode: DIMM";
+        if (faultDimms.size() > 1)
+            faultNote += "s";
+        for (std::size_t i = 0; i < faultDimms.size(); i++) {
+            faultNote += (i ? "," : " ") + std::to_string(faultDimms[i]);
+        }
+        faultNote += faultDimms.size() > 1
+            ? " fail staggered mid-run]" : " fails mid-run]";
+    }
     std::printf("== bench_service: %s, %s arrivals, %zu servers, "
                 "%zu requests/point%s ==\n",
                 svc.workload.c_str(),
                 arrivalKindName(svc.arrival.kind), svc.servers,
-                svc.requests,
-                faultMode ? "  [fault mode: DIMM 1 fails mid-run]" : "");
+                svc.requests, faultNote.c_str());
 
     std::vector<DesignSweep> sweeps =
         runSweep(cfg, designs, svc, capacities, defaultLoadFracs(),
@@ -256,7 +380,7 @@ main(int argc, char **argv)
 
     if (args.json) {
         writeServiceJson("results/bench_service.json", svc, args.scale,
-                         sweeps, faultMode);
+                         sweeps, anyFault, faultDimms);
     }
     return 0;
 }

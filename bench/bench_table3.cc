@@ -48,6 +48,10 @@ main(int argc, char **argv)
                 cfg.nvm.dimms, cfg.nvm.dimmBytes >> 20, cfg.nvm.readNs,
                 cfg.nvm.writeNs, cfg.nvm.readEnergy / 1000.0,
                 cfg.nvm.writeEnergy / 1000.0);
+    std::printf("                 geometry (pinned by the selected "
+                "design; see tvarak-rs4+2/-rs6+2):\n"
+                "                 parityDimms=%zu, dimmsPerDomain=%zu\n",
+                cfg.nvm.parityDimms, cfg.nvm.dimmsPerDomain);
     std::printf("TVARAK           %zu B %zu-way on-controller cache, "
                 "%llu cycle latency, %.0f/%.0f pJ hit/miss,\n"
                 "                 %llu cycles address range matching, "

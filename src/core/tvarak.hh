@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "checksum/gf256.hh"
 #include "layout/layout.hh"
 #include "mem/cache.hh"
 #include "nvm/nvm.hh"
@@ -129,12 +130,20 @@ class TvarakEngine
     /** @name Whole-DIMM failure support */
     /**@{*/
     /**
-     * Reconstruct the at-rest content of data line @p nvmAddr from the
-     * authoritative parity line XOR the at-rest stripe siblings (the
-     * RAID-5 degraded read). Untimed; @p nvmAddr must not be a parity
-     * page (a parity line is recomputed from its members instead).
+     * Reconstruct the at-rest content of line @p nvmAddr from the
+     * authoritative parity line(s) and the at-rest stripe survivors.
+     * With a single parity member this is the RAID-5 degraded read
+     * (XOR of parity and siblings; @p nvmAddr must not be a parity
+     * page). With k >= 2 parity members it is a Reed-Solomon decode
+     * from any n survivors, and parity members can be reconstructed
+     * too. Untimed.
+     * @return false iff more members are lost than the code can
+     *         tolerate; @p out is then poison (detectable loss). The
+     *         single-parity path always returns true — under a double
+     *         fault it produces garbage that downstream checksums
+     *         catch, preserving the pre-RS behaviour bit for bit.
      */
-    void reconstructFromParity(Addr nvmAddr, std::uint8_t *out);
+    bool reconstructFromParity(Addr nvmAddr, std::uint8_t *out);
     /**
      * Drop every cached redundancy line whose home is @p dimm: the
      * backing storage is gone and the rebuild engine will recompute
@@ -192,6 +201,11 @@ class TvarakEngine
   private:
     /** Home LLC bank of a redundancy line. */
     std::size_t homeBank(Addr raddr) const;
+
+    /** Reed-Solomon joint decode of @p lineAddr's stripe at its line
+     *  offset (k >= 2 only): survivors in, missing members out.
+     *  @return false past the k-failure budget (@p out poisoned). */
+    bool reconstructRs(Addr lineAddr, std::uint8_t *out);
 
     /**
      * Access one redundancy line through the caching hierarchy
@@ -264,6 +278,9 @@ class TvarakEngine
         std::int8_t owner = -1;
     };
     std::unordered_map<Addr, DirEntry> directory_;
+
+    /** The stripe's erasure code; null under single-XOR parity. */
+    std::unique_ptr<RsCode> rs_;
 };
 
 }  // namespace tvarak

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "checksum/checksum.hh"
+#include "checksum/gf256.hh"
 #include "redundancy/registry.hh"
 #include "sim/log.hh"
 #include "trace/sink.hh"
@@ -63,26 +64,37 @@ DaxFs::writeSuperblock()
     sb.fileCount = n;
     Addr sb_page = pageOfVpage(0);
     mem_.nvmArray().rawWrite(sb_page, &sb, sizeof(sb));
-    // The superblock lives in the RAID-covered data region: keep its
-    // stripe's parity consistent with the out-of-band write.
+    // The superblock lives in the parity-covered data region: keep
+    // its stripe's parity members (all k roles) consistent with the
+    // out-of-band write.
+    const Layout &layout = mem_.layout();
     std::vector<Addr> pages;
-    mem_.layout().stripeDataPages(sb_page, pages);
-    std::vector<std::uint8_t> acc(kPageBytes, 0);
+    layout.stripeDataPages(sb_page, pages);
+    RsCode rs(layout.dataCount(), layout.parityCount());
     std::vector<std::uint8_t> buf(kPageBytes);
-    for (Addr p : pages) {
-        mem_.nvmArray().rawRead(p, buf.data(), kPageBytes);
-        for (std::size_t i = 0; i < kPageBytes; i++)
-            acc[i] ^= buf[i];
+    std::vector<Addr> parity_pages;
+    for (std::size_t j = 0; j < layout.parityCount(); j++) {
+        Addr parity_page = layout.parityPageOf(sb_page, j);
+        parity_pages.push_back(parity_page);
+        std::vector<std::uint8_t> acc(kPageBytes, 0);
+        for (std::size_t i = 0; i < pages.size(); i++) {
+            mem_.nvmArray().rawRead(pages[i], buf.data(), kPageBytes);
+            for (std::size_t l = 0; l < kLinesPerPage; l++) {
+                rs.updateParity(acc.data() + l * kLineBytes,
+                                buf.data() + l * kLineBytes, j, i);
+            }
+        }
+        mem_.nvmArray().rawWrite(parity_page, acc.data(), kPageBytes);
     }
-    Addr parity_page = mem_.layout().parityPageOf(sb_page);
-    mem_.nvmArray().rawWrite(parity_page, acc.data(), kPageBytes);
     // The raw writes bypass the caches: keep the current-value store
     // in sync for lines no cache holds (the superblock is never read
     // through the timed path, and degraded-mode reconstruction in the
     // current-value world depends on this parity being fresh).
+    std::vector<Addr> touched = parity_pages;
+    touched.insert(touched.begin(), sb_page);
     std::uint8_t line_buf[kLineBytes];
     for (std::size_t l = 0; l < kLinesPerPage; l++) {
-        for (Addr page : {sb_page, parity_page}) {
+        for (Addr page : touched) {
             Addr line = page + l * kLineBytes;
             mem_.nvmArray().rawRead(line, line_buf, kLineBytes);
             mem_.refreshCurIfUncached(line, line_buf);
@@ -399,13 +411,32 @@ DaxFs::pwrite(int tid, int fd, std::size_t offset, const void *buf,
 
                 Addr nvm_line =
                     nvm_page + lineInPage(vaddr) * kLineBytes;
-                Addr parity_v = nvmDirectVaddr(
-                    mem_.layout().parityLineOf(nvm_line));
-                std::uint8_t parity[kLineBytes];
-                mem_.read(tid, parity_v, parity, kLineBytes);
-                xorLine(parity, old_line);
-                xorLine(parity, new_line);
-                mem_.write(tid, parity_v, parity, kLineBytes);
+                const Layout &layout = mem_.layout();
+                if (layout.parityCount() == 1) {
+                    Addr parity_v =
+                        nvmDirectVaddr(layout.parityLineOf(nvm_line));
+                    std::uint8_t parity[kLineBytes];
+                    mem_.read(tid, parity_v, parity, kLineBytes);
+                    xorLine(parity, old_line);
+                    xorLine(parity, new_line);
+                    mem_.write(tid, parity_v, parity, kLineBytes);
+                } else {
+                    // Reed-Solomon geometry: every parity role takes
+                    // the coefficient-weighted diff.
+                    RsCode rs(layout.dataCount(), layout.parityCount());
+                    std::size_t di = layout.dataMemberIndexOf(nvm_line);
+                    std::uint8_t diff[kLineBytes];
+                    xorLineInto(diff, old_line, new_line);
+                    for (std::size_t j = 0; j < layout.parityCount();
+                         j++) {
+                        Addr parity_v = nvmDirectVaddr(
+                            layout.parityLineOf(nvm_line, j));
+                        std::uint8_t parity[kLineBytes];
+                        mem_.read(tid, parity_v, parity, kLineBytes);
+                        rs.updateParity(parity, diff, j, di);
+                        mem_.write(tid, parity_v, parity, kLineBytes);
+                    }
+                }
 
                 mem_.write(tid, vaddr, in + done, n);
                 done += n;
@@ -585,14 +616,17 @@ std::size_t
 DaxFs::verifyParity()
 {
     const Layout &layout = mem_.layout();
+    const std::size_t n = layout.dataCount();
+    const std::size_t k = layout.parityCount();
+    RsCode rs(n, k);
     std::size_t bad = 0;
     std::vector<Addr> pages;
-    std::vector<std::uint8_t> acc(kPageBytes);
+    std::vector<std::vector<std::uint8_t>> acc(
+        k, std::vector<std::uint8_t>(kPageBytes));
     std::vector<std::uint8_t> page(kPageBytes);
     // Only stripes that can hold allocated data need checking; the
     // rest are all-zero and trivially consistent.
-    std::size_t used_stripes =
-        (nextDataPage_ + layout.dimms() - 2) / (layout.dimms() - 1);
+    std::size_t used_stripes = (nextDataPage_ + n - 1) / n;
     for (std::size_t s = 0; s < used_stripes; s++) {
         Addr first = layout.dataBase() +
             static_cast<Addr>(s) * layout.dimms() * kPageBytes;
@@ -608,20 +642,34 @@ DaxFs::verifyParity()
             if (skip)
                 continue;
         }
-        Addr parity = layout.parityPageOf(first);
-        mem_.nvmArray().rawRead(parity, acc.data(), kPageBytes);
-        layout.stripeDataPages(first, pages);
-        for (Addr p : pages) {
-            mem_.nvmArray().rawRead(p, page.data(), kPageBytes);
-            for (std::size_t i = 0; i < kPageBytes; i++)
-                acc[i] ^= page[i];
+        // Re-encode the stripe's data members and compare every
+        // parity role against media (role 0 degenerates to the XOR
+        // check the single-parity designs have always used).
+        for (std::size_t j = 0; j < k; j++) {
+            mem_.nvmArray().rawRead(layout.parityPageOf(first, j),
+                                    acc[j].data(), kPageBytes);
         }
-        for (std::size_t i = 0; i < kPageBytes; i++) {
-            if (acc[i] != 0) {
-                bad++;
-                break;
+        layout.stripeDataPages(first, pages);
+        for (std::size_t i = 0; i < pages.size(); i++) {
+            mem_.nvmArray().rawRead(pages[i], page.data(), kPageBytes);
+            for (std::size_t j = 0; j < k; j++) {
+                for (std::size_t l = 0; l < kLinesPerPage; l++) {
+                    rs.updateParity(acc[j].data() + l * kLineBytes,
+                                    page.data() + l * kLineBytes, j, i);
+                }
             }
         }
+        bool stripe_bad = false;
+        for (std::size_t j = 0; j < k && !stripe_bad; j++) {
+            for (std::size_t i = 0; i < kPageBytes; i++) {
+                if (acc[j][i] != 0) {
+                    stripe_bad = true;
+                    break;
+                }
+            }
+        }
+        if (stripe_bad)
+            bad++;
     }
     return bad;
 }

@@ -87,7 +87,8 @@ bool
 sawResilienceEvents(const Stats &s)
 {
     return s.corruptionsDetected || s.recoveries || s.degradedReads ||
-        s.degradedWritesDropped || s.degradedRedSkips || s.rebuildLines ||
+        s.degradedReadsMulti || s.degradedWritesDropped ||
+        s.degradedRedSkips || s.rebuildLines || s.rebuildRestarts ||
         s.scrubLines || s.scrubRepairs;
 }
 
@@ -151,19 +152,28 @@ printResilienceSection(const std::vector<FigureRow> &rows)
                 !sawResilienceEvents(it->second.stats))
                 continue;
             const Stats &s = it->second.stats;
+            // dread counts degraded reads served with one DIMM down,
+            // mread those served with >= 2 down (the erasure-coded
+            // designs' extra budget); restart counts rebuild sweeps
+            // aborted by a fault landing mid-rebuild.
             std::printf("  %-26s %-18s det=%-8llu rec=%-8llu "
-                        "dread=%-8llu wdrop=%-8llu rskip=%-8llu "
-                        "rebuild=%-10llu scrub=%-10llu fix=%llu\n",
+                        "dread=%-8llu mread=%-8llu wdrop=%-8llu "
+                        "rskip=%-8llu rebuild=%-10llu restart=%-4llu "
+                        "scrub=%-10llu fix=%llu\n",
                         row.workload.c_str(), designName(d),
                         static_cast<unsigned long long>(
                             s.corruptionsDetected),
                         static_cast<unsigned long long>(s.recoveries),
                         static_cast<unsigned long long>(s.degradedReads),
                         static_cast<unsigned long long>(
+                            s.degradedReadsMulti),
+                        static_cast<unsigned long long>(
                             s.degradedWritesDropped),
                         static_cast<unsigned long long>(
                             s.degradedRedSkips),
                         static_cast<unsigned long long>(s.rebuildLines),
+                        static_cast<unsigned long long>(
+                            s.rebuildRestarts),
                         static_cast<unsigned long long>(s.scrubLines),
                         static_cast<unsigned long long>(s.scrubRepairs));
         }

@@ -4,10 +4,14 @@
 
 namespace tvarak {
 
-Layout::Layout(std::size_t totalBytes, std::size_t dimms)
-    : dimms_(dimms)
+Layout::Layout(std::size_t totalBytes, std::size_t dimms,
+               std::size_t parityCount)
+    : dimms_(dimms), parityCount_(parityCount)
 {
-    panic_if(dimms < 2, "RAID-5 needs >= 2 DIMMs");
+    panic_if(dimms < 2, "striped parity needs >= 2 DIMMs");
+    panic_if(parityCount < 1 || parityCount >= dimms,
+             "parity count %zu out of range for %zu DIMMs",
+             parityCount, dimms);
     panic_if(totalBytes % kPageBytes != 0, "capacity not page aligned");
     std::size_t total_pages = totalBytes / kPageBytes;
 
@@ -34,6 +38,21 @@ Layout::Layout(std::size_t totalBytes, std::size_t dimms)
     end_ = dataBase_ + static_cast<Addr>(dataPages_) * kPageBytes;
 }
 
+bool
+Layout::memberIsParity(std::size_t s, std::size_t m,
+                       std::size_t &role) const
+{
+    // Parity roles occupy k consecutive slots descending from the
+    // RAID-5 rotation point; invert parityMember() directly.
+    std::size_t base = dimms_ - 1 - (s % dimms_);
+    std::size_t r = (base + dimms_ - m) % dimms_;
+    if (r < parityCount_) {
+        role = r;
+        return true;
+    }
+    return false;
+}
+
 std::size_t
 Layout::stripeOf(Addr a) const
 {
@@ -47,22 +66,36 @@ Layout::isParityPage(Addr a) const
     std::size_t s = stripeOf(a);
     std::size_t member =
         static_cast<std::size_t>((a - dataBase_) / kPageBytes) % dimms_;
-    return member == dimms_ - 1 - (s % dimms_);
+    std::size_t role;
+    return memberIsParity(s, member, role);
 }
 
 Addr
-Layout::parityPageOf(Addr a) const
+Layout::parityPageOf(Addr a, std::size_t role) const
+{
+    panic_if(role >= parityCount_, "parity role %zu out of range", role);
+    std::size_t s = stripeOf(a);
+    return dataBase_ +
+        static_cast<Addr>(s * dimms_ + parityMember(s, role)) *
+        kPageBytes;
+}
+
+Addr
+Layout::parityLineOf(Addr a, std::size_t role) const
+{
+    return parityPageOf(a, role) + lineInPage(a) * kLineBytes;
+}
+
+std::size_t
+Layout::parityRoleOf(Addr a) const
 {
     std::size_t s = stripeOf(a);
-    std::size_t parity_member = dimms_ - 1 - (s % dimms_);
-    return dataBase_ +
-        static_cast<Addr>(s * dimms_ + parity_member) * kPageBytes;
-}
-
-Addr
-Layout::parityLineOf(Addr a) const
-{
-    return parityPageOf(a) + lineInPage(a) * kLineBytes;
+    std::size_t member =
+        static_cast<std::size_t>((a - dataBase_) / kPageBytes) % dimms_;
+    std::size_t role;
+    panic_if(!memberIsParity(s, member, role),
+             "parityRoleOf on a data page");
+    return role;
 }
 
 void
@@ -70,13 +103,31 @@ Layout::stripeDataPages(Addr a, std::vector<Addr> &out) const
 {
     out.clear();
     std::size_t s = stripeOf(a);
-    std::size_t parity_member = dimms_ - 1 - (s % dimms_);
     for (std::size_t m = 0; m < dimms_; m++) {
-        if (m == parity_member)
+        std::size_t role;
+        if (memberIsParity(s, m, role))
             continue;
         out.push_back(dataBase_ +
                       static_cast<Addr>(s * dimms_ + m) * kPageBytes);
     }
+}
+
+std::size_t
+Layout::dataMemberIndexOf(Addr a) const
+{
+    std::size_t s = stripeOf(a);
+    std::size_t member =
+        static_cast<std::size_t>((a - dataBase_) / kPageBytes) % dimms_;
+    std::size_t idx = 0;
+    for (std::size_t m = 0; m < member; m++) {
+        std::size_t role;
+        if (!memberIsParity(s, m, role))
+            idx++;
+    }
+    std::size_t role;
+    panic_if(memberIsParity(s, member, role),
+             "dataMemberIndexOf on a parity page");
+    return idx;
 }
 
 Addr
@@ -102,14 +153,23 @@ Layout::daxClCsumAddr(Addr a) const
 Addr
 Layout::nthDataPage(std::size_t index) const
 {
-    // Each stripe contributes dimms_-1 data pages.
-    std::size_t per_stripe = dimms_ - 1;
+    // Each stripe contributes dimms_ - parityCount_ data pages.
+    std::size_t per_stripe = dataCount();
     std::size_t s = index / per_stripe;
     std::size_t k = index % per_stripe;
     panic_if(s >= stripes_, "data page index %zu out of range", index);
-    std::size_t parity_member = dimms_ - 1 - (s % dimms_);
-    // k-th member skipping the parity slot.
-    std::size_t member = k < parity_member ? k : k + 1;
+    // k-th member skipping the parity slots.
+    std::size_t member = 0;
+    for (std::size_t m = 0; m < dimms_; m++) {
+        std::size_t role;
+        if (memberIsParity(s, m, role))
+            continue;
+        if (k == 0) {
+            member = m;
+            break;
+        }
+        k--;
+    }
     return dataBase_ +
         static_cast<Addr>(s * dimms_ + member) * kPageBytes;
 }
@@ -119,17 +179,13 @@ Layout::dataPageIndexOf(Addr a) const
 {
     panic_if(isParityPage(a), "dataPageIndexOf on a parity page");
     std::size_t s = stripeOf(a);
-    std::size_t member =
-        static_cast<std::size_t>((a - dataBase_) / kPageBytes) % dimms_;
-    std::size_t parity_member = dimms_ - 1 - (s % dimms_);
-    std::size_t k = member < parity_member ? member : member - 1;
-    return s * (dimms_ - 1) + k;
+    return s * dataCount() + dataMemberIndexOf(a);
 }
 
 std::size_t
 Layout::allocatableDataPages() const
 {
-    return stripes_ * (dimms_ - 1);
+    return stripes_ * dataCount();
 }
 
 }  // namespace tvarak

@@ -1,6 +1,6 @@
 /**
  * @file
- * NVM physical layout: metadata regions and RAID-5 parity geometry.
+ * NVM physical layout: metadata regions and striped parity geometry.
  *
  * NVM-global physical addresses are linear over all DIMMs with 4 KB
  * page striping (global page g lives on DIMM g % N). The space is
@@ -9,13 +9,18 @@
  *   [0, pageCsumBytes)           per-page system-checksums (8 B/page)
  *   [daxClBase, +daxClBytes)     DAX-CL-checksums (8 B per 64 B line,
  *                                packed 8 per checksum line)
- *   [dataBase, end)              data region, in RAID-5 stripes
+ *   [dataBase, end)              data region, in parity stripes
  *
  * A stripe is one "row": N consecutive global pages, one per DIMM.
- * The parity member rotates (stripe s keeps parity on member
- * N-1 - s % N), exactly the Fig 3 geometry: page-granular interleaving
- * so the OS can map virtually-contiguous pages to data pages while
- * skipping parity pages.
+ * Each stripe carries k parity members (k = 1 is classic RAID-5, the
+ * paper's geometry; k >= 2 is the Reed-Solomon n+k family). The
+ * parity members rotate with the stripe index — stripe s keeps parity
+ * role j on member (N-1 - s%N - j) mod N, so role 0 matches the Fig 3
+ * RAID-5 rotation exactly and the extra roles occupy the adjacent
+ * slots. Page-granular interleaving lets the OS map
+ * virtually-contiguous pages to data pages while skipping parity
+ * pages; since a stripe's N pages land on N distinct DIMMs, stripe
+ * members never share a failure domain.
  *
  * The metadata region is deliberately *not* parity protected (the
  * paper protects data pages; checksum blocks are their own
@@ -37,10 +42,12 @@ class Layout
 {
   public:
     /**
-     * @param totalBytes capacity of the whole NVM array.
-     * @param dimms      number of DIMMs (stripe width).
+     * @param totalBytes  capacity of the whole NVM array.
+     * @param dimms       number of DIMMs (stripe width).
+     * @param parityCount parity members per stripe (k; 1 = RAID-5).
      */
-    Layout(std::size_t totalBytes, std::size_t dimms);
+    Layout(std::size_t totalBytes, std::size_t dimms,
+           std::size_t parityCount = 1);
 
     /** @name Region boundaries (NVM-global addresses). */
     /**@{*/
@@ -51,6 +58,10 @@ class Layout
     std::size_t dataPages() const { return dataPages_; }
     std::size_t stripes() const { return stripes_; }
     std::size_t dimms() const { return dimms_; }
+    /** Parity members per stripe (k). */
+    std::size_t parityCount() const { return parityCount_; }
+    /** Data members per stripe (n = dimms - k). */
+    std::size_t dataCount() const { return dimms_ - parityCount_; }
     /**@}*/
 
     /** True iff @p a lies below the data region (checksum storage). */
@@ -60,14 +71,22 @@ class Layout
 
     /** Stripe index of a data-region address. */
     std::size_t stripeOf(Addr a) const;
-    /** True iff the page holding @p a is its stripe's parity member. */
+    /** True iff the page holding @p a is one of its stripe's parity
+     *  members. */
     bool isParityPage(Addr a) const;
-    /** Global address of the parity page of @p a's stripe. */
-    Addr parityPageOf(Addr a) const;
-    /** Parity line covering data line @p a (same in-page offset). */
-    Addr parityLineOf(Addr a) const;
-    /** The stripe's data pages (excludes the parity member). */
+    /** Global address of parity member @p role of @p a's stripe. */
+    Addr parityPageOf(Addr a, std::size_t role = 0) const;
+    /** Parity line of role @p role covering data line @p a (same
+     *  in-page offset). */
+    Addr parityLineOf(Addr a, std::size_t role = 0) const;
+    /** Parity role (0..k-1) of a parity page; panics on data pages. */
+    std::size_t parityRoleOf(Addr a) const;
+    /** The stripe's data pages (excludes all parity members), in
+     *  ascending member order — i.e. coding-index order. */
     void stripeDataPages(Addr a, std::vector<Addr> &out) const;
+    /** Reed-Solomon coding index (0..n-1) of a data page: its rank
+     *  among the stripe's non-parity members. Panics on parity. */
+    std::size_t dataMemberIndexOf(Addr a) const;
 
     /** Address of the 8 B page system-checksum slot for @p a's page. */
     Addr pageCsumAddr(Addr a) const;
@@ -88,7 +107,19 @@ class Layout
     std::size_t allocatableDataPages() const;
 
   private:
+    /** Member slot (0..dimms-1) of parity role @p role in stripe
+     *  @p s. */
+    std::size_t parityMember(std::size_t s, std::size_t role) const
+    {
+        return (dimms_ - 1 - (s % dimms_) + dimms_ - role) % dimms_;
+    }
+    /** Is member slot @p m a parity member of stripe @p s? If so,
+     *  sets @p role. */
+    bool memberIsParity(std::size_t s, std::size_t m,
+                        std::size_t &role) const;
+
     std::size_t dimms_;
+    std::size_t parityCount_;
     Addr daxClBase_;
     Addr dataBase_;
     Addr end_;
@@ -97,4 +128,3 @@ class Layout
 };
 
 }  // namespace tvarak
-

@@ -27,7 +27,8 @@ MemorySystem::MemorySystem(const SimConfig &cfg, const Design &design)
     : cfg_(designAdjusted(cfg, design)),
       design_(&design),
       stats_(cfg_.cores, cfg_.nvm.dimms),
-      layout_(cfg_.nvm.dimms * cfg_.nvm.dimmBytes, cfg_.nvm.dimms),
+      layout_(cfg_.nvm.dimms * cfg_.nvm.dimmBytes, cfg_.nvm.dimms,
+              cfg_.nvm.parityDimms),
       // cfg_ (declared first) is the object's own copy; engine_ keeps
       // a reference to its SimConfig, so it must not see the caller's
       // possibly-temporary argument.
@@ -38,6 +39,15 @@ MemorySystem::MemorySystem(const SimConfig &cfg, const Design &design)
       dramBrk_(kLineBytes)  // never hand out address 0
 {
     cfg_.validate();
+    // A failure-domain fault takes out dimmsPerDomain DIMMs at once;
+    // grouping DIMMs into multi-DIMM domains is only meaningful when
+    // the active design can decode through a whole-domain loss.
+    fatal_if(cfg_.nvm.dimmsPerDomain > 1 &&
+                 cfg_.nvm.dimmsPerDomain > design.survivableFailures(),
+             "nvm.dimmsPerDomain (%zu) exceeds design '%s' "
+             "survivable failures (%zu)",
+             cfg_.nvm.dimmsPerDomain, design.cliName().c_str(),
+             design.survivableFailures());
     // The design's hardware borrows LLC ways for its partitions;
     // designs without controller hardware (and disabled ablation
     // elements) leave those ways to application data.
@@ -576,6 +586,13 @@ MemorySystem::llcHandleVictim(std::size_t bank,
 void
 MemorySystem::failDimm(std::size_t dimm)
 {
+    // A second fault on a DIMM that was mid-rebuild throws that
+    // rebuild's progress away: the sweep must start over once the
+    // device is replaced again. Counted here (not in the engine's
+    // resync) so the accounting does not depend on whether an engine
+    // happened to observe the fail/replace transition.
+    if (nvm_.dimmState(dimm) == NvmArray::DimmState::Rebuilding)
+        stats_.rebuildRestarts++;
     // Order matters: the array flips the DIMM state and poisons its
     // media first, so everything below sees the degraded world.
     nvm_.failDimm(dimm);
@@ -651,13 +668,25 @@ MemorySystem::reconstructLine(Addr nvmAddr, std::uint8_t *out, bool charge)
         std::memset(out, 0, kLineBytes);
         return true;
     }
+    if (layout_.parityCount() > 1)
+        return reconstructLineRs(line, out, charge);
     Addr off = pageOffset(line);
     std::vector<Addr> pages;
     layout_.stripeDataPages(line, pages);
     bool engine_world = stripeIsEngineWorld(line);
     if (layout_.isParityPage(line)) {
         // A parity member is the XOR of its stripe's data members, in
-        // whichever world maintains this stripe's parity.
+        // whichever world maintains this stripe's parity. A second
+        // dead member makes the recompute undecodable: known erasure
+        // overflow, loud poison.
+        if (nvm_.anyDegraded()) {
+            for (Addr page : pages) {
+                if (nvm_.lineDegraded(page + off)) {
+                    std::memset(out, NvmDimm::kPoisonByte, kLineBytes);
+                    return false;
+                }
+            }
+        }
         std::memset(out, 0, kLineBytes);
         for (Addr page : pages) {
             std::uint8_t sib[kLineBytes];
@@ -674,8 +703,9 @@ MemorySystem::reconstructLine(Addr nvmAddr, std::uint8_t *out, bool charge)
     Addr parity_line = layout_.parityLineOf(line);
     if (engine_world) {
         // At-rest world: the engine reads parity through its coherent
-        // caches and the siblings from raw media.
-        engine_.reconstructFromParity(line, out);
+        // caches and the siblings from raw media (it poisons on
+        // erasure overflow).
+        bool ok = engine_.reconstructFromParity(line, out);
         if (charge) {
             nvm_.charge(parity_line, false, true);
             for (Addr page : pages) {
@@ -683,7 +713,19 @@ MemorySystem::reconstructLine(Addr nvmAddr, std::uint8_t *out, bool charge)
                     nvm_.charge(page + off, false, false);
             }
         }
-        return true;
+        return ok;
+    }
+    // Software world: single parity needs every other member alive.
+    if (nvm_.anyDegraded()) {
+        bool overflow = nvm_.lineDegraded(parity_line);
+        for (Addr page : pages) {
+            if (page != pageBase(line))
+                overflow = overflow || nvm_.lineDegraded(page + off);
+        }
+        if (overflow) {
+            std::memset(out, NvmDimm::kPoisonByte, kLineBytes);
+            return false;
+        }
     }
     std::memcpy(out, funcPtr(kNvmPhysBase + parity_line, true),
                 kLineBytes);
@@ -699,11 +741,74 @@ MemorySystem::reconstructLine(Addr nvmAddr, std::uint8_t *out, bool charge)
     return true;
 }
 
+bool
+MemorySystem::reconstructLineRs(Addr line, std::uint8_t *out, bool charge)
+{
+    const std::size_t n = layout_.dataCount();
+    const std::size_t k = layout_.parityCount();
+    Addr off = pageOffset(line);
+    std::vector<Addr> pages;
+    layout_.stripeDataPages(line, pages);  // coding-index order
+    bool engine_world = stripeIsEngineWorld(line);
+
+    std::vector<std::array<std::uint8_t, kLineBytes>> bufs(n + k);
+    std::vector<std::uint8_t *> ptrs(n + k);
+    std::vector<Addr> addrs(n + k);
+    bool present[255];
+    for (std::size_t i = 0; i < n; i++)
+        addrs[i] = pages[i] + off;
+    for (std::size_t j = 0; j < k; j++)
+        addrs[n + j] = layout_.parityLineOf(line, j);
+
+    std::size_t target = n + k;
+    for (std::size_t m = 0; m < n + k; m++) {
+        ptrs[m] = bufs[m].data();
+        // The target is always an erasure, even when its media is
+        // readable: trusting its bytes would return them unchanged.
+        present[m] =
+            addrs[m] != line && !nvm_.lineDegraded(addrs[m]);
+        if (addrs[m] == line)
+            target = m;
+        if (!present[m])
+            continue;
+        if (!engine_world) {
+            // Software-maintained stripes update parity synchronously
+            // with the data write, i.e. in current values.
+            memberLine(addrs[m], ptrs[m], false);
+        } else if (m >= n) {
+            // Authoritative parity may be dirty in the engine caches.
+            engine_.peekRedLine(addrs[m], ptrs[m]);
+        } else {
+            nvm_.rawRead(addrs[m], ptrs[m], kLineBytes);
+        }
+        if (charge)
+            nvm_.charge(addrs[m], false, m >= n);
+    }
+    panic_if(target == n + k, "reconstructLineRs: %llx not in stripe",
+             static_cast<unsigned long long>(line));
+
+    RsCode rs(n, k);
+    if (!rs.decode(ptrs.data(), present)) {
+        // More members lost than the code tolerates: loud poison so
+        // every downstream checksum consumer sees a *detected* loss.
+        std::memset(out, NvmDimm::kPoisonByte, kLineBytes);
+        return false;
+    }
+    std::memcpy(out, ptrs[target], kLineBytes);
+    return true;
+}
+
 Cycles
 MemorySystem::degradedFill(std::size_t bank, Addr g, std::uint8_t *media)
 {
     stats_.degradedReads++;
-    reconstructLine(g, media, true);
+    if (nvm_.degradedCount() >= 2)
+        stats_.degradedReadsMulti++;
+    if (!reconstructLine(g, media, true)) {
+        // Erasure overflow is detected at decode time, independent of
+        // whether this line's checksum storage survived.
+        stats_.corruptionsDetected++;
+    }
     // The surviving DIMMs are read in parallel: one device latency on
     // the demand path (per-member occupancy and energy are charged by
     // reconstructLine above).

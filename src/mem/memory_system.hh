@@ -249,6 +249,12 @@ class MemorySystem
      *  dead DIMM. @return demand-path cycles. */
     Cycles degradedFill(std::size_t bank, Addr g, std::uint8_t *media);
 
+    /** Reed-Solomon joint decode of @p line's stripe (parityCount >=
+     *  2): any n surviving members recover the rest, in whichever
+     *  world maintains the stripe's parity. @return false past the
+     *  k-failure budget (@p out poisoned). */
+    bool reconstructLineRs(Addr line, std::uint8_t *out, bool charge);
+
     /** One stripe member's value for reconstruction (at-rest for
      *  TVARAK-registered pages, current otherwise). */
     void memberLine(Addr nvmAddr, std::uint8_t *out, bool charge);

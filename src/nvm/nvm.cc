@@ -211,14 +211,17 @@ void
 NvmArray::failDimm(std::size_t dimm)
 {
     panic_if(dimm >= dimms_.size(), "failDimm: bad DIMM index %zu", dimm);
-    for (std::size_t i = 0; i < dimms_.size(); i++) {
-        panic_if(i != dimm && state_[i] != DimmState::Healthy,
-                 "double device fault: DIMM %zu already degraded", i);
-    }
-    panic_if(state_[dimm] != DimmState::Healthy,
-             "failDimm: DIMM %zu is not healthy", dimm);
+    panic_if(state_[dimm] == DimmState::Failed,
+             "failDimm: DIMM %zu already failed", dimm);
+    // Failing a Rebuilding DIMM is the mid-rebuild second fault: the
+    // partially restored content is gone again (it already counts as
+    // degraded). Whether the array survives is the *code's* business
+    // (k-survivability); the array models any number of dead devices
+    // and reconstruction simply fails loudly past the code's budget.
+    if (state_[dimm] == DimmState::Healthy)
+        degradedDimms_++;
     state_[dimm] = DimmState::Failed;
-    degradedDimms_++;
+    watermark_[dimm] = 0;
     dimms_[dimm]->fail();
 }
 

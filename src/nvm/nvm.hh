@@ -158,11 +158,15 @@ class NvmArray
      *  (finishRebuild) Healthy. While Rebuilding, a watermark over the
      *  device's media addresses separates restored content (below)
      *  from not-yet-rebuilt content (above): reads of the latter must
-     *  still be reconstructed from parity. Only a single simultaneous
-     *  device fault is modelled (RAID-5 geometry). */
+     *  still be reconstructed from parity. Any number of simultaneous
+     *  device faults is modelled — including failing a DIMM that is
+     *  mid-rebuild (its partial content is lost and the watermark
+     *  resets); whether the loss is recoverable is decided by the
+     *  active redundancy code (k-of-n survivability), not here. */
     /**@{*/
     enum class DimmState { Healthy, Failed, Rebuilding };
-    /** Take a DIMM offline; its media content is lost. */
+    /** Take a DIMM offline; its media content is lost. Failing a
+     *  Rebuilding DIMM discards the partial rebuild. */
     void failDimm(std::size_t dimm);
     /** Swap in a fresh zeroed device; rebuild starts at watermark 0. */
     void replaceDimm(std::size_t dimm);
@@ -177,6 +181,16 @@ class NvmArray
     }
     /** Fast path check: is any DIMM not Healthy? */
     bool anyDegraded() const { return degradedDimms_ != 0; }
+    /** Number of DIMMs not in the Healthy state. */
+    std::size_t degradedCount() const { return degradedDimms_; }
+    /** Number of DIMMs in the Failed state (no replacement yet). */
+    std::size_t failedCount() const
+    {
+        std::size_t n = 0;
+        for (DimmState s : state_)
+            n += s == DimmState::Failed ? 1 : 0;
+        return n;
+    }
     /**
      * Read-side degradation: true iff a firmware read of this line
      * cannot return its content (device Failed, or Rebuilding and the

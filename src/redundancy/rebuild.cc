@@ -1,5 +1,6 @@
 #include "redundancy/rebuild.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "checksum/checksum.hh"
@@ -13,16 +14,64 @@ RebuildEngine::RebuildEngine(MemorySystem &mem, DaxFs *fs)
     : mem_(mem), fs_(fs), dimmBytes_(mem.config().nvm.dimmBytes)
 {
     NvmArray &nvm = mem_.nvmArray();
-    bool found = false;
     for (std::size_t d = 0; d < mem_.config().nvm.dimms; d++) {
-        if (nvm.dimmState(d) == NvmArray::DimmState::Rebuilding) {
-            panic_if(found, "two DIMMs in rebuild");
-            dimm_ = d;
-            found = true;
-        }
+        if (nvm.dimmState(d) == NvmArray::DimmState::Rebuilding)
+            sweeps_.push_back({d, nvm.rebuildWatermark(d)});
     }
-    panic_if(!found, "RebuildEngine with no replaced DIMM");
-    cursor_ = nvm.rebuildWatermark(dimm_);
+    panic_if(sweeps_.empty(), "RebuildEngine with no replaced DIMM");
+}
+
+std::size_t
+RebuildEngine::dimm() const
+{
+    panic_if(sweeps_.empty(), "dimm() on a finished RebuildEngine");
+    return sweeps_.front().dimm;
+}
+
+Addr
+RebuildEngine::cursor() const
+{
+    panic_if(sweeps_.empty(), "cursor() on a finished RebuildEngine");
+    return sweeps_.front().cursor;
+}
+
+void
+RebuildEngine::resync()
+{
+    NvmArray &nvm = mem_.nvmArray();
+    // Drop sweeps whose DIMM is no longer rebuilding (it failed again,
+    // or some other engine finished it); rewind sweeps whose DIMM was
+    // failed *and* re-replaced between steps — the watermark moved
+    // behind the cursor, everything the previous pass wrote is gone.
+    // (The restart itself is counted by MemorySystem::failDimm, which
+    // sees every mid-rebuild fault whether or not an engine observes
+    // the fail/replace transition.)
+    for (std::size_t i = 0; i < sweeps_.size();) {
+        Sweep &s = sweeps_[i];
+        if (nvm.dimmState(s.dimm) != NvmArray::DimmState::Rebuilding) {
+            sweeps_.erase(sweeps_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            continue;
+        }
+        Addr watermark = nvm.rebuildWatermark(s.dimm);
+        if (watermark < s.cursor)
+            s.cursor = watermark;
+        i++;
+    }
+    // Adopt DIMMs replaced after this engine was built.
+    for (std::size_t d = 0; d < mem_.config().nvm.dimms; d++) {
+        if (nvm.dimmState(d) != NvmArray::DimmState::Rebuilding)
+            continue;
+        bool tracked = false;
+        for (const Sweep &s : sweeps_)
+            tracked = tracked || s.dimm == d;
+        if (!tracked)
+            sweeps_.push_back({d, nvm.rebuildWatermark(d)});
+    }
+    std::sort(sweeps_.begin(), sweeps_.end(),
+              [](const Sweep &a, const Sweep &b) {
+                  return a.dimm < b.dimm;
+              });
 }
 
 std::uint64_t
@@ -83,14 +132,19 @@ RebuildEngine::rebuildMetaLine(Addr g, std::uint8_t *out)
 std::size_t
 RebuildEngine::step(std::size_t lineBudget)
 {
-    if (done_)
-        return 0;
+    resync();
     NvmArray &nvm = mem_.nvmArray();
     const Layout &layout = mem_.layout();
     std::size_t rebuilt = 0;
     std::uint8_t buf[kLineBytes];
-    while (rebuilt < lineBudget && cursor_ < dimmBytes_) {
-        Addr g = nvm.globalAddrOf(dimm_, cursor_);
+    while (rebuilt < lineBudget && !sweeps_.empty()) {
+        Sweep &s = sweeps_.front();
+        if (s.cursor >= dimmBytes_) {
+            nvm.finishRebuild(s.dimm);
+            sweeps_.erase(sweeps_.begin());
+            continue;
+        }
+        Addr g = nvm.globalAddrOf(s.dimm, s.cursor);
         if (layout.isMetaAddr(g)) {
             // Checksum metadata is not parity protected: recompute it
             // from the (possibly still degraded) data it covers. The
@@ -103,27 +157,27 @@ RebuildEngine::step(std::size_t lineBudget)
             nvm.access(g, true, buf, parity);
             mem_.stats().rebuildLines++;
             mem_.refreshCurIfUncached(g, buf);
-            nvm.setRebuildWatermark(dimm_, cursor_ + kLineBytes);
-            cursor_ += kLineBytes;
+            nvm.setRebuildWatermark(s.dimm, s.cursor + kLineBytes);
+            s.cursor += kLineBytes;
             rebuilt++;
             continue;
         } else {
             // Beyond the trimmed layout: the fresh device is already
             // zero; just advance the watermark.
-            nvm.setRebuildWatermark(dimm_, cursor_ + kLineBytes);
-            cursor_ += kLineBytes;
+            nvm.setRebuildWatermark(s.dimm, s.cursor + kLineBytes);
+            s.cursor += kLineBytes;
             continue;
         }
         nvm.access(g, true, buf, true);
         mem_.stats().rebuildLines++;
         mem_.refreshCurIfUncached(g, buf);
-        nvm.setRebuildWatermark(dimm_, cursor_ + kLineBytes);
-        cursor_ += kLineBytes;
+        nvm.setRebuildWatermark(s.dimm, s.cursor + kLineBytes);
+        s.cursor += kLineBytes;
         rebuilt++;
     }
-    if (cursor_ >= dimmBytes_) {
-        nvm.finishRebuild(dimm_);
-        done_ = true;
+    if (!sweeps_.empty() && sweeps_.front().cursor >= dimmBytes_) {
+        nvm.finishRebuild(sweeps_.front().dimm);
+        sweeps_.erase(sweeps_.begin());
     }
     return rebuilt;
 }
@@ -131,8 +185,12 @@ RebuildEngine::step(std::size_t lineBudget)
 void
 RebuildEngine::runToCompletion()
 {
-    while (!done_)
+    // Step at least once: done() only reflects the sweeps this engine
+    // already tracks, and the first step's resync adopts any DIMM
+    // replaced after the previous sweep list emptied.
+    do {
         step(~std::size_t{0});
+    } while (!done());
 }
 
 }  // namespace tvarak

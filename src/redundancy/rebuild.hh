@@ -1,6 +1,6 @@
 /**
  * @file
- * RebuildEngine: online reconstruction of a replaced NVM DIMM.
+ * RebuildEngine: online reconstruction of replaced NVM DIMMs.
  *
  * After MemorySystem::replaceDimm() installs a fresh (zeroed) device,
  * the rebuild engine sweeps its media in address order and rewrites
@@ -9,7 +9,9 @@
  *
  *  - data-region lines are reconstructed from cross-DIMM parity +
  *    surviving stripe members (MemorySystem::reconstructLine, which
- *    picks the right redundancy world per line);
+ *    picks the right redundancy world per line and, for Reed-Solomon
+ *    geometries, jointly decodes around every concurrently-dead
+ *    member);
  *  - parity lines are recomputed from their stripe's data members;
  *  - checksum metadata is *not* parity protected and is recomputed
  *    from the (degraded-aware) data it covers: DAX-CL-checksum slots
@@ -23,12 +25,28 @@
  * rebuilds a bounded number of lines so callers can interleave
  * foreground work, which is exactly how the fault campaign exercises
  * the degraded/rebuilding window.
+ *
+ * Multi-failure schedules: the engine tracks every DIMM that is in the
+ * Rebuilding state and sweeps them lowest-index first. Each step()
+ * resynchronizes with the array, so faults injected between steps are
+ * honored:
+ *
+ *  - a tracked DIMM that failed again (state back to Failed) is
+ *    dropped — its partial rebuild is gone and it cannot make progress
+ *    until replaced;
+ *  - a tracked DIMM whose watermark moved *behind* the sweep cursor
+ *    was failed and re-replaced between steps: the sweep restarts from
+ *    the watermark (Stats::rebuildRestarts) rather than trusting any
+ *    line the previous pass wrote — stale media is never republished;
+ *  - a Rebuilding DIMM the engine has not seen yet (a second
+ *    replacement while the first rebuild is still running) is adopted.
  */
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "fs/dax_fs.hh"
 #include "mem/memory_system.hh"
@@ -44,7 +62,7 @@ class RebuildEngine
      *            live ones; may be null, in which case every slot of a
      *            non-registered data page is recomputed (safe, but not
      *            bit-exact for never-allocated pages).
-     * @pre exactly one DIMM is in the Rebuilding state.
+     * @pre at least one DIMM is in the Rebuilding state.
      */
     explicit RebuildEngine(MemorySystem &mem, DaxFs *fs = nullptr);
 
@@ -55,12 +73,24 @@ class RebuildEngine
     /** Drain the remaining sweep in one call. */
     void runToCompletion();
 
-    bool done() const { return done_; }
-    std::size_t dimm() const { return dimm_; }
-    /** Next media address the sweep will rebuild. */
-    Addr cursor() const { return cursor_; }
+    /** @return true when no tracked DIMM still needs rebuilding.
+     *  A DIMM that failed again and was not yet replaced does not
+     *  keep the engine alive: it cannot progress until replaced. */
+    bool done() const { return sweeps_.empty(); }
+    /** DIMM the sweep is currently restoring (lowest index first). */
+    std::size_t dimm() const;
+    /** Next media address the sweep will rebuild on dimm(). */
+    Addr cursor() const;
 
   private:
+    /** One in-progress DIMM sweep. */
+    struct Sweep {
+        std::size_t dimm;
+        Addr cursor;  //!< media address within the DIMM
+    };
+
+    /** Reconcile tracked sweeps with the array's DIMM states. */
+    void resync();
     /** Rebuild one line of the checksum-metadata region. */
     void rebuildMetaLine(Addr g, std::uint8_t *out);
     /** The value an 8 B page-checksum slot must hold. */
@@ -70,10 +100,8 @@ class RebuildEngine
 
     MemorySystem &mem_;
     DaxFs *fs_;
-    std::size_t dimm_ = 0;
-    Addr cursor_ = 0;  //!< media address within the DIMM
     Addr dimmBytes_;
-    bool done_ = false;
+    std::vector<Sweep> sweeps_;  //!< sorted by dimm index
 };
 
 }  // namespace tvarak

@@ -177,6 +177,38 @@ class TvarakVariantDesign final : public TvarakDesign
     bool dataDiffs_;
 };
 
+/**
+ * A Reed-Solomon n+k geometry: full TVARAK machinery over a GF(2^8)
+ * erasure code. adjustConfig pins the array shape the way the Fig-9
+ * variants pin the ablation switches — the design owns its geometry,
+ * so every harness (bench, trace, fault, service) gets a consistent
+ * n+k array just by naming the design.
+ */
+class TvarakRsDesign final : public TvarakDesign
+{
+  public:
+    TvarakRsDesign(std::string cliName, std::string displayName,
+                   std::size_t dimms, std::size_t parityDimms)
+        : TvarakDesign(std::move(cliName), std::move(displayName)),
+          dimms_(dimms), parityDimms_(parityDimms)
+    {}
+
+    void adjustConfig(SimConfig &cfg) const override
+    {
+        cfg.nvm.dimms = dimms_;
+        cfg.nvm.parityDimms = parityDimms_;
+    }
+
+    std::size_t survivableFailures() const override
+    {
+        return parityDimms_;
+    }
+
+  private:
+    std::size_t dimms_;
+    std::size_t parityDimms_;
+};
+
 class TxBObjectDesign final : public Design
 {
   public:
@@ -293,6 +325,11 @@ ensureBuiltins()
             false);
         static const TvarakVariantDesign noDiffs(
             "tvarak-no-diffs", "Tvarak-No-Diffs", true, true, false);
+        // Reed-Solomon n+k geometries (double-failure survivable).
+        static const TvarakRsDesign rs42("tvarak-rs4+2", "Tvarak-RS4+2",
+                                         6, 2);
+        static const TvarakRsDesign rs62("tvarak-rs6+2", "Tvarak-RS6+2",
+                                         8, 2);
         registerLocked(&baseline);
         registerLocked(&tvarak);
         registerLocked(&txbObject);
@@ -301,6 +338,8 @@ ensureBuiltins()
         registerLocked(&naive);
         registerLocked(&noRedCache);
         registerLocked(&noDiffs);
+        registerLocked(&rs42);
+        registerLocked(&rs62);
         return true;
     }();
     (void)once;

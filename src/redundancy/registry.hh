@@ -196,6 +196,17 @@ class Design
     /** Cross-DIMM parity is maintained for mapped data, so DIMM loss
      *  is survivable. */
     virtual bool maintainsMappedParity() const { return false; }
+    /**
+     * Concurrent whole-DIMM losses the design's redundancy can
+     * reconstruct through without data loss. 0 for designs with no
+     * cross-DIMM parity, 1 for the single-XOR geometries, k for the
+     * Reed-Solomon n+k designs. Fault schedules that fail more DIMMs
+     * at once than this must expect *detected* loss, never silence.
+     */
+    virtual std::size_t survivableFailures() const
+    {
+        return maintainsMappedParity() ? 1 : 0;
+    }
     /** Corruptions are caught on the read path (transient misdirected
      *  reads are detectable events, not silent). */
     virtual bool detectsTransientReads() const { return false; }
@@ -227,7 +238,8 @@ class Design
  * case-insensitive) collides with a registered design. The built-in
  * designs are registered on first registry access, in this order:
  * baseline, tvarak, txb-object-csums, txb-page-csums, vilamb,
- * tvarak-naive, tvarak-no-red-cache, tvarak-no-diffs.
+ * tvarak-naive, tvarak-no-red-cache, tvarak-no-diffs, tvarak-rs4+2,
+ * tvarak-rs6+2.
  */
 void registerDesign(const Design *design);
 

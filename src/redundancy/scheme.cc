@@ -1,9 +1,11 @@
 #include "redundancy/scheme.hh"
 
 #include <algorithm>
+#include <array>
 #include <unordered_set>
 
 #include "checksum/checksum.hh"
+#include "checksum/gf256.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
@@ -18,23 +20,48 @@ RedundancyScheme::recomputeParityLine(int tid, Addr vline)
     Addr g = paddr - kNvmPhysBase;
     const Layout &layout = mem_.layout();
 
-    // parity = XOR over the stripe's data lines at this page offset;
+    // parity = code over the stripe's data lines at this page offset;
     // updating in place forfeits diff-based updates (paper Section IV),
     // so the siblings must be read.
-    std::uint8_t acc[kLineBytes];
-    mem_.read(tid, lineBase(vline), acc, kLineBytes);
     std::vector<Addr> pages;
     layout.stripeDataPages(g, pages);
     std::size_t offset = lineInPage(g) * kLineBytes;
-    for (Addr page : pages) {
-        if (page == pageBase(g))
-            continue;
-        std::uint8_t sib[kLineBytes];
-        mem_.read(tid, nvmDirectVaddr(page + offset), sib, kLineBytes);
-        xorLine(acc, sib);
+    if (layout.parityCount() == 1) {
+        std::uint8_t acc[kLineBytes];
+        mem_.read(tid, lineBase(vline), acc, kLineBytes);
+        for (Addr page : pages) {
+            if (page == pageBase(g))
+                continue;
+            std::uint8_t sib[kLineBytes];
+            mem_.read(tid, nvmDirectVaddr(page + offset), sib,
+                      kLineBytes);
+            xorLine(acc, sib);
+        }
+        mem_.write(tid, nvmDirectVaddr(layout.parityLineOf(g)), acc,
+                   kLineBytes);
+        return;
     }
-    mem_.write(tid, nvmDirectVaddr(layout.parityLineOf(g)), acc,
-               kLineBytes);
+    // Reed-Solomon geometries: one pass over the data members feeds
+    // every parity role its coefficient-weighted contribution.
+    RsCode rs(layout.dataCount(), layout.parityCount());
+    std::vector<std::array<std::uint8_t, kLineBytes>> par(
+        layout.parityCount());
+    for (auto &p : par)
+        p.fill(0);
+    for (std::size_t i = 0; i < pages.size(); i++) {
+        std::uint8_t sib[kLineBytes];
+        if (pages[i] == pageBase(g))
+            mem_.read(tid, lineBase(vline), sib, kLineBytes);
+        else
+            mem_.read(tid, nvmDirectVaddr(pages[i] + offset), sib,
+                      kLineBytes);
+        for (std::size_t j = 0; j < layout.parityCount(); j++)
+            rs.updateParity(par[j].data(), sib, j, i);
+    }
+    for (std::size_t j = 0; j < layout.parityCount(); j++) {
+        mem_.write(tid, nvmDirectVaddr(layout.parityLineOf(g, j)),
+                   par[j].data(), kLineBytes);
+    }
 }
 
 namespace {

@@ -96,6 +96,21 @@ runService(const SimConfig &cfg, const Design &design,
         makeArrivalProcess(svc.arrival);
     std::unique_ptr<RebuildEngine> rebuild;
 
+    // Effective fault schedule: explicit entries plus the legacy
+    // single-DIMM shorthand.
+    std::vector<DimmFault> faults = svc.faults;
+    if (svc.failAtRequest != 0 || svc.replaceAtRequest != 0) {
+        faults.push_back(
+            {svc.faultDimm, svc.failAtRequest, svc.replaceAtRequest});
+    }
+    for (const DimmFault &f : faults) {
+        // mem.config(), not cfg: the design's adjustConfig may have
+        // changed the DIMM count (the erasure-coded variants do).
+        panic_if(f.dimm >= mem.config().nvm.dimms,
+                 "fault schedule names DIMM %zu but the machine has "
+                 "%zu DIMMs", f.dimm, mem.config().nvm.dimms);
+    }
+
     ServiceStats out;
     out.requests = svc.requests;
 
@@ -110,11 +125,16 @@ runService(const SimConfig &cfg, const Design &design,
     for (std::uint64_t req = 1; req <= svc.requests; req++) {
         now += arrivals->nextGap();
 
-        if (svc.failAtRequest != 0 && req == svc.failAtRequest)
-            mem.failDimm(svc.faultDimm);
-        if (svc.replaceAtRequest != 0 && req == svc.replaceAtRequest) {
-            mem.replaceDimm(svc.faultDimm);
-            rebuild = std::make_unique<RebuildEngine>(mem, &fs);
+        for (const DimmFault &f : faults) {
+            if (f.failAt != 0 && req == f.failAt)
+                mem.failDimm(f.dimm);
+            if (f.replaceAt != 0 && req == f.replaceAt) {
+                mem.replaceDimm(f.dimm);
+                // One engine sweeps every replaced DIMM: step()'s
+                // resync adopts DIMMs replaced after construction.
+                if (!rebuild)
+                    rebuild = std::make_unique<RebuildEngine>(mem, &fs);
+            }
         }
 
         while (!completions.empty() && completions.top() <= now)
@@ -131,14 +151,16 @@ runService(const SimConfig &cfg, const Design &design,
 
         Cycles readyAt = freeAt[server];
         if (svc.idleDrain && now > readyAt &&
-            (scheme != nullptr || (rebuild && !rebuild->done()))) {
+            (scheme != nullptr || rebuild != nullptr)) {
             // Reactor idle gap: run the idle pollers. Their cycles are
             // real — a long drain can delay this very request — but
-            // below saturation they hide in the gap.
+            // below saturation they hide in the gap. The rebuild step
+            // runs even when the engine looks done: its resync adopts
+            // DIMMs replaced after the previous sweep finished.
             Cycles drained = measuredCycles(mem, tid, [&] {
                 if (scheme)
                     scheme->drain(tid);
-                if (rebuild && !rebuild->done()) {
+                if (rebuild) {
                     out.rebuildIdleLines +=
                         rebuild->step(svc.rebuildLinesPerIdle);
                 }

@@ -22,14 +22,18 @@
  * mechanism that separates deferred-redundancy designs from
  * synchronous ones at the tail.
  *
- * Optional fault hooks: fail a DIMM at one request index and replace
- * it at a later one, turning degraded-mode and rebuild-in-progress
- * tail latency into measurable quantities.
+ * Optional fault hooks: fail DIMMs at given request indices and
+ * replace them at later ones, turning degraded-mode and
+ * rebuild-in-progress tail latency into measurable quantities. The
+ * schedule may hold several DIMMs at once (staggered so a later
+ * failure lands mid-rebuild of an earlier one); a single RebuildEngine
+ * adopts every replaced DIMM through its resync pass.
  */
 
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "redundancy/registry.hh"
 #include "service/arrival.hh"
@@ -39,6 +43,21 @@
 #include "sim/stats.hh"
 
 namespace tvarak::service {
+
+/**
+ * One entry of a multi-DIMM fault schedule: fail @p dimm when request
+ * @p failAt arrives, replace it (starting an online rebuild) when
+ * request @p replaceAt arrives. Indices are 1-based; 0 disables the
+ * event, so a fail-only entry leaves the DIMM dead for the rest of the
+ * run. Entries may overlap in time — a later failure landing while an
+ * earlier DIMM is still rebuilding is exactly the fail-during-rebuild
+ * scenario the erasure-coded designs are built to survive.
+ */
+struct DimmFault {
+    std::size_t dimm = 1;
+    std::size_t failAt = 0;
+    std::size_t replaceAt = 0;
+};
 
 struct ServiceConfig {
     std::string workload = "redis-set";
@@ -50,12 +69,16 @@ struct ServiceConfig {
     bool idleDrain = true;
     /** Rebuild lines swept per idle gap while a rebuild is active. */
     std::size_t rebuildLinesPerIdle = 64;
-    /** @name Fault schedule (0 = disabled; 1-based request indices) */
+    /** @name Single-DIMM fault shorthand (0 = disabled; 1-based
+     *  request indices). Folded into the schedule below at run time. */
     /**@{*/
     std::size_t failAtRequest = 0;
     std::size_t replaceAtRequest = 0;
     std::size_t faultDimm = 1;
     /**@}*/
+    /** Multi-DIMM fault schedule, applied in addition to the
+     *  single-DIMM shorthand above. */
+    std::vector<DimmFault> faults;
 };
 
 struct ServiceStats {

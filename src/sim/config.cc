@@ -33,7 +33,15 @@ SimConfig::validate() const
              tvarak.redundancyWays, tvarak.diffWays, llcBank.ways);
     fatal_if(tvarak.cacheBytes % kLineBytes != 0,
              "on-controller cache must hold whole lines");
-    fatal_if(nvm.dimms < 2, "RAID-5 parity needs at least 2 NVM DIMMs");
+    fatal_if(nvm.dimms < 2, "striped parity needs at least 2 NVM DIMMs");
+    fatal_if(nvm.parityDimms < 1 || nvm.parityDimms >= nvm.dimms,
+             "parity count %zu needs at least %zu NVM DIMMs (n+k with "
+             "n >= 1)",
+             nvm.parityDimms, nvm.parityDimms + 1);
+    fatal_if(nvm.dimmsPerDomain == 0 ||
+             nvm.dimms % nvm.dimmsPerDomain != 0,
+             "%zu DIMMs do not split into domains of %zu",
+             nvm.dimms, nvm.dimmsPerDomain);
     fatal_if(nvm.dimmBytes % kPageBytes != 0,
              "NVM DIMM capacity must be page aligned");
     fatal_if(dram.sizeBytes % kPageBytes != 0,

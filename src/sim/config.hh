@@ -76,6 +76,22 @@ struct NvmParams {
      */
     double occupancyReadFactor = 0.02;
     double occupancyWriteFactor = 0.01;
+    /**
+     * Parity members per stripe (the k of an n+k code). 1 is the
+     * paper's RAID-5 XOR geometry; k >= 2 selects the Reed-Solomon
+     * designs. Set through Design::adjustConfig (tvarak-rs4+2 etc.),
+     * not by hand — the value must match the active design's codec.
+     */
+    std::size_t parityDimms = 1;
+    /**
+     * DIMMs per failure domain (adjacent indices share a domain: a
+     * domain fault takes out dimmsPerDomain consecutive DIMMs, e.g. a
+     * riser card or power rail). Page striping already places a
+     * stripe's members on distinct DIMMs, so a domain loss costs at
+     * most dimmsPerDomain stripe members — survivable iff
+     * dimmsPerDomain <= the design's survivableFailures().
+     */
+    std::size_t dimmsPerDomain = 1;
 };
 
 /** TVARAK controller parameters and design-ablation switches. */

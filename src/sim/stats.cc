@@ -46,8 +46,9 @@ Stats::reset()
     readVerifications = redundancyUpdates = 0;
     diffCaptures = diffEvictions = redundancyInvalidations = 0;
     corruptionsDetected = recoveries = 0;
-    degradedReads = degradedWritesDropped = degradedRedSkips = 0;
-    rebuildLines = scrubLines = scrubRepairs = 0;
+    degradedReads = degradedReadsMulti = 0;
+    degradedWritesDropped = degradedRedSkips = 0;
+    rebuildLines = rebuildRestarts = scrubLines = scrubRepairs = 0;
     swChecksumBytes = txCommits = 0;
 }
 
@@ -88,9 +89,11 @@ Stats::dump(std::ostream &os) const
        << "red.corruptionsDetected   " << corruptionsDetected << "\n"
        << "red.recoveries            " << recoveries << "\n"
        << "red.degradedReads         " << degradedReads << "\n"
+       << "red.degradedReadsMulti    " << degradedReadsMulti << "\n"
        << "red.degradedWritesDropped " << degradedWritesDropped << "\n"
        << "red.degradedRedSkips      " << degradedRedSkips << "\n"
        << "red.rebuildLines          " << rebuildLines << "\n"
+       << "red.rebuildRestarts       " << rebuildRestarts << "\n"
        << "red.scrubLines            " << scrubLines << "\n"
        << "red.scrubRepairs          " << scrubRepairs << "\n"
        << "sw.checksumBytes          " << swChecksumBytes << "\n"
@@ -179,9 +182,11 @@ statsDiff(const Stats &a, const Stats &b)
     TVARAK_DIFF_FIELD(corruptionsDetected);
     TVARAK_DIFF_FIELD(recoveries);
     TVARAK_DIFF_FIELD(degradedReads);
+    TVARAK_DIFF_FIELD(degradedReadsMulti);
     TVARAK_DIFF_FIELD(degradedWritesDropped);
     TVARAK_DIFF_FIELD(degradedRedSkips);
     TVARAK_DIFF_FIELD(rebuildLines);
+    TVARAK_DIFF_FIELD(rebuildRestarts);
     TVARAK_DIFF_FIELD(scrubLines);
     TVARAK_DIFF_FIELD(scrubRepairs);
     TVARAK_DIFF_FIELD(swChecksumBytes);

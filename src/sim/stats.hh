@@ -79,9 +79,11 @@ struct Stats {
     /** @name Degraded mode / rebuild / scrub (whole-DIMM failure) */
     /**@{*/
     std::uint64_t degradedReads = 0;    //!< fills reconstructed via parity
+    std::uint64_t degradedReadsMulti = 0;  //!< ...served with >= 2 DIMMs down
     std::uint64_t degradedWritesDropped = 0;  //!< writebacks to dead DIMM
     std::uint64_t degradedRedSkips = 0; //!< csum/parity updates skipped
     std::uint64_t rebuildLines = 0;     //!< lines restored by RebuildEngine
+    std::uint64_t rebuildRestarts = 0;  //!< rebuilds aborted by a new fault
     std::uint64_t scrubLines = 0;       //!< lines verified by the scrubber
     std::uint64_t scrubRepairs = 0;     //!< lines/pages the scrubber fixed
     /**@}*/

@@ -267,6 +267,13 @@ serializeConfig(const SimConfig &cfg)
     putF64(buf, cfg.storeMissLatencyFactor);
     putU64(buf, cfg.prefetchDegree);
     putF64(buf, cfg.swChecksumBytesPerCycle);
+    // Optional tail, present only when non-default: traces of the
+    // classic single-parity arrays stay byte-identical to the frozen
+    // format (and old traces deserialize with the defaults).
+    if (cfg.nvm.parityDimms != 1 || cfg.nvm.dimmsPerDomain != 1) {
+        putU64(buf, cfg.nvm.parityDimms);
+        putU64(buf, cfg.nvm.dimmsPerDomain);
+    }
     return buf;
 }
 
@@ -324,6 +331,15 @@ deserializeConfig(const std::vector<std::uint8_t> &blob, SimConfig &cfg)
     ok = ok && getU64(p, end, u);
     cfg.prefetchDegree = u;
     ok = ok && getF64(p, end, cfg.swChecksumBytesPerCycle);
+    // Optional n+k tail (absent in traces of single-parity arrays).
+    cfg.nvm.parityDimms = 1;
+    cfg.nvm.dimmsPerDomain = 1;
+    if (ok && p != end) {
+        ok = getU64(p, end, u);
+        cfg.nvm.parityDimms = u;
+        ok = ok && getU64(p, end, u);
+        cfg.nvm.dimmsPerDomain = u;
+    }
     return ok && p == end;
 }
 

@@ -1,0 +1,10 @@
+// Seeded violation: the GF(2^8) codec lives at the bottom of the
+// layering DAG — checksum/ (rank 1) must never include mem/ (rank 4);
+// the memory system consumes the erasure decode, not the reverse (R9).
+#include "mem/memory_system.hh"
+
+int
+fixtureGfUsesMem()
+{
+    return fixtureMemValue();
+}

@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture GF(2^8) codec header: checksum/ sits at rank 1, the bottom
+// of the layering DAG, so upper layers include it freely and it never
+// includes upward.
+inline unsigned char
+fixtureGfDouble(unsigned char a)
+{
+    return static_cast<unsigned char>((a << 1) ^ (a & 0x80 ? 0x1d : 0));
+}

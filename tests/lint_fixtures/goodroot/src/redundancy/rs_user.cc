@@ -1,0 +1,10 @@
+// Legal downward edge: redundancy/ (rank 6) -> checksum/ (rank 1).
+// The Reed-Solomon erasure-coded designs consume the GF(2^8) codec
+// this way; R9 must stay quiet.
+#include "checksum/gf256.hh"
+
+int
+fixtureRsUsesGf()
+{
+    return fixtureGfDouble(7);
+}

@@ -19,6 +19,7 @@
 #include "fs/scrubber.hh"
 #include "pmemlib/pmem_pool.hh"
 #include "redundancy/rebuild.hh"
+#include "redundancy/registry.hh"
 #include "test_util.hh"
 
 namespace tvarak {
@@ -41,6 +42,14 @@ valueFor(std::uint64_t key, std::uint64_t version, std::uint8_t *out)
  *  the identical operation stream. */
 struct MapRig {
     explicit MapRig(DesignKind design)
+        : mem(test::smallConfig(), design),
+          fs(mem),
+          pool(mem, fs, "p", 4ull << 20, nullptr, 1),
+          map(makeMap(MapKind::CTree, mem, pool, kValueBytes))
+    {
+    }
+
+    explicit MapRig(const Design &design)
         : mem(test::smallConfig(), design),
           fs(mem),
           pool(mem, fs, "p", 4ull << 20, nullptr, 1),
@@ -149,6 +158,76 @@ TEST(DimmFailure, TvarakSurvivesAndRebuildsBitExact)
     }
 }
 
+TEST(DimmFailure, RsSecondFailureMidRebuildBitExact)
+{
+    // The erasure-coded (k = 2) lifecycle in one run: DIMM a fails and
+    // is replaced; while its rebuild is in flight, a fails *again*
+    // (the sweep must restart from scratch) and then DIMM b fails too,
+    // putting two DIMMs down at once. Every acknowledged read in every
+    // window must be byte-correct, and the fully rebuilt array must be
+    // bit-exact against a never-failed twin.
+    const Design *d = findDesign("tvarak-rs4+2");
+    ASSERT_NE(d, nullptr);
+    ASSERT_EQ(d->survivableFailures(), 2u);
+    MapRig faulty(*d);
+    MapRig twin(*d);
+
+    NvmArray &nvm = faulty.mem.nvmArray();
+    std::size_t a = nvm.dimmOf(faulty.fs.filePage(0, 1));
+    std::size_t b = (a + 1) % faulty.mem.config().nvm.dimms;
+    std::unique_ptr<RebuildEngine> rebuild;
+    faulty.run([&](std::size_t i) {
+        if (i == 50)
+            faulty.mem.failDimm(a);
+        if (i == 90) {
+            faulty.mem.replaceDimm(a);
+            rebuild = std::make_unique<RebuildEngine>(faulty.mem,
+                                                      &faulty.fs);
+        }
+        if (i == 110) {
+            ASSERT_EQ(nvm.dimmState(a),
+                      NvmArray::DimmState::Rebuilding)
+                << "the restart scenario needs a's rebuild in flight";
+            faulty.mem.failDimm(a);  // fail-during-rebuild: restart
+            faulty.mem.failDimm(b);  // second concurrent failure
+        }
+        if (i == 150)
+            faulty.mem.replaceDimm(a);
+        if (i == 170)
+            faulty.mem.replaceDimm(b);
+        // Step unconditionally (even when done()): the engine's resync
+        // is what adopts the re-replaced DIMMs.
+        if (rebuild != nullptr)
+            rebuild->step(256);
+    });
+    ASSERT_NE(rebuild, nullptr);
+    rebuild->runToCompletion();
+    EXPECT_EQ(nvm.dimmState(a), NvmArray::DimmState::Healthy);
+    EXPECT_EQ(nvm.dimmState(b), NvmArray::DimmState::Healthy);
+
+    const Stats &stats = faulty.mem.stats();
+    EXPECT_GT(stats.degradedReads, 0u);
+    EXPECT_GE(stats.rebuildRestarts, 1u)
+        << "re-failing a rebuilding DIMM must count as a restart";
+    EXPECT_GT(stats.rebuildLines, 0u);
+    EXPECT_EQ(stats.corruptionsDetected, 0u)
+        << "a 2-of-6 schedule is inside rs4+2's budget";
+
+    twin.run([](std::size_t) {});
+
+    faulty.mem.flushAll();
+    twin.mem.flushAll();
+    EXPECT_EQ(faulty.fs.scrub(false), 0u);
+    EXPECT_EQ(faulty.fs.verifyParity(), 0u);
+
+    NvmArray &tb = twin.mem.nvmArray();
+    ASSERT_EQ(nvm.totalBytes(), tb.totalBytes());
+    std::vector<std::uint8_t> ia(nvm.totalBytes()), ib(tb.totalBytes());
+    nvm.rawRead(0, ia.data(), ia.size());
+    tb.rawRead(0, ib.data(), ib.size());
+    EXPECT_EQ(ia, ib) << "rebuilt image differs from never-failed twin";
+}
+
 TEST(DimmFailure, UnmappedIoDetectsOrServesCorrect)
 {
     // The software-redundancy (pread/pwrite) path under Baseline: even
@@ -241,6 +320,62 @@ TEST(Scrubber, IncrementalRepairAndDegradedSkip)
     while (degraded_pass.passes() == 0)
         degraded_pass.step(4 * kLinesPerPage);
     EXPECT_EQ(degraded_pass.badLinesTotal(), 0u);
+}
+
+TEST(Scrubber, CursorPersistsAcrossFailureCycles)
+{
+    // One Scrubber object stepped across repeated failDimm/replaceDimm
+    // cycles — including a k = 2 cycle with two DIMMs down at once —
+    // must keep its (fd, page) cursor, keep completing passes, and
+    // never flag reconstruction-served or freshly rebuilt data.
+    const Design *d = findDesign("tvarak-rs4+2");
+    ASSERT_NE(d, nullptr);
+    MemorySystem mem(test::smallConfig(), *d);
+    DaxFs fs(mem);
+    int fd = fs.create("f", kFilePages * kPageBytes);
+    std::vector<std::uint8_t> page(kPageBytes);
+    for (std::size_t p = 0; p < kFilePages; p++) {
+        for (std::size_t i = 0; i < kPageBytes; i++)
+            page[i] = static_cast<std::uint8_t>(p * 53 + i);
+        fs.pwrite(0, fd, p * kPageBytes, page.data(), kPageBytes);
+    }
+    mem.flushAll();
+
+    std::size_t dimms = mem.config().nvm.dimms;
+    std::size_t a = mem.nvmArray().dimmOf(fs.filePage(fd, 0));
+    std::size_t b = (a + 1) % dimms;
+
+    Scrubber scrubber(fs, true);
+    auto passUntil = [&](std::size_t target) {
+        std::size_t guard = 0;
+        while (scrubber.passes() < target) {
+            scrubber.step(2 * kLinesPerPage);
+            ASSERT_LT(++guard, 200u) << "scrubber stopped advancing";
+        }
+    };
+
+    for (std::size_t cycle = 0; cycle < 2; cycle++) {
+        // Scrub partway into the namespace so the cursor is mid-pass
+        // when the failure hits.
+        scrubber.step(kLinesPerPage);
+        mem.failDimm(a);
+        if (cycle == 1)
+            mem.failDimm(b);  // k = 2: two DIMMs down at once
+        // The scrubber keeps running degraded: it skips dead pages
+        // instead of flagging reconstruction-served data.
+        passUntil(2 * cycle + 1);
+        mem.replaceDimm(a);
+        if (cycle == 1)
+            mem.replaceDimm(b);
+        RebuildEngine rebuild(mem, &fs);
+        rebuild.runToCompletion();
+        // And a full healthy pass after each rebuild stays clean.
+        passUntil(2 * cycle + 2);
+    }
+    EXPECT_EQ(scrubber.badLinesTotal(), 0u);
+    EXPECT_GE(scrubber.passes(), 4u);
+    EXPECT_EQ(fs.scrub(false), 0u);
+    EXPECT_EQ(fs.verifyParity(), 0u);
 }
 
 TEST(Layout, DataPageIndexRoundtrip)

@@ -179,8 +179,8 @@ TEST(Config, ValidateCatchesBadGeometry)
     EXPECT_DEATH(cfg.validate(), "no data ways");
 
     cfg = test::smallConfig();
-    cfg.nvm.dimms = 1;  // RAID-5 impossible
-    EXPECT_DEATH(cfg.validate(), "RAID-5");
+    cfg.nvm.dimms = 1;  // cross-DIMM parity impossible
+    EXPECT_DEATH(cfg.validate(), "striped parity");
 }
 
 TEST(Config, DesignNamesAreStable)

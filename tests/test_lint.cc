@@ -171,14 +171,15 @@ TEST(LintFixtures, BadRootTripsEveryRuleExactly)
     EXPECT_EQ(n["R6"], 2) << "threading header + std::thread member";
     EXPECT_EQ(n["R7"], 2) << "binary fopen + std::ios::binary stream";
     EXPECT_EQ(n["R8"], 2) << "two DesignKind comparisons outside registry";
-    EXPECT_EQ(n["R9"], 3)
-        << "upward nvm->mem edge + harness->service edge + layout cycle";
+    EXPECT_EQ(n["R9"], 4)
+        << "upward nvm->mem edge + harness->service edge + layout "
+           "cycle + checksum->mem edge";
     EXPECT_EQ(n["R10"], 3)
         << "rand() + unordered-container iteration + random_device";
     EXPECT_EQ(n["R11"], 2) << "unreported 'misses' + unincremented 'stale'";
     EXPECT_EQ(n["R12"], 2) << "dead 'deadKnob' + write-only 'writeOnlyKnob'";
     EXPECT_EQ(n["R13"], 2) << "naked .lock() + naked .unlock()";
-    EXPECT_EQ(findings.size(), 28u);
+    EXPECT_EQ(findings.size(), 29u);
 }
 
 TEST(LintFixtures, BadRootFindingLocations)
@@ -202,6 +203,8 @@ TEST(LintFixtures, BadRootFindingLocations)
     EXPECT_TRUE(hasFinding(findings, "src/bad_design_dispatch.cc", 15,
                            "R8"));
     EXPECT_TRUE(hasFinding(findings, "src/nvm/bad_upward.cc", 3, "R9"));
+    EXPECT_TRUE(hasFinding(findings, "src/checksum/bad_gf_upward.cc", 4,
+                           "R9"));
     EXPECT_TRUE(hasFinding(findings, "src/harness/bad_service_upward.cc",
                            4, "R9"));
     EXPECT_TRUE(hasFinding(findings, "src/layout/a.hh", 4, "R9"));

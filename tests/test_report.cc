@@ -114,9 +114,11 @@ TEST(Report, ResilienceSectionGolden)
     tv.corruptionsDetected = 3;
     tv.recoveries = 3;
     tv.degradedReads = 19390;
+    tv.degradedReadsMulti = 421;
     tv.degradedWritesDropped = 12;
     tv.degradedRedSkips = 7;
     tv.rebuildLines = 1572864;
+    tv.rebuildRestarts = 2;
     tv.scrubLines = 4096;
     tv.scrubRepairs = 1;
     Stats &pg = rows[1].results[DesignKind::Tvarak].stats;
@@ -127,8 +129,8 @@ TEST(Report, ResilienceSectionGolden)
     std::string out = testing::internal::GetCapturedStdout();
     const std::string golden = R"(
   Resilience events (absolute; faults, recovery, degraded mode)
-  alpha                      Tvarak             det=3        rec=3        dread=19390    wdrop=12       rskip=7        rebuild=1572864    scrub=4096       fix=1
-  beta                       Tvarak             det=0        rec=0        dread=0        wdrop=0        rskip=0        rebuild=0          scrub=128        fix=0
+  alpha                      Tvarak             det=3        rec=3        dread=19390    mread=421      wdrop=12       rskip=7        rebuild=1572864    restart=2    scrub=4096       fix=1
+  beta                       Tvarak             det=0        rec=0        dread=0        mread=0        wdrop=0        rskip=0        rebuild=0          restart=0    scrub=128        fix=0
 )";
     EXPECT_EQ(out, golden);
 

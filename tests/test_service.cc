@@ -286,4 +286,30 @@ TEST(Service, FaultScheduleCompletesWithRebuild)
     EXPECT_EQ(serviceStatsDiff(r.service, r2.service), "");
 }
 
+TEST(Service, MultiDimmFaultScheduleCompletesWithRebuild)
+{
+    // Staggered two-DIMM schedule under an erasure-coded design: DIMM 1
+    // fails while DIMM 0's rebuild is still in flight, so the run
+    // passes through genuine two-failure operation. The open loop must
+    // still complete every request, the single rebuild engine must
+    // adopt both DIMMs, and the whole thing must stay deterministic.
+    const Design *d = findDesign("tvarak-rs4+2");
+    ASSERT_NE(d, nullptr);
+    ASSERT_GE(d->survivableFailures(), 2u);
+    ServiceConfig svc = tinyService();
+    svc.requests = 160;
+    svc.faults = {{0, 32, 64}, {1, 80, 112}};
+    ServiceResult r = runService(test::smallConfig(), *d, svc);
+    EXPECT_EQ(r.service.completed, 160u)
+        << "two-failure operation absorbs every request";
+    EXPECT_GT(r.service.rebuildIdleLines, 0u)
+        << "rebuild progressed in reactor idle gaps";
+    EXPECT_GT(r.sim.rebuildLines, 0u);
+    EXPECT_EQ(r.sim.corruptionsDetected, 0u)
+        << "a 2-of-6 schedule is inside rs4+2's budget";
+
+    ServiceResult r2 = runService(test::smallConfig(), *d, svc);
+    EXPECT_EQ(serviceStatsDiff(r.service, r2.service), "");
+}
+
 }  // namespace

@@ -75,6 +75,11 @@ usage()
         "  tvarak-fault map    --seed N [--design <d>] [--ops N]"
         " [--keys N]\n"
         "                      [--events N] [--out report.json]\n"
+        "  tvarak-fault multi  --seed N [--design <d>] [--ops N]"
+        " [--keys N]\n"
+        "                      [--fail-dimms i,j | --fail-dimms i"
+        " --refail]\n"
+        "                      [--out report.json]\n"
         "  tvarak-fault replay <file.trace> --seed N"
         " [--out report.json]\n"
         "designs: %s\n",
@@ -139,10 +144,12 @@ struct Args {
 
 bool
 parseArgs(const std::vector<std::string> &raw,
-          const std::vector<std::string> &valueFlags, Args &out)
+          const std::vector<std::string> &valueFlags,
+          const std::vector<std::string> &boolFlags, Args &out)
 {
-    auto isValueFlag = [&](const std::string &k) {
-        for (const auto &f : valueFlags)
+    auto listed = [](const std::vector<std::string> &list,
+                     const std::string &k) {
+        for (const auto &f : list)
             if (f == k)
                 return true;
         return false;
@@ -161,7 +168,13 @@ parseArgs(const std::vector<std::string> &raw,
             val = a.substr(eq + 1);
             hasVal = true;
         }
-        if (!isValueFlag(key))
+        if (listed(boolFlags, key)) {
+            if (hasVal)
+                return false;
+            out.flags[key] = "1";
+            continue;
+        }
+        if (!listed(valueFlags, key))
             return false;
         if (!hasVal) {
             if (i + 1 >= raw.size())
@@ -171,6 +184,13 @@ parseArgs(const std::vector<std::string> &raw,
         out.flags[key] = val;
     }
     return true;
+}
+
+bool
+parseArgs(const std::vector<std::string> &raw,
+          const std::vector<std::string> &valueFlags, Args &out)
+{
+    return parseArgs(raw, valueFlags, {}, out);
 }
 
 std::uint64_t
@@ -280,7 +300,9 @@ appendCounters(Json &json, const Stats &stats)
     json.field("degraded_reads", stats.degradedReads);
     json.field("degraded_writes_dropped", stats.degradedWritesDropped);
     json.field("degraded_red_skips", stats.degradedRedSkips);
+    json.field("degraded_reads_multi", stats.degradedReadsMulti);
     json.field("rebuild_lines", stats.rebuildLines);
+    json.field("rebuild_restarts", stats.rebuildRestarts);
     json.field("scrub_lines", stats.scrubLines);
     json.field("scrub_repairs", stats.scrubRepairs);
     json.close('}');
@@ -1233,6 +1255,539 @@ cmdReplay(const std::vector<std::string> &raw)
     return emit(json, out, pass);
 }
 
+// ------------------------------------------------------------------
+// Multi-DIMM failure schedules: lose up to two devices, the second
+// one arriving while the first is still rebuilding, and judge the
+// outcome against a never-failed twin running the identical op
+// sequence.
+//
+// Two shapes, selected by the flags:
+//
+//  - two distinct DIMMs (--fail-dimms i,j): fail i, replace it, then
+//    fail j mid-rebuild. Two devices are concurrently dead, so only a
+//    design with survivableFailures() >= 2 (the RS n+2 geometries)
+//    passes with zero data loss and a bit-exact rebuilt image. A
+//    single-parity design is the pinned *negative control*: the loss
+//    must be detected (poison + detection counters), never silent.
+//  - re-fail (--fail-dimms i --refail): the second fault hits the
+//    DIMM that is itself rebuilding. Only one device is ever dead at
+//    once, so even single-parity survives — but the rebuild must
+//    start over (rebuildRestarts), never serve the stale partial
+//    sweep.
+// ------------------------------------------------------------------
+
+class MultiCampaign
+{
+  public:
+    MultiCampaign(const Design &design, std::uint64_t seed,
+                  std::size_t ops, std::size_t keys,
+                  std::vector<std::size_t> failDimms, bool refail)
+        : design_(&design), seed_(seed), ops_(ops), keys_(keys),
+          failDimms_(std::move(failDimms)), refail_(refail)
+    {
+        sched_.fail1 = std::max<std::size_t>(ops_ / 6, 4);
+        sched_.replace1 =
+            sched_.fail1 + std::max<std::size_t>(ops_ / 6, 8);
+        sched_.fail2 =
+            sched_.replace1 + std::max<std::size_t>(ops_ / 48, 2);
+        sched_.replace2 =
+            sched_.fail2 + std::max<std::size_t>(ops_ / 48, 2);
+        panic_if(sched_.replace2 >= ops_,
+                 "multi schedule does not fit in %zu ops", ops_);
+        std::size_t maxDead = refail_ ? 1 : 2;
+        survivable_ = maxDead <= design.survivableFailures();
+        Rng rng(seed_);
+        seq_.resize(ops_);
+        for (OpSpec &op : seq_) {
+            op.updateKey = rng.below(keys_);
+            op.probeKey = rng.below(keys_);
+        }
+    }
+
+    bool run();
+    void report(Json &json) const;
+
+  private:
+    static constexpr std::size_t kValueBytes = 48;
+    static_assert(kValueBytes % 8 == 0, "probeAddr reads 64-bit words");
+    /** Online rebuild budget per op, deliberately slower than map
+     *  mode's: the campaign's hot pages sit at the start of the data
+     *  region, just past each DIMM's metadata share, and the second
+     *  fault must land while they are still above the first sweep's
+     *  watermark — otherwise the double-degraded window never sees a
+     *  demand read of a degraded line and proves nothing. */
+    static constexpr std::size_t kRebuildLinesPerOp = 2048;
+
+    struct OpSpec {
+        std::uint64_t updateKey;
+        std::uint64_t probeKey;
+    };
+    struct Schedule {
+        std::size_t fail1, replace1, fail2, replace2;
+    };
+    /** One complete simulated machine; the clean and the faulted twin
+     *  each get a fresh one, built identically. */
+    struct Machine {
+        MemorySystem mem;
+        DaxFs fs;
+        std::unique_ptr<RedundancyScheme> scheme;
+        PmemPool pool;
+        std::unique_ptr<PmemMap> map;
+
+        explicit Machine(const Design &design)
+            : mem(campaignConfig(), design), fs(mem),
+              scheme(design.makeScheme(mem)),
+              pool(mem, fs, "p", 4ull << 20, scheme.get(), 1),
+              map(makeMap(MapKind::CTree, mem, pool, kValueBytes))
+        {}
+
+        void
+        drain()
+        {
+            if (scheme != nullptr)
+                scheme->drain(0);
+        }
+    };
+
+    /** Probe outcome, worst first. */
+    enum class Probe { Correct, Recovered, DetectedLoss, Silent };
+
+    void
+    valueFor(std::uint64_t key, std::uint64_t version,
+             std::uint8_t *out) const
+    {
+        for (std::size_t i = 0; i < kValueBytes; i++) {
+            out[i] = static_cast<std::uint8_t>(key * 131 +
+                                               version * 17 + seed_ + i);
+        }
+    }
+
+    Probe
+    classify(Machine &m, bool correct, std::uint64_t detectedBefore)
+    {
+        bool det = m.mem.stats().corruptionsDetected > detectedBefore;
+        if (correct)
+            return det ? Probe::Recovered : Probe::Correct;
+        return det ? Probe::DetectedLoss : Probe::Silent;
+    }
+
+    /** Oracle-checked read through the map (tree traversal); only
+     *  safe while reconstruction stays within the parity budget. */
+    Probe
+    probeMap(Machine &m, const std::vector<std::uint64_t> &ver,
+             std::uint64_t key)
+    {
+        std::uint8_t expect[kValueBytes];
+        std::uint8_t got[kValueBytes] = {};
+        valueFor(key, ver[key], expect);
+        std::uint64_t before = m.mem.stats().corruptionsDetected;
+        bool found = m.map->get(0, key, got);
+        return classify(
+            m, found && std::memcmp(expect, got, kValueBytes) == 0,
+            before);
+    }
+
+    /** Oracle-checked read at a pre-recorded value address. Used once
+     *  the redundancy budget is exceeded: the tree structure itself
+     *  may be unreconstructable, so no traversal. */
+    Probe
+    probeAddr(Machine &m, const std::vector<std::uint64_t> &ver,
+              std::uint64_t key, Addr vaddr)
+    {
+        std::uint8_t expect[kValueBytes];
+        std::uint8_t got[kValueBytes];
+        valueFor(key, ver[key], expect);
+        std::uint64_t before = m.mem.stats().corruptionsDetected;
+        for (std::size_t i = 0; i < kValueBytes; i += 8) {
+            std::uint64_t w = m.mem.read64(0, vaddr + i);
+            std::memcpy(got + i, &w, 8);
+        }
+        return classify(
+            m, std::memcmp(expect, got, kValueBytes) == 0, before);
+    }
+
+    void
+    tally(Probe p, bool cleanTwin)
+    {
+        if (cleanTwin) {
+            cleanWrong_ += p == Probe::Correct ? 0 : 1;
+            return;
+        }
+        switch (p) {
+          case Probe::Correct:      readsCorrect_++; break;
+          case Probe::Recovered:    readsRecovered_++; break;
+          case Probe::DetectedLoss: detectedLoss_++; break;
+          case Probe::Silent:       silentWrong_++; break;
+        }
+    }
+
+    void
+    setup(Machine &m)
+    {
+        std::uint8_t value[kValueBytes];
+        for (std::uint64_t k = 0; k < keys_; k++) {
+            valueFor(k, 0, value);
+            m.map->insert(0, k, value);
+        }
+        m.mem.flushAll();
+    }
+
+    void
+    applyOp(Machine &m, std::vector<std::uint64_t> &ver,
+            const OpSpec &op, bool cleanTwin)
+    {
+        std::uint8_t value[kValueBytes];
+        ver[op.updateKey]++;
+        valueFor(op.updateKey, ver[op.updateKey], value);
+        panic_if(!m.map->update(0, op.updateKey, value),
+                 "campaign key vanished");
+        tally(probeMap(m, ver, op.probeKey), cleanTwin);
+    }
+
+    /** Quiesce, then lose a device: acked writes must be at rest (or
+     *  cache-hot) first, and the cold caches force every later read
+     *  of the dead DIMM through reconstruction. */
+    void
+    failEvent(Machine &m, std::size_t dimm)
+    {
+        m.drain();
+        m.mem.flushAll();
+        m.mem.failDimm(dimm);
+        m.mem.dropCaches();
+    }
+
+    /** Over-budget endgame (the negative control): record every
+     *  value's address while reconstruction still works, lose the
+     *  second device, then read each key cold and directly. Every
+     *  unreconstructable value must come back *detected* — poison
+     *  plus a detection count — never as plausible stale bytes. No
+     *  rebuild afterwards: rebuilding from insufficient survivors
+     *  would launder garbage into freshly checksummed lines. */
+    void
+    overBudgetProbes(Machine &m, const std::vector<std::uint64_t> &ver)
+    {
+        std::vector<Addr> addr(keys_);
+        for (std::uint64_t k = 0; k < keys_; k++) {
+            addr[k] = m.map->valueAddr(0, k);
+            panic_if(addr[k] == 0, "campaign key %llu has no value",
+                     static_cast<unsigned long long>(k));
+        }
+        failEvent(m, failDimms_[1]);
+        for (std::uint64_t k = 0; k < keys_; k++) {
+            // Cold caches per key: an earlier probe's poisoned fill
+            // must not be served back as a plain cache hit, which
+            // would read as wrong-without-detection for a neighbour
+            // sharing the line.
+            m.mem.dropCaches();
+            tally(probeAddr(m, ver, k, addr[k]), false);
+        }
+    }
+
+    void runFaulted();
+    void runClean();
+
+    const Design *design_;
+    std::uint64_t seed_;
+    std::size_t ops_;
+    std::size_t keys_;
+    std::vector<std::size_t> failDimms_;
+    bool refail_;
+    Schedule sched_{};
+    bool survivable_ = false;
+    std::vector<OpSpec> seq_;
+    std::unique_ptr<RebuildEngine> rebuild_;
+
+    // Outcomes.
+    std::uint64_t readsCorrect_ = 0;
+    std::uint64_t readsRecovered_ = 0;
+    std::uint64_t detectedLoss_ = 0;
+    std::uint64_t silentWrong_ = 0;
+    std::uint64_t cleanWrong_ = 0;
+    bool fail2MidRebuild_ = false;
+    bool shadowVerified_ = false;
+    std::uint64_t scrubBad_ = 0;
+    std::uint64_t parityBad_ = 0;
+    std::uint64_t cleanHash_ = 0;
+    std::uint64_t faultedHash_ = 0;
+    bool bitexact_ = false;
+    Stats stats_{0, 0};  //!< final faulted-twin counters
+    bool pass_ = false;
+};
+
+void
+MultiCampaign::runFaulted()
+{
+    Machine m(*design_);
+    setup(m);
+    std::vector<std::uint64_t> ver(keys_, 0);
+    std::size_t d1 = failDimms_[0];
+    std::size_t second = refail_ ? d1 : failDimms_[1];
+    for (std::size_t op = 0; op < ops_; op++) {
+        if (op == sched_.fail1)
+            failEvent(m, d1);
+        if (op == sched_.replace1) {
+            m.mem.replaceDimm(d1);
+            rebuild_ = std::make_unique<RebuildEngine>(m.mem, &m.fs);
+        }
+        if (op == sched_.fail2) {
+            // The second fault must genuinely interrupt the sweep.
+            fail2MidRebuild_ = m.mem.nvmArray().dimmState(d1) ==
+                NvmArray::DimmState::Rebuilding;
+            if (!survivable_) {
+                overBudgetProbes(m, ver);
+                stats_ = m.mem.stats();
+                return;
+            }
+            failEvent(m, second);
+        }
+        if (op == sched_.replace2)
+            m.mem.replaceDimm(second);
+        if (rebuild_ != nullptr) {
+            // Step even when the sweep list drained: resync() adopts
+            // DIMMs replaced after the last step (the re-replaced
+            // device in --refail mode). Batched schemes must catch up
+            // first or the rebuilder reads parity that does not yet
+            // cover the epoch's acknowledged writebacks.
+            m.drain();
+            rebuild_->step(kRebuildLinesPerOp);
+        }
+        applyOp(m, ver, seq_[op], false);
+    }
+    while (m.mem.nvmArray().anyDegraded()) {
+        m.drain();
+        rebuild_->step(~std::size_t{0});
+    }
+    m.drain();
+    m.mem.flushAll();
+    scrubBad_ = m.fs.scrub(false);
+    parityBad_ = m.fs.verifyParity();
+    faultedHash_ = imageHash(m.mem.nvmArray());
+    // The oracle's last word: every key, read cold from the rebuilt
+    // at-rest media, returns exactly its acknowledged bytes.
+    m.mem.dropCaches();
+    shadowVerified_ = true;
+    for (std::uint64_t k = 0; k < keys_; k++) {
+        Probe p = probeMap(m, ver, k);
+        tally(p, false);
+        shadowVerified_ = shadowVerified_ &&
+            (p == Probe::Correct || p == Probe::Recovered);
+    }
+    stats_ = m.mem.stats();
+}
+
+void
+MultiCampaign::runClean()
+{
+    Machine m(*design_);
+    setup(m);
+    std::vector<std::uint64_t> ver(keys_, 0);
+    for (std::size_t op = 0; op < ops_; op++)
+        applyOp(m, ver, seq_[op], true);
+    m.drain();
+    m.mem.flushAll();
+    cleanHash_ = imageHash(m.mem.nvmArray());
+}
+
+bool
+MultiCampaign::run()
+{
+    runFaulted();
+    if (survivable_) {
+        runClean();
+        bitexact_ = faultedHash_ == cleanHash_;
+        pass_ = silentWrong_ == 0 && detectedLoss_ == 0 &&
+            cleanWrong_ == 0 && shadowVerified_ && scrubBad_ == 0 &&
+            parityBad_ == 0 && bitexact_ && fail2MidRebuild_ &&
+            stats_.degradedReads > 0 && stats_.rebuildLines > 0 &&
+            (refail_ ? stats_.rebuildRestarts > 0
+                     : stats_.degradedReadsMulti > 0);
+    } else {
+        // Negative control: loss is expected — but *detected* loss.
+        pass_ = silentWrong_ == 0 && detectedLoss_ > 0 &&
+            fail2MidRebuild_ && stats_.degradedReads > 0;
+    }
+    return pass_;
+}
+
+void
+MultiCampaign::report(Json &json) const
+{
+    json.open('{');
+    json.field("tool", "tvarak-fault");
+    json.field("mode", "multi");
+    json.field("seed", seed_);
+    json.field("design", design_->displayName());
+    json.field("ops", static_cast<std::uint64_t>(ops_));
+    json.field("keys", static_cast<std::uint64_t>(keys_));
+    json.field("refail", refail_);
+    json.openField("fail_dimms", '[');
+    for (std::size_t d : failDimms_) {
+        json.item();
+        json.value(static_cast<std::uint64_t>(d));
+    }
+    json.close(']');
+    json.openField("schedule", '{');
+    json.field("fail1_op", static_cast<std::uint64_t>(sched_.fail1));
+    json.field("replace1_op",
+               static_cast<std::uint64_t>(sched_.replace1));
+    json.field("fail2_op", static_cast<std::uint64_t>(sched_.fail2));
+    json.field("replace2_op",
+               static_cast<std::uint64_t>(sched_.replace2));
+    json.close('}');
+    json.field("survivable_failures", static_cast<std::uint64_t>(
+                                          design_->survivableFailures()));
+    json.field("survivable", survivable_);
+    json.field("fail2_mid_rebuild", fail2MidRebuild_);
+    json.openField("reads", '{');
+    json.field("correct", readsCorrect_);
+    json.field("detected_and_recovered", readsRecovered_);
+    json.field("detected_loss", detectedLoss_);
+    json.field("silent_wrong", silentWrong_);
+    json.field("clean_twin_wrong", cleanWrong_);
+    json.close('}');
+    appendCounters(json, stats_);
+    json.openField("final", '{');
+    json.field("shadow_verified", shadowVerified_);
+    json.field("sweep_bad", scrubBad_);
+    json.field("parity_bad", parityBad_);
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(cleanHash_));
+    json.field("clean_image", std::string(hex));
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(faultedHash_));
+    json.field("faulted_image", std::string(hex));
+    json.field("image_compared", survivable_);
+    json.field("image_bitexact", bitexact_);
+    json.close('}');
+    json.field("verdict", pass_ ? "PASS" : "FAIL");
+    json.close('}');
+}
+
+/** Parse and validate --fail-dimms against the machine the design
+ *  actually pins (exit 2 on any bad input — bad indices must never
+ *  reach MemorySystem as an assertion). */
+std::vector<std::size_t>
+parseFailDimms(const std::string &spec, bool refail,
+               std::size_t dimmCount, const char *designName)
+{
+    std::vector<std::size_t> out;
+    std::string cur;
+    std::string padded = spec + ",";
+    for (char c : padded) {
+        if (c != ',') {
+            cur += c;
+            continue;
+        }
+        if (cur.empty()) {
+            std::fprintf(stderr,
+                         "tvarak-fault: --fail-dimms wants a "
+                         "comma-separated index list, got '%s'\n",
+                         spec.c_str());
+            std::exit(2);
+        }
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(cur.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+            std::fprintf(stderr,
+                         "tvarak-fault: bad --fail-dimms index '%s'\n",
+                         cur.c_str());
+            std::exit(2);
+        }
+        out.push_back(static_cast<std::size_t>(v));
+        cur.clear();
+    }
+    std::size_t want = refail ? 1 : 2;
+    if (out.size() != want) {
+        std::fprintf(stderr,
+                     "tvarak-fault: --fail-dimms wants %zu %s, got "
+                     "%zu (use --refail to re-fail the one "
+                     "rebuilding DIMM)\n",
+                     want, refail ? "index" : "distinct indices",
+                     out.size());
+        std::exit(2);
+    }
+    for (std::size_t d : out) {
+        if (d >= dimmCount) {
+            std::fprintf(stderr,
+                         "tvarak-fault: --fail-dimms index %zu out of "
+                         "range: design %s has %zu DIMMs\n",
+                         d, designName, dimmCount);
+            std::exit(2);
+        }
+    }
+    if (!refail && out[0] == out[1]) {
+        std::fprintf(stderr,
+                     "tvarak-fault: --fail-dimms indices must be "
+                     "distinct (got %zu,%zu); use --refail to re-fail "
+                     "the rebuilding DIMM itself\n",
+                     out[0], out[1]);
+        std::exit(2);
+    }
+    return out;
+}
+
+int
+cmdMulti(const std::vector<std::string> &raw)
+{
+    Args a;
+    if (!parseArgs(raw,
+                   {"--seed", "--design", "--ops", "--keys",
+                    "--fail-dimms", "--out"},
+                   {"--refail"}, a) ||
+        !a.positional.empty() || a.flags.count("--seed") == 0) {
+        return usage();
+    }
+    std::uint64_t seed = parseU64(a.flags.at("--seed"), true);
+    const Design &design = a.flags.count("--design") != 0
+        ? parseDesign(a.flags.at("--design"))
+        : designOf(DesignKind::Tvarak);
+    if (!(design.absorbsWritesWhileDegraded() &&
+          design.maintainsMappedParity())) {
+        std::fprintf(
+            stderr,
+            "tvarak-fault: multi-DIMM schedules need a design that "
+            "maintains mapped-data parity AND absorbs writes while "
+            "degraded (the Tvarak family); the TxB schemes and Vilamb "
+            "recompute over the stripe, which is unsafe mid-schedule\n");
+        return 2;
+    }
+    auto flagOr = [&](const char *key, std::uint64_t dflt) {
+        return a.flags.count(key) != 0 ? parseU64(a.flags.at(key), false)
+                                       : dflt;
+    };
+    std::size_t ops = static_cast<std::size_t>(flagOr("--ops", 240));
+    std::size_t keys = static_cast<std::size_t>(flagOr("--keys", 96));
+    fatal_if(ops < 48, "--ops must be at least 48");
+    bool refail = a.flags.count("--refail") != 0;
+
+    // The DIMM count the schedule runs against is whatever geometry
+    // the design pins, not the campaign default.
+    SimConfig cfg = campaignConfig();
+    design.adjustConfig(cfg);
+    std::vector<std::size_t> failDimms = parseFailDimms(
+        a.flags.count("--fail-dimms") != 0 ? a.flags.at("--fail-dimms")
+        : refail                           ? std::string("0")
+                                           : std::string("0,1"),
+        refail, cfg.nvm.dimms, design.displayName());
+
+    inform("multi campaign: %s, seed %llu, %zu ops, %s dimm %zu%s",
+           design.displayName(), static_cast<unsigned long long>(seed),
+           ops, refail ? "re-fail of rebuilding" : "fail of",
+           failDimms[0],
+           refail ? ""
+                  : (" then dimm " + std::to_string(failDimms[1]))
+                        .c_str());
+    MultiCampaign campaign(design, seed, ops, keys,
+                           std::move(failDimms), refail);
+    bool pass = campaign.run();
+    Json json;
+    campaign.report(json);
+    std::string out =
+        a.flags.count("--out") != 0 ? a.flags.at("--out") : "";
+    return emit(json, out, pass);
+}
+
 }  // namespace
 }  // namespace tvarak::faultcli
 
@@ -1246,6 +1801,8 @@ main(int argc, char **argv)
     args.erase(args.begin());
     if (cmd == "map")
         return tvarak::faultcli::cmdMap(args);
+    if (cmd == "multi")
+        return tvarak::faultcli::cmdMulti(args);
     if (cmd == "replay")
         return tvarak::faultcli::cmdReplay(args);
     return tvarak::faultcli::usage();
