@@ -9,10 +9,12 @@
  *   stream-triad   streaming fills -> Cache::insert + prefetch path
  *   ctree-insert   pointer chasing -> accessLine hit path + LRU churn
  *
- * Runs each under Baseline and TVARAK. --jobs is accepted for flag
- * uniformity but measurement is always sequential: co-scheduled
- * experiments would steal cycles from each other and corrupt the
- * per-experiment wall times.
+ * Runs each under Baseline and TVARAK, once per compiled kernel
+ * backend (the JSON reports the per-backend simulator-speed delta;
+ * pinning a non-best backend via --kernel/TVARAK_KERNEL measures just
+ * that one). --jobs is accepted for flag uniformity but measurement
+ * is always sequential: co-scheduled experiments would steal cycles
+ * from each other and corrupt the per-experiment wall times.
  */
 
 #include <chrono>
@@ -24,6 +26,7 @@
 #include "apps/stream/stream.hh"
 #include "apps/trees/tree_workload.hh"
 #include "bench_common.hh"
+#include "kernels/kernels.hh"
 
 using namespace tvarak;
 using namespace tvarak::bench;
@@ -79,9 +82,17 @@ ctreeFactory(std::size_t scale)
  * design), so a slowdown in the mem/ hot paths shows up as a diff in
  * results/BENCH_selfperf.json rather than a vibe.
  */
+/** Per-backend totals of one full (workload x design) sweep. */
+struct BackendTotal {
+    std::string kernel;
+    double mcycles = 0;
+    double wall = 0;
+};
+
 void
 writeSelfperfTrajectory(const BenchArgs &args,
                         const std::vector<BenchJsonEntry> &entries,
+                        const std::vector<BackendTotal> &backends,
                         double totalMcycles, double totalWall)
 {
     if (!args.json)
@@ -95,9 +106,19 @@ writeSelfperfTrajectory(const BenchArgs &args,
     }
     out << "{\n  \"bench\": \"selfperf\",\n"
         << "  \"scale\": " << args.scale << ",\n"
+        << "  \"kernel\": \""
+        << kernels::backendName(kernels::activeBackend()) << "\",\n"
         << "  \"total_mcycles_per_sec\": "
         << (totalWall > 0 ? totalMcycles / totalWall : 0.0) << ",\n"
-        << "  \"results\": [\n";
+        << "  \"backends\": [\n";
+    for (std::size_t i = 0; i < backends.size(); i++) {
+        const BackendTotal &b = backends[i];
+        out << "    {\"kernel\": \"" << b.kernel
+            << "\", \"total_mcycles_per_sec\": "
+            << (b.wall > 0 ? b.mcycles / b.wall : 0.0) << "}"
+            << (i + 1 < backends.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"results\": [\n";
     for (std::size_t i = 0; i < entries.size(); i++) {
         const BenchJsonEntry &e = entries[i];
         double mcycles = static_cast<double>(e.runtimeCycles) / 1e6;
@@ -136,42 +157,78 @@ main(int argc, char **argv)
 
     std::printf("== Simulator self-profiling "
                 "(higher cycles/sec = faster simulator) ==\n");
-    std::printf("%-16s %-16s %14s %10s %16s\n", "workload", "design",
-                "sim Mcycles", "wall s", "Mcycles/sec");
+    std::printf("%-16s %-16s %-8s %14s %10s %16s\n", "workload",
+                "design", "kernel", "sim Mcycles", "wall s",
+                "Mcycles/sec");
 
-    std::vector<BenchJsonEntry> entries;
-    double totalCycles = 0, totalWall = 0;
-    for (const Case &c : cases) {
-        for (DesignKind d : designs) {
-            std::fprintf(stderr, "  timing %-16s under %s...\n",
-                         c.name, designName(d));
-            auto t0 = std::chrono::steady_clock::now();
-            RunResult r = runExperiment(cfg, d, c.make);
-            double wall = std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0).count();
-            double mcycles =
-                static_cast<double>(r.runtimeCycles) / 1e6;
-            std::printf("%-16s %-16s %14.1f %10.3f %16.1f\n", c.name,
-                        designName(d), mcycles, wall, mcycles / wall);
-            totalCycles += mcycles;
-            totalWall += wall;
-
-            BenchJsonEntry e;
-            e.workload = c.name;
-            e.design = designName(d);
-            e.runtimeCycles = r.runtimeCycles;
-            e.normRuntime = 1.0;
-            e.energyMj = r.energyMj;
-            e.nvmDataAccesses = r.nvmDataAccesses;
-            e.nvmRedAccesses = r.nvmRedAccesses;
-            e.cacheAccesses = r.cacheAccesses;
-            e.wallSeconds = wall;
-            entries.push_back(std::move(e));
+    // The full matrix runs once per compiled kernel backend, so the
+    // JSON carries the per-backend simulator-speed delta. The entries
+    // block (consumed by scripts/perf_compare.py) records the run
+    // under the *active* backend — whatever --kernel/TVARAK_KERNEL
+    // picked, best-available by default.
+    kernels::Backend active = kernels::activeBackend();
+    std::vector<kernels::Backend> sweep;
+    if (active != kernels::bestBackend()) {
+        // A weaker backend was pinned (--kernel / TVARAK_KERNEL):
+        // measure just that one — CI's identity legs want speed, not
+        // the cross-backend report.
+        sweep.push_back(active);
+    } else {
+        for (std::size_t i = 0; i < kernels::kBackendCount; i++) {
+            auto b = static_cast<kernels::Backend>(i);
+            if (kernels::backendAvailable(b))
+                sweep.push_back(b);
         }
     }
-    std::printf("%-16s %-16s %14.1f %10.3f %16.1f\n", "TOTAL", "-",
-                totalCycles, totalWall, totalCycles / totalWall);
+
+    std::vector<BenchJsonEntry> entries;
+    std::vector<BackendTotal> backends;
+    double totalCycles = 0, totalWall = 0;
+    for (kernels::Backend b : sweep) {
+        kernels::selectBackend(b);
+        const char *kname = kernels::backendName(b);
+        BackendTotal bt;
+        bt.kernel = kname;
+        for (const Case &c : cases) {
+            for (DesignKind d : designs) {
+                std::fprintf(stderr, "  timing %-16s under %s (%s)...\n",
+                             c.name, designName(d), kname);
+                auto t0 = std::chrono::steady_clock::now();
+                RunResult r = runExperiment(cfg, d, c.make);
+                double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0).count();
+                double mcycles =
+                    static_cast<double>(r.runtimeCycles) / 1e6;
+                std::printf("%-16s %-16s %-8s %14.1f %10.3f %16.1f\n",
+                            c.name, designName(d), kname, mcycles,
+                            wall, mcycles / wall);
+                bt.mcycles += mcycles;
+                bt.wall += wall;
+                if (b != active)
+                    continue;
+                totalCycles += mcycles;
+                totalWall += wall;
+                BenchJsonEntry e;
+                e.workload = c.name;
+                e.design = designName(d);
+                e.runtimeCycles = r.runtimeCycles;
+                e.normRuntime = 1.0;
+                e.energyMj = r.energyMj;
+                e.nvmDataAccesses = r.nvmDataAccesses;
+                e.nvmRedAccesses = r.nvmRedAccesses;
+                e.cacheAccesses = r.cacheAccesses;
+                e.wallSeconds = wall;
+                entries.push_back(std::move(e));
+            }
+        }
+        std::printf("%-16s %-16s %-8s %14.1f %10.3f %16.1f\n",
+                    "TOTAL", "-", kname, bt.mcycles, bt.wall,
+                    bt.wall > 0 ? bt.mcycles / bt.wall : 0.0);
+        backends.push_back(std::move(bt));
+    }
+    kernels::selectBackend(active);
     writeBenchJson(args, entries);
-    writeSelfperfTrajectory(args, entries, totalCycles, totalWall);
+    writeSelfperfTrajectory(args, entries, backends, totalCycles,
+                            totalWall);
     return 0;
 }

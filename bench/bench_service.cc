@@ -325,7 +325,8 @@ main(int argc, char **argv)
         if (faultDimms.size() > 1)
             faultNote += "s";
         for (std::size_t i = 0; i < faultDimms.size(); i++) {
-            faultNote += (i ? "," : " ") + std::to_string(faultDimms[i]);
+            faultNote += i ? "," : " ";
+            faultNote += std::to_string(faultDimms[i]);
         }
         faultNote += faultDimms.size() > 1
             ? " fail staggered mid-run]" : " fails mid-run]";

@@ -1,111 +1,13 @@
 #include "checksum/checksum.hh"
 
-#include <array>
-#include <cstring>
-
-#if defined(__x86_64__)
-#include <cpuid.h>
-#include <immintrin.h>
-#endif
+#include "kernels/kernels.hh"
 
 namespace tvarak {
-
-namespace {
-
-/** CRC-32C (Castagnoli) slicing tables, built once at startup. */
-struct Crc32cTables {
-    std::array<std::array<std::uint32_t, 256>, 8> t;
-
-    Crc32cTables()
-    {
-        constexpr std::uint32_t poly = 0x82f63b78u;  // reflected 0x1EDC6F41
-        for (std::uint32_t i = 0; i < 256; i++) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; k++)
-                c = (c & 1) ? (poly ^ (c >> 1)) : (c >> 1);
-            t[0][i] = c;
-        }
-        for (std::uint32_t i = 0; i < 256; i++) {
-            std::uint32_t c = t[0][i];
-            for (std::size_t s = 1; s < 8; s++) {
-                c = t[0][c & 0xff] ^ (c >> 8);
-                t[s][i] = c;
-            }
-        }
-    }
-};
-
-const Crc32cTables tables;
-
-}  // namespace
-
-namespace {
-
-#if defined(__x86_64__)
-/** One-time SSE4.2 detection for the hardware crc32 path. */
-bool
-haveSse42()
-{
-    static const bool have = [] {
-        unsigned eax, ebx, ecx = 0, edx;
-        if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
-            return false;
-        return (ecx & bit_SSE4_2) != 0;
-    }();
-    return have;
-}
-
-__attribute__((target("sse4.2"))) std::uint32_t
-crc32cHw(const std::uint8_t *p, std::size_t len, std::uint32_t crc)
-{
-    crc = ~crc;
-    std::uint64_t c = crc;
-    while (len >= 8) {
-        std::uint64_t word;
-        std::memcpy(&word, p, 8);
-        c = _mm_crc32_u64(c, word);
-        p += 8;
-        len -= 8;
-    }
-    crc = static_cast<std::uint32_t>(c);
-    while (len--)
-        crc = _mm_crc32_u8(crc, *p++);
-    return ~crc;
-}
-#endif
-
-}  // namespace
 
 std::uint32_t
 crc32c(const void *data, std::size_t len, std::uint32_t crc)
 {
-    const auto *p = static_cast<const std::uint8_t *>(data);
-#if defined(__x86_64__)
-    // The SSE4.2 crc32 instruction (Westmere's, which is where the
-    // swChecksumBytesPerCycle = 8 model comes from).
-    if (haveSse42())
-        return crc32cHw(p, len, crc);
-#endif
-    crc = ~crc;
-    // Slicing-by-eight over aligned 8-byte chunks.
-    while (len >= 8) {
-        std::uint64_t word;
-        std::memcpy(&word, p, 8);
-        word ^= crc;
-        crc = tables.t[7][word & 0xff] ^
-              tables.t[6][(word >> 8) & 0xff] ^
-              tables.t[5][(word >> 16) & 0xff] ^
-              tables.t[4][(word >> 24) & 0xff] ^
-              tables.t[3][(word >> 32) & 0xff] ^
-              tables.t[2][(word >> 40) & 0xff] ^
-              tables.t[1][(word >> 48) & 0xff] ^
-              tables.t[0][(word >> 56) & 0xff];
-        p += 8;
-        len -= 8;
-    }
-    while (len--)
-        crc = tables.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
-    return ~crc;
+    return kernels::ops().crc32c(data, len, crc);
 }
 
 std::uint64_t
@@ -114,68 +16,37 @@ lineChecksum(const void *line)
     // Widen to 8 bytes so eight checksums pack exactly into one line;
     // mix the length in the high word so a line checksum can never be
     // confused with a page checksum of the same bytes.
-    return (std::uint64_t{0x4c} << 56) | crc32c(line, kLineBytes);
+    return kDaxClCsumTag | crc32c(line, kLineBytes);
 }
 
 std::uint64_t
 pageChecksum(const void *page)
 {
-    return (std::uint64_t{0x50} << 56) | crc32c(page, kPageBytes);
+    return kPageCsumTag | crc32c(page, kPageBytes);
 }
 
 void
 xorLine(void *dst, const void *src)
 {
-    auto *d = static_cast<std::uint64_t *>(dst);
-    const auto *s = static_cast<const std::uint64_t *>(src);
-    std::uint64_t dbuf[8], sbuf[8];
-    std::memcpy(dbuf, d, kLineBytes);
-    std::memcpy(sbuf, s, kLineBytes);
-    for (int i = 0; i < 8; i++)
-        dbuf[i] ^= sbuf[i];
-    std::memcpy(dst, dbuf, kLineBytes);
+    kernels::ops().xorInto(dst, src, kLineBytes);
 }
 
 void
 xorLineInto(void *dst, const void *a, const void *b)
 {
-    std::uint64_t abuf[8], bbuf[8];
-    std::memcpy(abuf, a, kLineBytes);
-    std::memcpy(bbuf, b, kLineBytes);
-    for (int i = 0; i < 8; i++)
-        abuf[i] ^= bbuf[i];
-    std::memcpy(dst, abuf, kLineBytes);
+    kernels::ops().xorDiff3(dst, a, b, kLineBytes);
 }
 
 bool
 lineIsZero(const void *line)
 {
-    std::uint64_t buf[8];
-    std::memcpy(buf, line, kLineBytes);
-    std::uint64_t acc = 0;
-    for (int i = 0; i < 8; i++)
-        acc |= buf[i];
-    return acc == 0;
+    return kernels::ops().isZero(line, kLineBytes);
 }
 
 std::uint64_t
 fletcher64(const void *data, std::size_t len)
 {
-    const auto *p = static_cast<const std::uint8_t *>(data);
-    std::uint64_t lo = 0, hi = 0;
-    std::size_t words = len / 4;
-    for (std::size_t i = 0; i < words; i++) {
-        std::uint32_t w;
-        std::memcpy(&w, p + i * 4, 4);
-        lo += w;
-        hi += lo;
-    }
-    // Trailing bytes (if any) are folded in one at a time.
-    for (std::size_t i = words * 4; i < len; i++) {
-        lo += p[i];
-        hi += lo;
-    }
-    return (hi << 32) | (lo & 0xffffffffull);
+    return kernels::fletcher64(data, len);
 }
 
 }  // namespace tvarak

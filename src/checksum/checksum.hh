@@ -8,9 +8,12 @@
  * data pages in a RAID-5 stripe. Fault-injection tests rely on this:
  * a corrupted line really fails verification and is really rebuilt.
  *
- * CRC-32C (Castagnoli) is implemented with slicing-by-eight; this is
- * both the functional checksum and the model behind the software
- * schemes' compute-cost (SimConfig::swChecksumBytesPerCycle).
+ * The byte loops themselves live in src/kernels/ behind the
+ * runtime-dispatched KernelOps table (scalar slicing-by-eight, SSE4.2
+ * hardware CRC32, AVX2); this header is the line/page-semantic facade
+ * the rest of the system uses. CRC-32C is both the functional checksum
+ * and the model behind the software schemes' compute-cost
+ * (SimConfig::swChecksumBytesPerCycle).
  */
 
 #pragma once
@@ -21,6 +24,15 @@
 #include "sim/types.hh"
 
 namespace tvarak {
+
+/** High-byte tag of a widened DAX-CL line checksum ('L'). */
+constexpr std::uint64_t kDaxClCsumTag = std::uint64_t{0x4c} << 56;
+
+/** High-byte tag of a widened page system-checksum ('P'). */
+constexpr std::uint64_t kPageCsumTag = std::uint64_t{0x50} << 56;
+
+/** High-byte tag of a widened object checksum ('O'). */
+constexpr std::uint64_t kObjectCsumTag = std::uint64_t{0x4f} << 56;
 
 /** CRC-32C of @p len bytes at @p data, seeded with @p crc (0 start). */
 std::uint32_t crc32c(const void *data, std::size_t len,

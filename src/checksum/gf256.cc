@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "checksum/checksum.hh"
+#include "kernels/kernels.hh"
 #include "sim/log.hh"
 #include "sim/types.hh"
 
@@ -68,29 +69,21 @@ inv(std::uint8_t a)
 void
 mulLineInto(void *dst, const void *src, std::uint8_t c)
 {
-    if (c == 0)
-        return;
-    if (c == 1) {
-        xorLine(dst, src);
-        return;
-    }
-    const Tables &t = tables();
-    const unsigned logc = t.logt[c];
-    auto *d = static_cast<std::uint8_t *>(dst);
-    const auto *s = static_cast<const std::uint8_t *>(src);
-    for (std::size_t i = 0; i < kLineBytes; i++) {
-        if (s[i] != 0)
-            d[i] ^= t.alog[logc + t.logt[s[i]]];
-    }
+    // The byte loop lives in the kernel layer (scalar log/alog walk,
+    // or pshufb nibble tables on the SIMD backends).
+    kernels::ops().gfMulAcc(dst, src, c, kLineBytes);
 }
 
 }  // namespace gf256
+
+std::atomic<std::uint64_t> RsCode::constructions_{0};
 
 RsCode::RsCode(std::size_t n, std::size_t k)
     : n_(n), k_(k), coeff_(k * n)
 {
     panic_if(n < 2 || k < 1 || n + k > 255,
              "RsCode: bad geometry %zu+%zu", n, k);
+    constructions_.fetch_add(1, std::memory_order_relaxed);
 
     // Cauchy block C[j][i] = 1 / (x_j + y_i), x_j = n + j, y_i = i.
     // x and y are disjoint (i < n <= x_j), so x_j + y_i != 0 in

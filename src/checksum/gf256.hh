@@ -27,6 +27,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -59,6 +60,17 @@ class RsCode
 
     std::size_t n() const { return n_; }
     std::size_t k() const { return k_; }
+
+    /**
+     * Process-wide count of RsCode constructions. Building the Cauchy
+     * matrix costs O(n*k) field inversions, so hot loops must reuse a
+     * cached codec (MemorySystem::rsCodec()); regression tests pin
+     * that sweeps construct zero codecs per line.
+     */
+    static std::uint64_t constructions()
+    {
+        return constructions_.load(std::memory_order_relaxed);
+    }
 
     /** Generator coefficient of data member @p i in parity member
      *  @p j (j in [0, k)). Row 0 is all ones (XOR parity). */
@@ -96,6 +108,8 @@ class RsCode
                 const bool present[]) const;
 
   private:
+    static std::atomic<std::uint64_t> constructions_;
+
     std::size_t n_;
     std::size_t k_;
     std::vector<std::uint8_t> coeff_;  //!< k x n generator parity block

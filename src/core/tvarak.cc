@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "checksum/checksum.hh"
+#include "kernels/kernels.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
@@ -443,6 +444,11 @@ TvarakEngine::updateRedundancy(std::size_t bank, Addr nvmAddr,
 {
     stats_.redundancyUpdates++;
 
+    // The old-line media read below is a near-guaranteed host cache
+    // miss into the big media array; start it now so it overlaps the
+    // diff-source bookkeeping (host-side only, no simulated effect).
+    nvm_.prefetchRaw(nvmAddr);
+
     // The diff value is always (old media content XOR new data); only
     // *where it comes from* differs between configurations, and that
     // is what the timing model charges for.
@@ -481,11 +487,21 @@ TvarakEngine::updateRedundancy(std::size_t bank, Addr nvmAddr,
     } else {
         nvm_.rawRead(nvmAddr, old, kLineBytes);
     }
+    // One fused kernel pass over the line computes the diff, its
+    // nonzero-ness, and (when this design stores DAX-CL checksums) the
+    // new line's widened checksum.
+    bool skip_red = degraded && verificationBlocked(nvmAddr);
+    bool want_csum = !skip_red && params_.useDaxClChecksums;
     std::uint8_t diff[kLineBytes];
-    xorLineInto(diff, old, newData);
+    std::uint64_t csum = 0;
+    kernels::KernelSequence seq;
+    seq.captureDiff(diff, old, newData);
+    if (want_csum)
+        seq.checksum(&csum, kDaxClCsumTag);
+    bool diff_nonzero = seq.run();
 
     // Checksum update.
-    if (degraded && verificationBlocked(nvmAddr)) {
+    if (skip_red) {
         stats_.degradedRedSkips++;  // rebuild will recompute the slot
     } else if (params_.useDaxClChecksums) {
         Addr csum_line = layout_.daxClCsumLine(nvmAddr);
@@ -493,7 +509,7 @@ TvarakEngine::updateRedundancy(std::size_t bank, Addr nvmAddr,
         redLineAccess(bank, csum_line, false, buf, false);
         std::size_t idx = static_cast<std::size_t>(
             layout_.daxClCsumAddr(nvmAddr) - csum_line);
-        store64(buf + idx, lineChecksum(newData));
+        store64(buf + idx, csum);
         redLineAccess(bank, csum_line, true, buf, false);
     } else {
         naivePageChecksumUpdate(bank, nvmAddr, newData);
@@ -502,7 +518,7 @@ TvarakEngine::updateRedundancy(std::size_t bank, Addr nvmAddr,
     // Parity update: parity ^= diff preserves the stripe invariant
     // (parity == XOR of the stripe's data pages at rest) across the
     // caller's subsequent data write.
-    if (!lineIsZero(diff)) {
+    if (diff_nonzero) {
         std::size_t data_idx =
             rs_ ? layout_.dataMemberIndexOf(nvmAddr) : 0;
         for (std::size_t role = 0; role < layout_.parityCount();

@@ -5,6 +5,7 @@
 
 #include "checksum/checksum.hh"
 #include "checksum/gf256.hh"
+#include "kernels/kernels.hh"
 #include "redundancy/registry.hh"
 #include "sim/log.hh"
 #include "trace/sink.hh"
@@ -70,7 +71,7 @@ DaxFs::writeSuperblock()
     const Layout &layout = mem_.layout();
     std::vector<Addr> pages;
     layout.stripeDataPages(sb_page, pages);
-    RsCode rs(layout.dataCount(), layout.parityCount());
+    const RsCode &rs = mem_.rsCodec();
     std::vector<std::uint8_t> buf(kPageBytes);
     std::vector<Addr> parity_pages;
     for (std::size_t j = 0; j < layout.parityCount(); j++) {
@@ -423,7 +424,7 @@ DaxFs::pwrite(int tid, int fd, std::size_t offset, const void *buf,
                 } else {
                     // Reed-Solomon geometry: every parity role takes
                     // the coefficient-weighted diff.
-                    RsCode rs(layout.dataCount(), layout.parityCount());
+                    const RsCode &rs = mem_.rsCodec();
                     std::size_t di = layout.dataMemberIndexOf(nvm_line);
                     std::uint8_t diff[kLineBytes];
                     xorLineInto(diff, old_line, new_line);
@@ -618,7 +619,7 @@ DaxFs::verifyParity()
     const Layout &layout = mem_.layout();
     const std::size_t n = layout.dataCount();
     const std::size_t k = layout.parityCount();
-    RsCode rs(n, k);
+    const RsCode &rs = mem_.rsCodec();
     std::size_t bad = 0;
     std::vector<Addr> pages;
     std::vector<std::vector<std::uint8_t>> acc(
@@ -661,12 +662,8 @@ DaxFs::verifyParity()
         }
         bool stripe_bad = false;
         for (std::size_t j = 0; j < k && !stripe_bad; j++) {
-            for (std::size_t i = 0; i < kPageBytes; i++) {
-                if (acc[j][i] != 0) {
-                    stripe_bad = true;
-                    break;
-                }
-            }
+            stripe_bad =
+                !kernels::ops().isZero(acc[j].data(), kPageBytes);
         }
         if (stripe_bad)
             bad++;

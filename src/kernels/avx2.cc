@@ -1,0 +1,287 @@
+/**
+ * @file
+ * AVX2 backend: 32-byte XOR/zero-test/GF lanes, a 4-wide cache tag
+ * scan, and the fused line sequence in two 32-byte chunks. CRC-32C
+ * still uses the SSE4.2 hardware instruction — every AVX2 part has it,
+ * and it beats any table walk.
+ *
+ * On non-x86 builds every slot aliases the scalar backend, and the
+ * dispatcher reports the backend unavailable.
+ */
+
+#include "kernels/tables.hh"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace tvarak::kernels {
+
+namespace {
+
+using namespace detail;
+
+constexpr std::size_t kWordBytes = sizeof(std::uint64_t);
+constexpr std::size_t kVecBytes = sizeof(__m256i);
+
+__attribute__((target("avx2,sse4.2"))) std::uint32_t
+avx2Crc32c(const void *data, std::size_t n, std::uint32_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = ~seed;
+    std::uint64_t c = crc;
+    while (n >= kWordBytes) {
+        std::uint64_t word;
+        std::memcpy(&word, p, kWordBytes);
+        c = _mm_crc32_u64(c, word);
+        p += kWordBytes;
+        n -= kWordBytes;
+    }
+    crc = static_cast<std::uint32_t>(c);
+    while (n--)
+        crc = _mm_crc32_u8(crc, *p++);
+    return ~crc;
+}
+
+__attribute__((target("avx2"))) void
+avx2XorInto(void *dst, const void *src, std::size_t n)
+{
+    auto *d = static_cast<std::uint8_t *>(dst);
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    while (n >= kVecBytes) {
+        __m256i dv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(d));
+        __m256i sv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(s));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d),
+                            _mm256_xor_si256(dv, sv));
+        d += kVecBytes;
+        s += kVecBytes;
+        n -= kVecBytes;
+    }
+    if (n > 0)
+        scalarXorInto(d, s, n);
+}
+
+__attribute__((target("avx2"))) bool
+avx2XorDiff3(void *diff, const void *a, const void *b, std::size_t n)
+{
+    auto *o = static_cast<std::uint8_t *>(diff);
+    const auto *pa = static_cast<const std::uint8_t *>(a);
+    const auto *pb = static_cast<const std::uint8_t *>(b);
+    __m256i acc = _mm256_setzero_si256();
+    bool tailNonzero = false;
+    while (n >= kVecBytes) {
+        __m256i av = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pa));
+        __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pb));
+        __m256i dv = _mm256_xor_si256(av, bv);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(o), dv);
+        acc = _mm256_or_si256(acc, dv);
+        o += kVecBytes;
+        pa += kVecBytes;
+        pb += kVecBytes;
+        n -= kVecBytes;
+    }
+    if (n > 0)
+        tailNonzero = scalarXorDiff3(o, pa, pb, n);
+    return _mm256_testz_si256(acc, acc) == 0 || tailNonzero;
+}
+
+__attribute__((target("avx2"))) bool
+avx2IsZero(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    __m256i acc = _mm256_setzero_si256();
+    while (n >= kVecBytes) {
+        acc = _mm256_or_si256(
+            acc, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(p)));
+        p += kVecBytes;
+        n -= kVecBytes;
+    }
+    if (_mm256_testz_si256(acc, acc) == 0)
+        return false;
+    return n == 0 || scalarIsZero(p, n);
+}
+
+/** chunk ^= c * src over GF(2^8), 32 bytes. @pre c > 1. */
+__attribute__((target("avx2"))) inline __m256i
+gfMulVec(const GfTables &tb, __m256i v, std::uint8_t c)
+{
+    const __m256i lo = _mm256_broadcastsi128_si256(_mm_load_si128(
+        reinterpret_cast<const __m128i *>(tb.mulLo[c])));
+    const __m256i hi = _mm256_broadcastsi128_si256(_mm_load_si128(
+        reinterpret_cast<const __m128i *>(tb.mulHi[c])));
+    const __m256i mask = _mm256_set1_epi8(0x0f);
+    __m256i ln = _mm256_and_si256(v, mask);
+    __m256i hn = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    return _mm256_xor_si256(_mm256_shuffle_epi8(lo, ln),
+                            _mm256_shuffle_epi8(hi, hn));
+}
+
+__attribute__((target("avx2"))) void
+avx2GfMulAcc(void *dst, const void *src, std::uint8_t c, std::size_t n)
+{
+    if (c == 0)
+        return;
+    if (c == 1) {
+        avx2XorInto(dst, src, n);
+        return;
+    }
+    const GfTables &tb = gfTables();
+    auto *d = static_cast<std::uint8_t *>(dst);
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    while (n >= kVecBytes) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(s));
+        __m256i acc = _mm256_loadu_si256(
+            reinterpret_cast<__m256i *>(d));
+        acc = _mm256_xor_si256(acc, gfMulVec(tb, v, c));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d), acc);
+        d += kVecBytes;
+        s += kVecBytes;
+        n -= kVecBytes;
+    }
+    if (n > 0)
+        scalarGfMulAcc(d, s, c, n);
+}
+
+__attribute__((target("avx2"))) void
+avx2CopyLine(void *dst, const void *src)
+{
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    auto *d = static_cast<std::uint8_t *>(dst);
+    __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(s));
+    __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(s + kVecBytes));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(d), a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(d + kVecBytes), b);
+}
+
+__attribute__((target("avx2"))) std::size_t
+avx2FindTag(const std::uint64_t *tags, std::size_t n, std::uint64_t key)
+{
+    const __m256i kv = _mm256_set1_epi64x(
+        static_cast<long long>(key));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i tv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + i));
+        int m = _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(tv, kv)));
+        if (m != 0) {
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(static_cast<unsigned>(m)));
+        }
+    }
+    for (; i < n; i++) {
+        if (tags[i] == key)
+            return i;
+    }
+    return n;
+}
+
+__attribute__((target("avx2,sse4.2"))) bool
+avx2Sequence(const SeqDesc &d)
+{
+    constexpr std::size_t kVecs = kLineBytes / kVecBytes;
+    __m256i chunk[kVecs];
+    __m256i acc = _mm256_setzero_si256();
+    if (d.diffOut != nullptr) {
+        for (std::size_t i = 0; i < kVecs; i++) {
+            __m256i ov = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    d.oldData + i * kVecBytes));
+            __m256i nv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    d.newData + i * kVecBytes));
+            chunk[i] = _mm256_xor_si256(ov, nv);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(
+                    d.diffOut + i * kVecBytes),
+                chunk[i]);
+            acc = _mm256_or_si256(acc, chunk[i]);
+        }
+    } else {
+        for (std::size_t i = 0; i < kVecs; i++) {
+            chunk[i] = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    d.src + i * kVecBytes));
+            acc = _mm256_or_si256(acc, chunk[i]);
+        }
+    }
+    bool nonzero = _mm256_testz_si256(acc, acc) == 0;
+    if (d.csumOut != nullptr) {
+        const std::uint8_t *cp =
+            d.diffOut != nullptr ? d.newData : d.src;
+        std::uint64_t c = 0xffffffffu;
+        for (std::size_t w = 0; w < kLineBytes / kWordBytes; w++) {
+            std::uint64_t word;
+            std::memcpy(&word, cp + w * kWordBytes, kWordBytes);
+            c = _mm_crc32_u64(c, word);
+        }
+        std::uint32_t crc = ~static_cast<std::uint32_t>(c);
+        *d.csumOut = d.csumTag | static_cast<std::uint64_t>(crc);
+    }
+    if (nonzero) {
+        const GfTables &tb = gfTables();
+        for (std::size_t r = 0; r < d.roles; r++) {
+            std::uint8_t c = d.coeff[r];
+            if (c == 0)
+                continue;
+            auto *pp = d.parity[r];
+            for (std::size_t i = 0; i < kVecs; i++) {
+                __m256i pv = _mm256_loadu_si256(
+                    reinterpret_cast<__m256i *>(pp + i * kVecBytes));
+                __m256i update = c == 1
+                    ? chunk[i]
+                    : gfMulVec(tb, chunk[i], c);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(pp + i * kVecBytes),
+                    _mm256_xor_si256(pv, update));
+            }
+        }
+    }
+    return nonzero;
+}
+
+}  // namespace
+
+const KernelOps kAvx2Ops = {
+    "avx2",
+    avx2Crc32c,
+    avx2XorInto,
+    avx2XorDiff3,
+    avx2IsZero,
+    avx2GfMulAcc,
+    avx2CopyLine,
+    avx2FindTag,
+    avx2Sequence,
+};
+
+}  // namespace tvarak::kernels
+
+#else  // !__x86_64__
+
+namespace tvarak::kernels {
+
+const KernelOps kAvx2Ops = {
+    "avx2",
+    detail::scalarCrc32c,
+    detail::scalarXorInto,
+    detail::scalarXorDiff3,
+    detail::scalarIsZero,
+    detail::scalarGfMulAcc,
+    detail::scalarCopyLine,
+    detail::scalarFindTag,
+    detail::scalarSequence,
+};
+
+}  // namespace tvarak::kernels
+
+#endif  // __x86_64__

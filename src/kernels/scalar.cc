@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Portable scalar backend — the reference every SIMD backend must
+ * match bit-for-bit (tests/test_kernels.cc).
+ */
+
+#include <cstring>
+
+#include "kernels/tables.hh"
+
+namespace tvarak::kernels {
+
+namespace detail {
+
+namespace {
+
+constexpr std::size_t kWordBytes = sizeof(std::uint64_t);
+constexpr std::size_t kLineWords = kLineBytes / kWordBytes;
+
+std::uint64_t
+loadWord(const std::uint8_t *p)
+{
+    std::uint64_t w;
+    std::memcpy(&w, p, kWordBytes);
+    return w;
+}
+
+void
+storeWord(std::uint8_t *p, std::uint64_t w)
+{
+    std::memcpy(p, &w, kWordBytes);
+}
+
+}  // namespace
+
+std::uint32_t
+scalarCrc32c(const void *data, std::size_t n, std::uint32_t seed)
+{
+    const CrcTables &tb = crcTables();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = ~seed;
+    while (n >= kWordBytes) {
+        crc = crcWordStep(tb, crc, loadWord(p));
+        p += kWordBytes;
+        n -= kWordBytes;
+    }
+    while (n--)
+        crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+void
+scalarXorInto(void *dst, const void *src, std::size_t n)
+{
+    auto *d = static_cast<std::uint8_t *>(dst);
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    while (n >= kWordBytes) {
+        storeWord(d, loadWord(d) ^ loadWord(s));
+        d += kWordBytes;
+        s += kWordBytes;
+        n -= kWordBytes;
+    }
+    while (n--)
+        *d++ ^= *s++;
+}
+
+bool
+scalarXorDiff3(void *diff, const void *a, const void *b, std::size_t n)
+{
+    auto *o = static_cast<std::uint8_t *>(diff);
+    const auto *pa = static_cast<const std::uint8_t *>(a);
+    const auto *pb = static_cast<const std::uint8_t *>(b);
+    std::uint64_t acc = 0;
+    while (n >= kWordBytes) {
+        std::uint64_t w = loadWord(pa) ^ loadWord(pb);
+        storeWord(o, w);
+        acc |= w;
+        o += kWordBytes;
+        pa += kWordBytes;
+        pb += kWordBytes;
+        n -= kWordBytes;
+    }
+    while (n--) {
+        std::uint8_t v = *pa++ ^ *pb++;
+        *o++ = v;
+        acc |= v;
+    }
+    return acc != 0;
+}
+
+bool
+scalarIsZero(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t acc = 0;
+    while (n >= kWordBytes) {
+        acc |= loadWord(p);
+        p += kWordBytes;
+        n -= kWordBytes;
+    }
+    while (n--)
+        acc |= *p++;
+    return acc == 0;
+}
+
+void
+scalarGfMulAcc(void *dst, const void *src, std::uint8_t c, std::size_t n)
+{
+    if (c == 0)
+        return;
+    if (c == 1) {
+        scalarXorInto(dst, src, n);
+        return;
+    }
+    const GfTables &tb = gfTables();
+    const unsigned logc = tb.logt[c];
+    auto *d = static_cast<std::uint8_t *>(dst);
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    for (std::size_t i = 0; i < n; i++) {
+        if (s[i] != 0)
+            d[i] ^= tb.alog[logc + tb.logt[s[i]]];
+    }
+}
+
+void
+scalarCopyLine(void *dst, const void *src)
+{
+    std::memcpy(dst, src, kLineBytes);
+}
+
+std::size_t
+scalarFindTag(const std::uint64_t *tags, std::size_t n,
+              std::uint64_t key)
+{
+    for (std::size_t i = 0; i < n; i++) {
+        if (tags[i] == key)
+            return i;
+    }
+    return n;
+}
+
+void
+scalarApplyRoles(const SeqDesc &d)
+{
+    for (std::size_t r = 0; r < d.roles; r++)
+        scalarGfMulAcc(d.parity[r], d.src, d.coeff[r], kLineBytes);
+}
+
+bool
+scalarSequence(const SeqDesc &d)
+{
+    const CrcTables &ct = crcTables();
+    std::uint64_t acc = 0;
+    std::uint32_t crc = ~0u;
+    if (d.diffOut != nullptr) {
+        for (std::size_t w = 0; w < kLineWords; w++) {
+            std::uint64_t nw = loadWord(d.newData + w * kWordBytes);
+            std::uint64_t dw =
+                loadWord(d.oldData + w * kWordBytes) ^ nw;
+            storeWord(d.diffOut + w * kWordBytes, dw);
+            acc |= dw;
+            if (d.csumOut != nullptr)
+                crc = crcWordStep(ct, crc, nw);
+        }
+    } else {
+        for (std::size_t w = 0; w < kLineWords; w++) {
+            std::uint64_t sw = loadWord(d.src + w * kWordBytes);
+            acc |= sw;
+            if (d.csumOut != nullptr)
+                crc = crcWordStep(ct, crc, sw);
+        }
+    }
+    if (d.csumOut != nullptr)
+        *d.csumOut = d.csumTag |
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(~crc));
+    // A zero source makes every role update the identity; skip them.
+    if (acc != 0)
+        scalarApplyRoles(d);
+    return acc != 0;
+}
+
+}  // namespace detail
+
+const KernelOps kScalarOps = {
+    "scalar",
+    detail::scalarCrc32c,
+    detail::scalarXorInto,
+    detail::scalarXorDiff3,
+    detail::scalarIsZero,
+    detail::scalarGfMulAcc,
+    detail::scalarCopyLine,
+    detail::scalarFindTag,
+    detail::scalarSequence,
+};
+
+}  // namespace tvarak::kernels

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * SSE4.2 backend: the hardware CRC32 instruction (Westmere's — the
+ * swChecksumBytesPerCycle = 8 timing model's origin) plus pshufb
+ * nibble-table GF(2^8) multiply. Plain XOR loops stay with the scalar
+ * implementations, which the compiler already vectorizes to SSE2.
+ *
+ * On non-x86 builds every slot aliases the scalar backend, and the
+ * dispatcher reports the backend unavailable.
+ */
+
+#include "kernels/tables.hh"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace tvarak::kernels {
+
+namespace {
+
+using namespace detail;
+
+constexpr std::size_t kWordBytes = sizeof(std::uint64_t);
+constexpr std::size_t kVecBytes = sizeof(__m128i);
+
+__attribute__((target("sse4.2"))) std::uint32_t
+sse42Crc32c(const void *data, std::size_t n, std::uint32_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = ~seed;
+    std::uint64_t c = crc;
+    while (n >= kWordBytes) {
+        std::uint64_t word;
+        std::memcpy(&word, p, kWordBytes);
+        c = _mm_crc32_u64(c, word);
+        p += kWordBytes;
+        n -= kWordBytes;
+    }
+    crc = static_cast<std::uint32_t>(c);
+    while (n--)
+        crc = _mm_crc32_u8(crc, *p++);
+    return ~crc;
+}
+
+/** chunk ^= c * src over GF(2^8), 16 bytes. @pre c > 1. */
+__attribute__((target("sse4.2"))) inline __m128i
+gfMulVec(const GfTables &tb, __m128i v, std::uint8_t c)
+{
+    const __m128i lo = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(tb.mulLo[c]));
+    const __m128i hi = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(tb.mulHi[c]));
+    const __m128i mask = _mm_set1_epi8(0x0f);
+    __m128i ln = _mm_and_si128(v, mask);
+    __m128i hn = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    return _mm_xor_si128(_mm_shuffle_epi8(lo, ln),
+                         _mm_shuffle_epi8(hi, hn));
+}
+
+__attribute__((target("sse4.2"))) void
+sse42GfMulAcc(void *dst, const void *src, std::uint8_t c, std::size_t n)
+{
+    if (c == 0)
+        return;
+    if (c == 1) {
+        scalarXorInto(dst, src, n);
+        return;
+    }
+    const GfTables &tb = gfTables();
+    auto *d = static_cast<std::uint8_t *>(dst);
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    while (n >= kVecBytes) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(s));
+        __m128i acc = _mm_loadu_si128(reinterpret_cast<__m128i *>(d));
+        acc = _mm_xor_si128(acc, gfMulVec(tb, v, c));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(d), acc);
+        d += kVecBytes;
+        s += kVecBytes;
+        n -= kVecBytes;
+    }
+    if (n > 0)
+        scalarGfMulAcc(d, s, c, n);
+}
+
+__attribute__((target("sse4.2"))) bool
+sse42Sequence(const SeqDesc &d)
+{
+    constexpr std::size_t kVecs = kLineBytes / kVecBytes;
+    __m128i chunk[kVecs];
+    __m128i acc = _mm_setzero_si128();
+    if (d.diffOut != nullptr) {
+        for (std::size_t i = 0; i < kVecs; i++) {
+            __m128i ov = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    d.oldData + i * kVecBytes));
+            __m128i nv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    d.newData + i * kVecBytes));
+            chunk[i] = _mm_xor_si128(ov, nv);
+            _mm_storeu_si128(
+                reinterpret_cast<__m128i *>(d.diffOut + i * kVecBytes),
+                chunk[i]);
+            acc = _mm_or_si128(acc, chunk[i]);
+        }
+    } else {
+        for (std::size_t i = 0; i < kVecs; i++) {
+            chunk[i] = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(
+                    d.src + i * kVecBytes));
+            acc = _mm_or_si128(acc, chunk[i]);
+        }
+    }
+    bool nonzero = _mm_testz_si128(acc, acc) == 0;
+    if (d.csumOut != nullptr) {
+        const std::uint8_t *cp =
+            d.diffOut != nullptr ? d.newData : d.src;
+        std::uint64_t c = ~std::uint64_t{0} & 0xffffffffu;
+        for (std::size_t w = 0; w < kLineBytes / kWordBytes; w++) {
+            std::uint64_t word;
+            std::memcpy(&word, cp + w * kWordBytes, kWordBytes);
+            c = _mm_crc32_u64(c, word);
+        }
+        std::uint32_t crc = ~static_cast<std::uint32_t>(c);
+        *d.csumOut = d.csumTag | static_cast<std::uint64_t>(crc);
+    }
+    if (nonzero) {
+        const GfTables &tb = gfTables();
+        for (std::size_t r = 0; r < d.roles; r++) {
+            std::uint8_t c = d.coeff[r];
+            if (c == 0)
+                continue;
+            auto *pp = d.parity[r];
+            for (std::size_t i = 0; i < kVecs; i++) {
+                __m128i pv = _mm_loadu_si128(
+                    reinterpret_cast<__m128i *>(pp + i * kVecBytes));
+                __m128i update = c == 1
+                    ? chunk[i]
+                    : gfMulVec(tb, chunk[i], c);
+                _mm_storeu_si128(
+                    reinterpret_cast<__m128i *>(pp + i * kVecBytes),
+                    _mm_xor_si128(pv, update));
+            }
+        }
+    }
+    return nonzero;
+}
+
+}  // namespace
+
+const KernelOps kSse42Ops = {
+    "sse42",
+    sse42Crc32c,
+    detail::scalarXorInto,
+    detail::scalarXorDiff3,
+    detail::scalarIsZero,
+    sse42GfMulAcc,
+    detail::scalarCopyLine,
+    detail::scalarFindTag,
+    sse42Sequence,
+};
+
+}  // namespace tvarak::kernels
+
+#else  // !__x86_64__
+
+namespace tvarak::kernels {
+
+const KernelOps kSse42Ops = {
+    "sse42",
+    detail::scalarCrc32c,
+    detail::scalarXorInto,
+    detail::scalarXorDiff3,
+    detail::scalarIsZero,
+    detail::scalarGfMulAcc,
+    detail::scalarCopyLine,
+    detail::scalarFindTag,
+    detail::scalarSequence,
+};
+
+}  // namespace tvarak::kernels
+
+#endif  // __x86_64__

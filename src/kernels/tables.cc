@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Construction of the kernels' lookup tables.
+ */
+
+#include "kernels/tables.hh"
+
+namespace tvarak::kernels::detail {
+
+CrcTables::CrcTables()
+{
+    constexpr std::uint32_t poly = 0x82f63b78u;  // reflected 0x1EDC6F41
+    for (std::uint32_t i = 0; i < 256; i++) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; k++)
+            c = (c & 1) ? (poly ^ (c >> 1)) : (c >> 1);
+        t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; i++) {
+        std::uint32_t c = t[0][i];
+        for (std::size_t s = 1; s < 8; s++) {
+            c = t[0][c & 0xff] ^ (c >> 8);
+            t[s][i] = c;
+        }
+    }
+}
+
+const CrcTables &
+crcTables()
+{
+    static const CrcTables t;
+    return t;
+}
+
+GfTables::GfTables()
+{
+    constexpr unsigned kPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+    unsigned v = 1;
+    for (unsigned e = 0; e < 255; e++) {
+        alog[e] = static_cast<std::uint8_t>(v);
+        alog[e + 255] = static_cast<std::uint8_t>(v);
+        logt[v] = static_cast<std::uint8_t>(e);
+        v <<= 1;
+        if (v & 0x100)
+            v ^= kPoly;
+    }
+    logt[0] = 0;  // never consulted: multiply special-cases 0
+
+    auto mul = [this](std::uint8_t a, std::uint8_t b) -> std::uint8_t {
+        if (a == 0 || b == 0)
+            return 0;
+        return alog[logt[a] + logt[b]];
+    };
+    for (unsigned c = 0; c < 256; c++) {
+        for (unsigned x = 0; x < 16; x++) {
+            mulLo[c][x] = mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(x));
+            mulHi[c][x] = mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(x << 4));
+        }
+    }
+}
+
+const GfTables &
+gfTables()
+{
+    static const GfTables t;
+    return t;
+}
+
+}  // namespace tvarak::kernels::detail

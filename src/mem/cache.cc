@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "kernels/kernels.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
@@ -14,6 +15,7 @@ Cache::Cache(std::string name, std::size_t sets, std::size_t ways,
     panic_if(ways == 0, "%s: zero ways", name_.c_str());
     panic_if(setDivisor == 0, "%s: zero set divisor", name_.c_str());
     tags_.assign(sets_ * ways_, Line::kNoTag);
+    stamps_.assign(sets_ * ways_, 0);
     lines_.resize(sets_ * ways_);
     if (carriesData)
         data_.resize(sets_ * ways_);
@@ -35,13 +37,12 @@ Cache::probe(Addr lineAddr)
 {
     panic_if(lineOffset(lineAddr) != 0, "%s: unaligned probe",
              name_.c_str());
+    // The simulator's hottest loop: a vectorized scan over the set's
+    // compact tag mirror (kernels::findTag compares 4 ways per step
+    // under AVX2).
     std::size_t base = setOf(lineAddr) * ways_;
-    const Addr *tags = &tags_[base];
-    for (std::size_t w = 0; w < ways_; w++) {
-        if (tags[w] == lineAddr)
-            return &lines_[base + w];
-    }
-    return nullptr;
+    std::size_t w = kernels::ops().findTag(&tags_[base], ways_, lineAddr);
+    return w != ways_ ? &lines_[base + w] : nullptr;
 }
 
 const Cache::Line *
@@ -67,29 +68,32 @@ Cache::dataOf(const Line &line) const
 Cache::Line &
 Cache::insert(Addr lineAddr, Victim &victim)
 {
-    // One walk over the set's compact tags does triple duty: the
-    // double-insert check, the free-way search, and LRU victim
-    // selection (first free way wins; else min stamp, first index on
-    // ties — identical to scanning with an early break on free ways).
+    // One pass over the set's compact tag and stamp mirrors does
+    // triple duty: double-insert check, first-free-way search, and
+    // the LRU stamp minimum (consulted only when the set is full).
+    // In steady state every set is full, so the old
+    // two-scans-plus-stamp-walk shape paid three full traversals —
+    // each dragging the ways' full Line structs in — where this pays
+    // one over two dense arrays. Victim choice is unchanged: first
+    // free way wins, else min stamp with first index on ties.
+    // (probe() stays on the vectorized kernels::findTag — a single
+    // exact-match scan with no side lookups.)
     std::size_t base = setOf(lineAddr) * ways_;
-    std::size_t target = base;
-    std::size_t freeWay = ways_;  // sentinel: none seen
+    std::size_t freeWay = ways_;
+    std::size_t lru = base;
     for (std::size_t w = 0; w < ways_; w++) {
-        Addr tag = tags_[base + w];
-        panic_if(tag == lineAddr, "%s: double insert of %llx",
+        std::uint64_t t = tags_[base + w];
+        panic_if(t == lineAddr, "%s: double insert of %llx",
                  name_.c_str(),
                  static_cast<unsigned long long>(lineAddr));
-        if (tag == Line::kNoTag) {
+        if (t == Line::kNoTag) {
             if (freeWay == ways_)
                 freeWay = w;
-        } else if (freeWay == ways_ &&
-                   lines_[base + w].lruStamp <
-                       lines_[target].lruStamp) {
-            target = base + w;
+        } else if (stamps_[base + w] < stamps_[lru]) {
+            lru = base + w;
         }
     }
-    if (freeWay != ways_)
-        target = base + freeWay;
+    std::size_t target = freeWay != ways_ ? base + freeWay : lru;
     Line &line = lines_[target];
     victim.valid = line.valid();
     if (victim.valid) {
@@ -129,6 +133,7 @@ Cache::reset()
     for (auto &line : lines_)
         line = Line{};
     std::fill(tags_.begin(), tags_.end(), Line::kNoTag);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
     stamp_ = 0;
 }
 

@@ -40,7 +40,6 @@ class Cache
         static constexpr Addr kNoTag = ~Addr{0};
 
         Addr addr = kNoTag;       //!< full line address (tag+index)
-        std::uint64_t lruStamp = 0;
         /** Private-cache presence (used by the LLC): bit per core. */
         std::uint32_t sharers = 0;
         bool dirty = false;
@@ -86,7 +85,7 @@ class Cache
     const Line *probe(Addr lineAddr) const;
 
     /** Mark @p line most recently used. */
-    void touch(Line &line) { line.lruStamp = ++stamp_; }
+    void touch(Line &line) { stamps_[indexOf(line)] = ++stamp_; }
 
     /**
      * Insert @p lineAddr (must not be present), evicting the LRU line
@@ -147,6 +146,10 @@ class Cache
     std::uint64_t stamp_ = 0;
     /** Compact tag mirror of lines_[i].addr: the probe scan array. */
     std::vector<Addr> tags_;
+    /** Compact LRU stamps, parallel to tags_: the insert() victim
+     *  scan reads only these two dense arrays instead of dragging
+     *  each way's full Line struct through the host cache. */
+    std::vector<std::uint64_t> stamps_;
     std::vector<Line> lines_;
     /** Payloads, parallel to lines_ (empty when tag-only). */
     std::vector<std::array<std::uint8_t, kLineBytes>> data_;

@@ -34,8 +34,8 @@ MemorySystem::MemorySystem(const SimConfig &cfg, const Design &design)
       // possibly-temporary argument.
       nvm_(cfg_.nvm, cfg_, stats_),
       engine_(cfg_, layout_, nvm_, stats_),
-      dram_(cfg_.dram.sizeBytes, 0),
-      nvmCur_(cfg_.nvm.dimms * cfg_.nvm.dimmBytes, 0),
+      dram_(cfg_.dram.sizeBytes),
+      nvmCur_(cfg_.nvm.dimms * cfg_.nvm.dimmBytes),
       dramBrk_(kLineBytes)  // never hand out address 0
 {
     cfg_.validate();
@@ -80,6 +80,16 @@ DesignKind
 MemorySystem::design() const
 {
     return design_->kind();
+}
+
+const RsCode &
+MemorySystem::rsCodec()
+{
+    if (!rsCodec_) {
+        rsCodec_ = std::make_unique<RsCode>(layout_.dataCount(),
+                                            layout_.parityCount());
+    }
+    return *rsCodec_;
 }
 
 //
@@ -554,6 +564,13 @@ MemorySystem::llcHandleVictim(std::size_t bank,
 {
     if (!victim.valid)
         return;
+    // A dirty NVM victim ends in updateRedundancy's old-line media
+    // read — a near-guaranteed host cache miss into the big media
+    // array. Start that miss now so it overlaps the back-invalidation
+    // probes and the controller dispatch (host-side only, no simulated
+    // effect; spurious for clean victims, which is harmless).
+    if (isNvmPhys(victim.addr))
+        nvm_.prefetchRaw(nvmGlobal(victim.addr));
     bool dirty = victim.dirty;
     // Back-invalidate private copies (strict inclusion).
     if (victim.sharers != 0) {
@@ -787,8 +804,7 @@ MemorySystem::reconstructLineRs(Addr line, std::uint8_t *out, bool charge)
     panic_if(target == n + k, "reconstructLineRs: %llx not in stripe",
              static_cast<unsigned long long>(line));
 
-    RsCode rs(n, k);
-    if (!rs.decode(ptrs.data(), present)) {
+    if (!rsCodec().decode(ptrs.data(), present)) {
         // More members lost than the code tolerates: loud poison so
         // every downstream checksum consumer sees a *detected* loss.
         std::memset(out, NvmDimm::kPoisonByte, kLineBytes);

@@ -38,11 +38,13 @@
 #include <string>
 #include <vector>
 
+#include "checksum/gf256.hh"
 #include "core/tvarak.hh"
 #include "layout/layout.hh"
 #include "mem/cache.hh"
 #include "nvm/nvm.hh"
 #include "sim/config.hh"
+#include "sim/hostmem.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -182,6 +184,14 @@ class MemorySystem
     /** LLC data-partition ways actually available to applications. */
     std::size_t llcDataWays() const { return llcDataWays_; }
 
+    /**
+     * The cached Reed-Solomon codec for this layout's n+k geometry
+     * (parityCount >= 2 layouts only). Built once on first use;
+     * degraded reads, rebuild sweeps, and the software schemes all
+     * share it instead of re-deriving the Cauchy matrix per line.
+     */
+    const RsCode &rsCodec();
+
     /** @name Access-trace recording (src/trace/)
      *  The sink observes the timed API; when unset (the default) the
      *  only overhead is one pointer compare per call. Components that
@@ -290,9 +300,10 @@ class MemorySystem
     std::vector<Cache> llc_;  //!< per bank, data partition only
     std::size_t llcDataWays_;
 
-    std::vector<std::uint8_t> dram_;    //!< DRAM current values
-    std::vector<std::uint8_t> nvmCur_;  //!< NVM current values
+    HostBuffer dram_;    //!< DRAM current values (huge-page backed)
+    HostBuffer nvmCur_;  //!< NVM current values (huge-page backed)
     std::vector<Addr> daxPageTable_;    //!< vpage -> NVM page | kUnmapped
+    std::unique_ptr<RsCode> rsCodec_;   //!< lazily built geometry codec
     Addr dramBrk_;
     std::vector<std::uint64_t> lastMissLine_;  //!< per-core stride state
     trace::TraceSink *traceSink_ = nullptr;    //!< access-trace recorder

@@ -6,12 +6,13 @@
 #include <cstring>
 
 #include "checksum/checksum.hh"
+#include "kernels/kernels.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
 
 NvmDimm::NvmDimm(std::size_t bytes)
-    : media_(bytes, 0), ecc_(bytes / kLineBytes, 0)
+    : media_(bytes), ecc_(bytes / kLineBytes, 0)
 {
     panic_if(bytes % kPageBytes != 0, "DIMM size must be page aligned");
     // ECC of the all-zero initial media: computed once, replicated.
@@ -54,7 +55,7 @@ NvmDimm::firmwareRead(Addr mediaAddr, void *buf)
         bugsTriggered_++;
         checkAddr(src, kLineBytes);
     }
-    std::memcpy(buf, media_.data() + src, kLineBytes);
+    kernels::ops().copyLine(buf, media_.data() + src);
 }
 
 void
@@ -78,7 +79,7 @@ NvmDimm::firmwareWrite(Addr mediaAddr, const void *buf)
         dst = bug.actual;
         checkAddr(dst, kLineBytes);
     }
-    std::memcpy(media_.data() + dst, buf, kLineBytes);
+    kernels::ops().copyLine(media_.data() + dst, buf);
     // The firmware updates the inline ECC atomically with the data; a
     // misdirected write thus leaves a *consistent* wrong line.
     ecc_[dst / kLineBytes] = computeEcc(dst);
@@ -179,6 +180,14 @@ NvmArray::NvmArray(const NvmParams &params, const SimConfig &cfg,
         dimms_.push_back(std::make_unique<NvmDimm>(params.dimmBytes));
     state_.assign(dimms_.size(), DimmState::Healthy);
     watermark_.assign(dimms_.size(), 0);
+    // Page-striping math runs on every raw/firmware access; when the
+    // DIMM count is a power of two (the common geometries) the
+    // divide/modulo pair folds to shift/mask.
+    if ((params.dimms & (params.dimms - 1)) == 0) {
+        dimmMask_ = params.dimms - 1;
+        while ((std::size_t{1} << dimmShift_) < params.dimms)
+            dimmShift_++;
+    }
     readCycles_ = cfg.nsToCycles(params.readNs);
     writeCycles_ = cfg.nsToCycles(params.writeNs);
     readBusy_ =
@@ -190,12 +199,19 @@ NvmArray::NvmArray(const NvmParams &params, const SimConfig &cfg,
 std::size_t
 NvmArray::dimmOf(Addr globalAddr) const
 {
+    if (dimmMask_ != 0 || dimms_.size() == 1)
+        return static_cast<std::size_t>(pageNumber(globalAddr)) &
+            dimmMask_;
     return pageNumber(globalAddr) % dimms_.size();
 }
 
 Addr
 NvmArray::mediaAddrOf(Addr globalAddr) const
 {
+    if (dimmMask_ != 0 || dimms_.size() == 1) {
+        return ((pageNumber(globalAddr) >> dimmShift_) * kPageBytes) +
+            pageOffset(globalAddr);
+    }
     return (pageNumber(globalAddr) / dimms_.size()) * kPageBytes +
         pageOffset(globalAddr);
 }
@@ -327,6 +343,13 @@ NvmArray::charge(Addr globalAddr, bool isWrite, bool redundancy)
 void
 NvmArray::rawRead(Addr globalAddr, void *buf, std::size_t len) const
 {
+    // Fast path: nearly every call is one line (or less) inside a
+    // single page — one DIMM, one chunk, no straddle loop.
+    if (len <= kPageBytes - pageOffset(globalAddr)) {
+        dimms_[dimmOf(globalAddr)]->rawRead(mediaAddrOf(globalAddr),
+                                            buf, len);
+        return;
+    }
     auto *out = static_cast<std::uint8_t *>(buf);
     while (len > 0) {
         std::size_t in_page = kPageBytes - pageOffset(globalAddr);
@@ -377,6 +400,11 @@ NvmArray::loadImage(const std::string &path)
 void
 NvmArray::rawWrite(Addr globalAddr, const void *buf, std::size_t len)
 {
+    if (len <= kPageBytes - pageOffset(globalAddr)) {
+        dimms_[dimmOf(globalAddr)]->rawWrite(mediaAddrOf(globalAddr),
+                                             buf, len);
+        return;
+    }
     const auto *in = static_cast<const std::uint8_t *>(buf);
     while (len > 0) {
         std::size_t in_page = kPageBytes - pageOffset(globalAddr);

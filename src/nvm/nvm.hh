@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/hostmem.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -55,6 +56,29 @@ class NvmDimm
     /**@{*/
     void rawRead(Addr mediaAddr, void *buf, std::size_t len) const;
     void rawWrite(Addr mediaAddr, const void *buf, std::size_t len);
+
+    /** Host-side prefetch for a coming rawRead/firmwareRead of
+     *  @p mediaAddr: the media arrays are far larger than the host
+     *  caches, so the hot paths start the miss early. Functionally a
+     *  no-op.
+     *
+     *  Implemented as a real (discarded) load, not __builtin_prefetch:
+     *  x86 drops software prefetches whose address misses the TLB, and
+     *  with the media far bigger than the 4K-page TLB reach that is
+     *  the common case here. A demand load walks the page table and
+     *  warms both the TLB and the cache; its result is unused, so
+     *  out-of-order execution hides the miss behind the caller's
+     *  remaining work. */
+    void prefetch(Addr mediaAddr) const
+    {
+        // Both host lines a (possibly unaligned) 64B span can touch.
+        if (mediaAddr + kLineBytes <= media_.size()) {
+            const std::uint8_t *p = media_.data() + mediaAddr;
+            std::uint8_t a = p[0];
+            std::uint8_t b = p[kLineBytes - 1];
+            asm volatile("" : : "r"(a), "r"(b));
+        }
+    }
     /**@}*/
 
     /**
@@ -109,7 +133,7 @@ class NvmDimm
     void checkAddr(Addr mediaAddr, std::size_t len) const;
     std::uint8_t computeEcc(Addr lineAddr) const;
 
-    std::vector<std::uint8_t> media_;
+    HostBuffer media_;  //!< huge-page backed: hot random line reads
     std::vector<std::uint8_t> ecc_;  //!< one byte per line, inline model
     std::unordered_map<Addr, Bug> writeBugs_;
     std::unordered_map<Addr, Bug> readBugs_;
@@ -219,6 +243,13 @@ class NvmArray
     /** Raw (bug-free, untimed) helpers addressed globally. */
     void rawRead(Addr globalAddr, void *buf, std::size_t len) const;
     void rawWrite(Addr globalAddr, const void *buf, std::size_t len);
+    /** Host-side prefetch hint for the media backing @p globalAddr —
+     *  purely a simulator-speed aid, no simulated timing or data
+     *  effect. Issue it a little before the matching rawRead. */
+    void prefetchRaw(Addr globalAddr) const
+    {
+        dimms_[dimmOf(globalAddr)]->prefetch(mediaAddrOf(globalAddr));
+    }
 
     /** @name Image checkpointing
      *  Persist/restore the at-rest media (simulating NVM durability
@@ -242,6 +273,11 @@ class NvmArray
     std::vector<std::unique_ptr<NvmDimm>> dimms_;
     std::vector<DimmState> state_;
     std::vector<Addr> watermark_;
+    /** Striping fast path when the DIMM count is a power of two:
+     *  dimm = pageNumber & dimmMask_, media page = pageNumber >>
+     *  dimmShift_. dimmMask_ 0 with >1 DIMMs = general divide path. */
+    std::size_t dimmMask_ = 0;
+    unsigned dimmShift_ = 0;
     std::size_t degradedDimms_ = 0;  //!< DIMMs not in Healthy state
     Cycles readCycles_;
     Cycles writeCycles_;

@@ -45,6 +45,7 @@ PmemPool::PmemPool(MemorySystem &mem, DaxFs &fs, const std::string &name,
     lanes_state_.resize(lanes_);
     for (auto &lane : lanes_state_)
         lane.freeLists.resize(48);
+    lastObj_.assign(lanes_, ObjMemo{});
 
     if (fresh) {
         // Untimed one-time formatting (pool creation, not steady
@@ -185,6 +186,10 @@ PmemPool::free(int tid, Addr payload)
              static_cast<unsigned long long>(payload));
     std::size_t bytes = it->second;
     allocations_.erase(it);
+    // The memoized owner intervals may be the object just freed (and
+    // its range can be recycled at a different size): drop them all.
+    for (ObjMemo &m : lastObj_)
+        m.len = 0;
     std::size_t lane_idx = laneOf(tid);
     Lane &lane = lanes_state_[lane_idx];
     std::size_t cls = sizeClass(bytes);
@@ -222,14 +227,32 @@ PmemPool::makeRange(std::size_t laneIdx, Addr vaddr,
     r.vaddr = vaddr;
     r.len = len;
     // Resolve the owning object, if the range is inside the heap.
-    auto it = allocations_.upper_bound(vaddr);
-    if (it != allocations_.begin()) {
-        --it;
-        if (vaddr >= it->first - kObjHeaderBytes &&
-            vaddr + len <= it->first + it->second) {
-            r.objBase = it->first;
-            r.objLen = it->second;
-            r.csumVaddr = it->first - kObjHeaderBytes + 8;
+    // Metadata ranges (lane state, log appends) sit in the meta pages
+    // below heapBase_ and can never match an allocation: skip the
+    // tree entirely for them — log appends are the single most common
+    // caller. For heap ranges, consecutive dirty ranges overwhelmingly
+    // land in the same object per lane, so try the lane's memoized
+    // interval before walking the tree.
+    if (vaddr >= heapBase_ && vaddr < heapBase_ + heapBytes_) {
+        ObjMemo &memo = lastObj_[laneIdx];
+        if (memo.len != 0 && vaddr >= memo.base - kObjHeaderBytes &&
+            vaddr + len <= memo.base + memo.len) {
+            r.objBase = memo.base;
+            r.objLen = memo.len;
+            r.csumVaddr = memo.base - kObjHeaderBytes + 8;
+            return r;
+        }
+        auto it = allocations_.upper_bound(vaddr);
+        if (it != allocations_.begin()) {
+            --it;
+            if (vaddr >= it->first - kObjHeaderBytes &&
+                vaddr + len <= it->first + it->second) {
+                r.objBase = it->first;
+                r.objLen = it->second;
+                r.csumVaddr = it->first - kObjHeaderBytes + 8;
+                memo.base = it->first;
+                memo.len = it->second;
+            }
         }
     }
     if (r.csumVaddr == 0) {
@@ -414,8 +437,7 @@ PmemPool::verifyObjects() const
         mem_.peek(payload - kObjHeaderBytes + 8, cs, 8);
         std::uint64_t expected;
         std::memcpy(&expected, cs, 8);
-        std::uint64_t actual =
-            (std::uint64_t{0x4f} << 56) | crc32c(buf.data(), size);
+        std::uint64_t actual = kObjectCsumTag | crc32c(buf.data(), size);
         if (actual != expected)
             bad++;
     }

@@ -194,6 +194,15 @@ class PmemPool
     std::vector<Lane> lanes_state_;
     /** payload vaddr -> payload size, for owner lookup. */
     std::map<Addr, std::size_t> allocations_;
+    /** Last object resolved by makeRange, memoized per lane: dirty
+     *  ranges cluster within one object per thread, but the threads
+     *  interleave, so a single shared slot would thrash. len 0 =
+     *  empty; invalidated by alloc/free (the map changed). */
+    struct ObjMemo {
+        Addr base = 0;
+        std::size_t len = 0;
+    };
+    mutable std::vector<ObjMemo> lastObj_;
 };
 
 }  // namespace tvarak

@@ -6,6 +6,7 @@
 
 #include "checksum/checksum.hh"
 #include "checksum/gf256.hh"
+#include "kernels/kernels.hh"
 #include "sim/log.hh"
 
 namespace tvarak {
@@ -41,9 +42,11 @@ RedundancyScheme::recomputeParityLine(int tid, Addr vline)
                    kLineBytes);
         return;
     }
-    // Reed-Solomon geometries: one pass over the data members feeds
-    // every parity role its coefficient-weighted contribution.
-    RsCode rs(layout.dataCount(), layout.parityCount());
+    // Reed-Solomon geometries: a fused kernel sequence per data member
+    // feeds every parity role its coefficient-weighted contribution in
+    // one pass over the sibling line. The codec itself is the memory
+    // system's cached one — never rebuilt per line.
+    const RsCode &rs = mem_.rsCodec();
     std::vector<std::array<std::uint8_t, kLineBytes>> par(
         layout.parityCount());
     for (auto &p : par)
@@ -55,8 +58,16 @@ RedundancyScheme::recomputeParityLine(int tid, Addr vline)
         else
             mem_.read(tid, nvmDirectVaddr(pages[i] + offset), sib,
                       kLineBytes);
-        for (std::size_t j = 0; j < layout.parityCount(); j++)
-            rs.updateParity(par[j].data(), sib, j, i);
+        for (std::size_t j0 = 0; j0 < layout.parityCount();
+             j0 += kernels::kSeqMaxRoles) {
+            std::size_t jn = std::min(
+                layout.parityCount(), j0 + kernels::kSeqMaxRoles);
+            kernels::KernelSequence seq;
+            seq.source(sib);
+            for (std::size_t j = j0; j < jn; j++)
+                seq.parityGfMac(par[j].data(), rs.coeff(j, i));
+            seq.run();
+        }
     }
     for (std::size_t j = 0; j < layout.parityCount(); j++) {
         mem_.write(tid, nvmDirectVaddr(layout.parityLineOf(g, j)),
@@ -114,8 +125,7 @@ TxBObjectCsums::onCommit(int tid, const std::vector<DirtyRange> &dirty)
         std::size_t len = r.objBase != 0 ? r.objLen : r.len;
         buf.resize(len);
         mem_.peek(base, buf.data(), len);
-        std::uint64_t csum =
-            (std::uint64_t{0x4f} << 56) | crc32c(buf.data(), len);
+        std::uint64_t csum = kObjectCsumTag | crc32c(buf.data(), len);
         mem_.write64(tid, r.csumVaddr, csum);
         extra_lines.insert(lineBase(r.csumVaddr));
     }

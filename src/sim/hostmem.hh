@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Host-side backing storage for the simulator's large flat arrays
+ * (NVM media images, the current-value mirror — hundreds of MB that
+ * the data plane hits at effectively random line granularity).
+ *
+ * HostBuffer allocates with mmap and asks for transparent huge pages
+ * *before first touch*, so a 96MB media image costs ~48 TLB entries
+ * instead of ~24k and the hot-path media reads stop paying a page
+ * walk per access. This is purely a host-performance choice: the
+ * bytes, their zero-initialization, and every simulated Stat are
+ * identical to a plain std::vector backing (the huge-page request is
+ * advisory and its failure is ignored).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "sim/log.hh"
+
+namespace tvarak {
+
+/** A fixed-size, zero-initialized, movable byte buffer backed by mmap
+ *  with a transparent-huge-page hint (falls back to operator new off
+ *  Linux). Deliberately vector-shaped: data/size/begin/end/[]. */
+class HostBuffer
+{
+  public:
+    HostBuffer() = default;
+
+    explicit HostBuffer(std::size_t bytes) : size_(bytes)
+    {
+        if (bytes == 0)
+            return;
+#if defined(__linux__)
+        void *p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        fatal_if(p == MAP_FAILED, "HostBuffer: mmap of %zu bytes failed",
+                 bytes);
+        data_ = static_cast<std::uint8_t *>(p);
+#if defined(MADV_HUGEPAGE)
+        // Advisory, and it must land before the first touch: pages
+        // fault in huge from the start instead of waiting for
+        // khugepaged to collapse them long after the run is over.
+        (void)::madvise(data_, bytes, MADV_HUGEPAGE);
+#endif
+#else
+        data_ = new std::uint8_t[bytes]();
+#endif
+    }
+
+    HostBuffer(const HostBuffer &) = delete;
+    HostBuffer &operator=(const HostBuffer &) = delete;
+
+    HostBuffer(HostBuffer &&other) noexcept
+        : data_(other.data_), size_(other.size_)
+    {
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+
+    HostBuffer &
+    operator=(HostBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            data_ = other.data_;
+            size_ = other.size_;
+            other.data_ = nullptr;
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    ~HostBuffer() { release(); }
+
+    std::uint8_t *data() { return data_; }
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+    std::uint8_t *begin() { return data_; }
+    std::uint8_t *end() { return data_ + size_; }
+    const std::uint8_t *begin() const { return data_; }
+    const std::uint8_t *end() const { return data_ + size_; }
+
+    std::uint8_t &operator[](std::size_t i) { return data_[i]; }
+    const std::uint8_t &operator[](std::size_t i) const
+    {
+        return data_[i];
+    }
+
+  private:
+    void
+    release()
+    {
+#if defined(__linux__)
+        if (data_ != nullptr)
+            ::munmap(data_, size_);
+#else
+        delete[] data_;
+#endif
+        data_ = nullptr;
+        size_ = 0;
+    }
+
+    std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace tvarak

@@ -1,0 +1,14 @@
+// Seeded violations: SIMD intrinsics outside src/kernels/ (R14).
+#include <immintrin.h>
+
+void
+accumulate(unsigned long long *acc, const unsigned long long *w)
+{
+    *acc = _mm_crc32_u64(*acc, *w);
+}
+
+void
+allowedSimdUser(unsigned long long *acc, const unsigned long long *w)
+{
+    *acc = _mm_crc32_u64(*acc, *w);  // lint:allow(R14) suppression must hold
+}

@@ -1,0 +1,14 @@
+// SIMD intrinsics are legal inside src/kernels/: the kernel layer is
+// the single owner of vector code (R14 exemption by path).
+#include <immintrin.h>
+
+void
+xorBlock(unsigned char *dst, const unsigned char *other)
+{
+    __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(dst));
+    __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(other));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(dst),
+                     _mm_xor_si128(a, b));
+}

@@ -15,7 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include "kernels/kernels.hh"
 #include "mem/memory_system.hh"
+#include "sim/stats.hh"
 #include "redundancy/registry.hh"
 #include "redundancy/scheme.hh"
 #include "trace/trace.hh"
@@ -217,6 +219,26 @@ TEST_P(TraceInvariance, ReplayMatchesPreRefactorGoldens)
 
 INSTANTIATE_TEST_SUITE_P(GoldenTraces, TraceInvariance,
                          ::testing::Values("stream", "ctree"));
+
+TEST(TraceInvariance, KernelBackendsReplayBitIdentical)
+{
+    // The dispatch contract: simulated Stats are a function of the
+    // trace and the design, never of the host's SIMD level. Replay
+    // every design under the forced scalar backend and under the best
+    // available one; statsDiff must come back empty.
+    auto trace = trace::TraceData::load(goldenPath("stream.trace"));
+    ASSERT_NE(trace, nullptr);
+    kernels::Backend best = kernels::bestBackend();
+    for (const Design *d : allRegisteredDesigns()) {
+        ASSERT_TRUE(kernels::selectBackend(kernels::Backend::Scalar));
+        RunResult scalar = trace::replayExperiment(trace, *d);
+        ASSERT_TRUE(kernels::selectBackend(best));
+        RunResult simd = trace::replayExperiment(trace, *d);
+        EXPECT_EQ(statsDiff(scalar.stats, simd.stats), "")
+            << d->cliName() << ": scalar vs "
+            << kernels::backendName(best);
+    }
+}
 
 TEST(TraceInvariance, AblationVariantsActuallyAblate)
 {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/trees/pmem_map.hh"
+#include "checksum/gf256.hh"
 #include "fs/scrubber.hh"
 #include "pmemlib/pmem_pool.hh"
 #include "redundancy/rebuild.hh"
@@ -119,7 +120,11 @@ TEST(DimmFailure, TvarakSurvivesAndRebuildsBitExact)
             rebuild->step(512);  // online: interleaved with the workload
     });
     ASSERT_NE(rebuild, nullptr);
+    std::uint64_t ctors = RsCode::constructions();
     rebuild->runToCompletion();
+    EXPECT_EQ(RsCode::constructions(), ctors)
+        << "the rebuild sweep must reuse the cached geometry codec "
+           "(zero RsCode constructions per swept line)";
     EXPECT_EQ(faulty.mem.nvmArray().dimmState(target),
               NvmArray::DimmState::Healthy);
 
@@ -201,7 +206,11 @@ TEST(DimmFailure, RsSecondFailureMidRebuildBitExact)
             rebuild->step(256);
     });
     ASSERT_NE(rebuild, nullptr);
+    std::uint64_t ctors = RsCode::constructions();
     rebuild->runToCompletion();
+    EXPECT_EQ(RsCode::constructions(), ctors)
+        << "the rebuild sweep must reuse the cached geometry codec "
+           "(zero RsCode constructions per swept line)";
     EXPECT_EQ(nvm.dimmState(a), NvmArray::DimmState::Healthy);
     EXPECT_EQ(nvm.dimmState(b), NvmArray::DimmState::Healthy);
 

@@ -179,7 +179,8 @@ TEST(LintFixtures, BadRootTripsEveryRuleExactly)
     EXPECT_EQ(n["R11"], 2) << "unreported 'misses' + unincremented 'stale'";
     EXPECT_EQ(n["R12"], 2) << "dead 'deadKnob' + write-only 'writeOnlyKnob'";
     EXPECT_EQ(n["R13"], 2) << "naked .lock() + naked .unlock()";
-    EXPECT_EQ(findings.size(), 29u);
+    EXPECT_EQ(n["R14"], 2) << "SIMD header include + intrinsic call";
+    EXPECT_EQ(findings.size(), 31u);
 }
 
 TEST(LintFixtures, BadRootFindingLocations)
@@ -220,6 +221,8 @@ TEST(LintFixtures, BadRootFindingLocations)
                            "R13"));
     EXPECT_TRUE(hasFinding(findings, "src/harness/bad_locks.cc", 10,
                            "R13"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_simd.cc", 2, "R14"));
+    EXPECT_TRUE(hasFinding(findings, "src/bad_simd.cc", 7, "R14"));
 }
 
 TEST(LintFixtures, SuppressedSiteStaysQuiet)
@@ -245,6 +248,8 @@ TEST(LintFixtures, SuppressedSiteStaysQuiet)
     EXPECT_FALSE(hasFinding(findings, "src/harness/bad_locks.cc", 19,
                             "R13"))
         << "lint:allow(R13) on the line must suppress the finding";
+    EXPECT_FALSE(hasFinding(findings, "src/bad_simd.cc", 13, "R14"))
+        << "lint:allow(R14) on the line must suppress the finding";
 }
 
 // ------------------------------------------------- repo model (R9+)
@@ -294,7 +299,13 @@ TEST(LintModel, ClassifiesModulesAndRanks)
 
     EXPECT_EQ(moduleOf("src/service/dispatcher.cc"), "service");
 
+    EXPECT_EQ(moduleOf("src/kernels/dispatch.cc"), "kernels");
+
     EXPECT_EQ(moduleRank("sim"), 0);
+    // The kernel layer sits between sim/ and every byte-moving module.
+    EXPECT_LT(moduleRank("sim"), moduleRank("kernels"));
+    EXPECT_LT(moduleRank("kernels"), moduleRank("checksum"));
+    EXPECT_LT(moduleRank("kernels"), moduleRank("mem"));
     EXPECT_LT(moduleRank("checksum"), moduleRank("nvm"));
     EXPECT_LT(moduleRank("core"), moduleRank("mem"));
     EXPECT_LT(moduleRank("mem"), moduleRank("redundancy"));

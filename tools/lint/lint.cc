@@ -387,9 +387,13 @@ isAddressishIdent(const std::string &id)
         "inline", "baseline", "pipeline", "newline", "online", "deadline",
     };
     for (const char *k : kNotLine) {
-        std::size_t p;
-        while ((p = l.find(k)) != std::string::npos)
-            l.replace(p, std::string(k).size(), "#");
+        std::size_t n = std::string_view(k).size();
+        std::size_t p = 0;
+        while ((p = l.find(k, p)) != std::string::npos) {
+            for (std::size_t i = 0; i < n; i++)
+                l[p + i] = '#';
+            p += n;
+        }
     }
     return l.find("line") != std::string::npos;
 }
@@ -960,6 +964,85 @@ ruleR8(const SourceFile &f, std::vector<Finding> &out)
     }
 }
 
+// --------------------------------------------------------------- R14
+
+/** The one subtree allowed to touch SIMD intrinsics directly. */
+bool
+isKernelsPath(const std::string &path)
+{
+    return path.find("src/kernels/") != std::string::npos ||
+        path.rfind("kernels/", 0) == 0;
+}
+
+/** An intrinsics header: the x86 <*intrin.h> family or ARM NEON. */
+bool
+isSimdHeader(const std::string &hdr)
+{
+    if (hdr == "arm_neon.h")
+        return true;
+    const std::string suffix = "intrin.h";
+    return hdr.size() >= suffix.size() &&
+        hdr.compare(hdr.size() - suffix.size(), suffix.size(),
+                    suffix) == 0;
+}
+
+/** An intrinsic call or vector-register type identifier. */
+bool
+isSimdIdent(const std::string &id)
+{
+    return id.rfind("_mm_", 0) == 0 || id.rfind("_mm256_", 0) == 0 ||
+        id.rfind("_mm512_", 0) == 0 || id.rfind("__m128", 0) == 0 ||
+        id.rfind("__m256", 0) == 0 || id.rfind("__m512", 0) == 0;
+}
+
+void
+ruleR14(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (isKernelsPath(f.path))
+        return;
+    for (std::size_t ln = 0; ln < f.code.size(); ln++) {
+        const std::string &code = f.code[ln];
+        std::string hit;
+
+        // #include <immintrin.h> and friends.
+        std::string t = code;
+        t.erase(0, t.find_first_not_of(" \t"));
+        if (t.rfind("#", 0) == 0 &&
+            t.find("include") != std::string::npos) {
+            std::size_t open = t.find('<');
+            std::size_t close = t.find('>');
+            if (open != std::string::npos &&
+                close != std::string::npos && close > open) {
+                std::string hdr = t.substr(open + 1, close - open - 1);
+                if (isSimdHeader(hdr))
+                    hit = "#include <" + hdr + ">";
+            }
+        }
+
+        // _mm_* / _mm256_* / _mm512_* intrinsics and __m128/__m256/
+        // __m512 register types.
+        if (hit.empty()) {
+            std::vector<Tok> toks;
+            tokenizeLine(code, ln + 1, toks);
+            for (const Tok &tok : toks) {
+                if (tok.kind == Tok::Ident && isSimdIdent(tok.text)) {
+                    hit = tok.text;
+                    break;
+                }
+            }
+        }
+
+        if (hit.empty() || f.allows("R14", ln + 1))
+            continue;
+        out.push_back({f.path, ln + 1, "R14",
+                       "SIMD intrinsic " + hit +
+                           " outside src/kernels/; vector code is "
+                           "owned by the kernel layer — call through "
+                           "kernels::ops() so every byte loop has one "
+                           "scalar reference and swappable backends"});
+    }
+}
+
 // --------------------------------------------------------- file walk
 
 bool
@@ -1028,6 +1111,7 @@ run(const Options &opts)
                 ruleR6(sources[i], perFile[i]);
                 ruleR7(sources[i], perFile[i]);
                 ruleR8(sources[i], perFile[i]);
+                ruleR14(sources[i], perFile[i]);
             } catch (const std::exception &e) {
                 errors[i] = e.what();
             }

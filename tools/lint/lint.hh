@@ -32,6 +32,12 @@
  *       comparisons) in src/ is confined to src/redundancy/registry.* —
  *       everything else resolves behaviour through the Design registry
  *       (designOf / findDesign) and the Design policy hooks.
+ *   R14 SIMD intrinsics — <immintrin.h>-family includes, _mm_* /
+ *       _mm256_* / _mm512_* calls and the __m128/__m256/__m512 vector
+ *       types — are confined to src/kernels/: the data-plane kernel
+ *       layer is the single owner of vector code, everything else goes
+ *       through kernels::ops() so backends stay swappable and
+ *       bit-identity is provable in one place.
  *
  * On top of the per-file rules, the repo-model pass (tvarak-analyze)
  * builds the `#include` graph and symbol/use tables and checks:
@@ -65,7 +71,7 @@ namespace tvarak::lint {
 struct Finding {
     std::string file;    //!< path as reported (relative to root)
     std::size_t line;    //!< 1-based
-    std::string rule;    //!< "R1".."R13"
+    std::string rule;    //!< "R1".."R14"
     std::string message;
 
     /** `file:line: [R#] message` */

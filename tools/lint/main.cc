@@ -14,7 +14,7 @@
  *
  *   tvarak-lint --self-test DIR
  *       DIR must hold `goodroot/` (expected clean) and `badroot/`
- *       (expected to trip every rule R1..R13). Exit 0 iff both hold.
+ *       (expected to trip every rule R1..R14). Exit 0 iff both hold.
  *
  * Exit codes: 0 clean (all findings baselined), 1 findings, 2 usage
  * or I/O error.
@@ -73,7 +73,7 @@ selfTest(const fs::path &dir)
         hit.insert(f.rule);
     for (const char *rule :
          {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-          "R11", "R12", "R13"}) {
+          "R11", "R12", "R13", "R14"}) {
         if (!hit.count(rule)) {
             std::fprintf(stderr,
                          "self-test: badroot did not trip %s\n", rule);
@@ -83,7 +83,7 @@ selfTest(const fs::path &dir)
 
     if (failures == 0) {
         std::printf("tvarak-lint self-test: OK "
-                    "(goodroot clean, badroot trips R1..R13)\n");
+                    "(goodroot clean, badroot trips R1..R14)\n");
         return 0;
     }
     return 1;

@@ -32,26 +32,30 @@ const std::pair<const char *, const char *> kModuleOverrides[] = {
 /** module -> rank in the layering DAG; higher may include lower. */
 const std::pair<const char *, int> kModuleRanks[] = {
     {"sim", 0},
-    {"checksum", 1},
-    {"layout", 1},
-    {"trace_abi", 1},
-    {"design_api", 1},
-    {"nvm", 2},
-    {"cache", 2},
-    {"core", 3},
-    {"mem", 4},
-    {"fs", 5},
-    {"redundancy", 6},
-    {"pmemlib", 7},
-    {"workload_api", 8},
-    {"apps", 9},
-    {"harness", 10},
-    {"service", 11},
-    {"trace", 11},
-    {"bench", 12},
-    {"tools", 12},
-    {"examples", 12},
-    {"tests", 13},
+    // The data-plane kernel layer sits directly above sim/ and below
+    // everything that moves bytes: any module may call kernels, the
+    // kernels know nothing but sim/types.
+    {"kernels", 1},
+    {"checksum", 2},
+    {"layout", 2},
+    {"trace_abi", 2},
+    {"design_api", 2},
+    {"nvm", 3},
+    {"cache", 3},
+    {"core", 4},
+    {"mem", 5},
+    {"fs", 6},
+    {"redundancy", 7},
+    {"pmemlib", 8},
+    {"workload_api", 9},
+    {"apps", 10},
+    {"harness", 11},
+    {"service", 12},
+    {"trace", 12},
+    {"bench", 13},
+    {"tools", 13},
+    {"examples", 13},
+    {"tests", 14},
 };
 
 }  // namespace
